@@ -1,0 +1,25 @@
+# Convenience targets; everything also works as plain pytest invocations.
+
+.PHONY: install test bench figures fuzz examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+figures:
+	repro figures --out figures/
+
+fuzz:
+	repro fuzz --samples 200 --max-ring-size 5
+
+examples:
+	for script in examples/*.py; do echo "== $$script =="; python $$script; done
+
+clean:
+	rm -rf benchmarks/out figures .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,57 @@
+"""A2 — ablation/baseline: cutoff-style sweeping vs. local reasoning.
+
+Section 7 contrasts the approach with cutoff methods, which verify every
+size up to a bound.  This benchmark runs both on Example 4.2 and on
+Example 4.3:
+
+* the sweep needs to *pick a bound*; for Example 4.3 a bound of 5 (its
+  synthesis size) wrongly reports success, while the local analysis
+  refutes generalizability instantly;
+* for Example 4.2 the sweep only ever yields bounded evidence at
+  exponential cost, while the local verdict covers all K.
+"""
+
+from repro.checker.sweep import sweep_verify
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.protocols import (
+    generalizable_matching,
+    nongeneralizable_matching,
+)
+from repro.viz import render_table
+
+
+def run_comparison():
+    rows = []
+    # Example 4.3: a sweep up to 5 misses the K=4 failure? No: 4 < 5 is
+    # inside the range — the interesting bound is a sweep over the
+    # *design* sizes only, e.g. K = 5 alone, which is what fixed-K
+    # synthesis validated.  Show both.
+    bad = nongeneralizable_matching()
+    design_only = sweep_verify(bad, up_to=5, start=5)
+    assert design_only.all_self_stabilizing  # the fixed-K illusion
+    wider = sweep_verify(bad, up_to=7, start=3)
+    assert wider.failing_sizes == (4, 6, 7)
+    local_bad = DeadlockAnalyzer(bad).analyze()
+    assert not local_bad.deadlock_free
+    rows.append(("matching-ex4.3", "K=5 only: ok (illusion)",
+                 f"K=3..7: fails at {list(wider.failing_sizes)}",
+                 "diverges (exact, all K)"))
+
+    good = generalizable_matching()
+    sweep_good = sweep_verify(good, up_to=7, start=3)
+    assert sweep_good.all_self_stabilizing
+    local_good = DeadlockAnalyzer(good).analyze()
+    assert local_good.deadlock_free
+    rows.append(("matching-ex4.2",
+                 f"{sweep_good.total_states_explored} states explored",
+                 "evidence bounded at K<=7",
+                 "deadlock-free (exact, all K)"))
+    return rows
+
+
+def test_a2_sweep_vs_local(benchmark, write_artifact):
+    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    write_artifact(
+        "a2_sweep_vs_local.txt",
+        render_table(["protocol", "sweep (fixed-K view)",
+                      "sweep (wider)", "local verdict"], rows))

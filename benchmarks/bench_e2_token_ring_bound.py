@@ -1,0 +1,47 @@
+"""E2 — extension: the empirical value bound of Dijkstra's token ring.
+
+Section 5 cites Dijkstra's K-state protocol as the classic corrupting
+yet convergent design.  A classic companion fact is that the number of
+values M must grow with the ring: this experiment determines, by
+exhaustive model checking, the minimal M for which the protocol
+self-stabilizes at each K — reproducing the known tight bound
+``M >= K - 1`` (for K >= 3).
+"""
+
+from repro.checker import check_instance
+from repro.protocols import DijkstraTokenRing
+from repro.viz import render_table
+
+SIZES = (2, 3, 4, 5)
+
+
+def minimal_values():
+    rows = []
+    for size in SIZES:
+        minimal = None
+        for values in range(2, size + 2):
+            report = check_instance(DijkstraTokenRing(size,
+                                                      values=values))
+            if report.self_stabilizing:
+                minimal = values
+                break
+        assert minimal is not None
+        rows.append((size, minimal))
+    return rows
+
+
+def test_e2_token_ring_value_bound(benchmark, write_artifact):
+    rows = benchmark.pedantic(minimal_values, rounds=1, iterations=1)
+    by_size = dict(rows)
+    assert by_size[2] == 2
+    for size in (3, 4, 5):
+        assert by_size[size] == size - 1  # the M >= K-1 bound is tight
+        # one fewer value must fail:
+        if size - 2 >= 2:
+            broken = check_instance(
+                DijkstraTokenRing(size, values=size - 2))
+            assert not broken.strongly_converging
+    write_artifact(
+        "e2_token_ring_bound.txt",
+        "minimal M for which Dijkstra's K-state ring stabilizes\n"
+        + render_table(["K", "minimal M"], rows))

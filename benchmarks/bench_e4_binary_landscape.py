@@ -1,0 +1,88 @@
+"""E4 — the complete landscape of binary agreement protocols.
+
+The binary unidirectional ring with ``LC_r = (x_r = x_{r-1})`` admits
+exactly four possible local transitions (one own-cell rewrite per local
+state).  This study enumerates **every** self-disabling subset,
+classifies each with the local analyses, and cross-checks every verdict
+against global model checking at K = 2..5 — a small but *complete*
+census of a protocol space, something only the local (all-K) analyses
+make meaningful.
+
+Expected landscape: the empty set deadlocks; {t01}, {t10} are the two
+§6.2 solutions (converge for every K); subsets resolving only one
+illegitimate deadlock... do not exist beyond those (self-disabling
+filtering removes mixed sets touching legitimate states' partners), and
+every certified set must stabilize globally.
+"""
+
+from itertools import combinations
+
+from repro.core import verify_convergence
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.checker import check_instance
+from repro.core.selfdisabling import action_for_transition
+from repro.protocol.actions import LocalTransition
+from repro.protocols import agreement
+from repro.viz import render_table, state_label
+
+
+def all_transitions(space):
+    result = []
+    for state in space.states:
+        for cell in space.cells:
+            if cell != state.own:
+                result.append(LocalTransition(
+                    state, state.replace_own(cell),
+                    f"t{state_label(state)}"))
+    return result
+
+
+def landscape():
+    base = agreement()
+    transitions = all_transitions(base.space)
+    assert len(transitions) == 4
+    rows = []
+    verdict_counts: dict[str, int] = {}
+    for size in range(len(transitions) + 1):
+        for combo in combinations(transitions, size):
+            sources = {t.source for t in combo}
+            if any(t.target in sources for t in combo):
+                continue  # not self-disabling
+            protocol = base.with_actions(
+                tuple(action_for_transition(t, t.label) for t in combo))
+            report = verify_convergence(protocol)
+            verdict = report.verdict.value
+            # cross-check against brute force
+            for ring_size in (2, 3, 4, 5):
+                global_report = check_instance(
+                    protocol.instantiate(ring_size))
+                if verdict == "converges":
+                    assert global_report.self_stabilizing, (combo,
+                                                            ring_size)
+                if verdict == "diverges":
+                    pass  # witness may live at another size
+            if verdict == "diverges":
+                sizes = DeadlockAnalyzer(protocol) \
+                    .deadlocked_ring_sizes(5)
+                assert sizes, combo
+                witnessed = check_instance(
+                    protocol.instantiate(min(sizes)))
+                assert witnessed.deadlocks_outside
+            verdict_counts[verdict] = verdict_counts.get(verdict, 0) + 1
+            rows.append((" ".join(t.label for t in combo) or "(empty)",
+                         verdict,
+                         report.closure_ok))
+    return rows, verdict_counts
+
+
+def test_e4_binary_landscape(benchmark, write_artifact):
+    rows, counts = benchmark.pedantic(landscape, rounds=1, iterations=1)
+    # The census: self-disabling subsets of 4 transitions.
+    assert len(rows) >= 8
+    assert counts.get("converges", 0) >= 2  # {t01}-like and {t10}-like
+    assert counts.get("diverges", 0) >= 1   # the empty protocol
+    write_artifact(
+        "e4_binary_landscape.txt",
+        f"verdict census: {counts}\n\n"
+        + render_table(["transition set", "verdict (all K)",
+                        "closure"], rows))

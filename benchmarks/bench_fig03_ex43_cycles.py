@@ -1,0 +1,55 @@
+"""F3 — Figure 3: illegitimate deadlock cycles of Example 4.3.
+
+The non-generalizable matching protocol's deadlock-induced RCG has
+directed cycles of lengths 4 and 6 through ⟨left,left,self⟩; the exact
+deadlocked ring sizes follow from closed-walk lengths (a refinement of
+the paper's "multiples of 4 or 6": combinations such as K=7 and K=10
+also deadlock, which the global checker confirms in the test suite).
+Resolving ⟨l,l,s⟩ repairs the protocol for every K.
+"""
+
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.protocols import nongeneralizable_matching
+from repro.viz import adjacency_listing, rcg_to_dot, render_table, \
+    state_label
+
+HORIZON = 16
+
+
+def test_fig03_example43_cycles_and_sizes(benchmark, write_artifact):
+    protocol = nongeneralizable_matching()
+
+    def analyze():
+        analyzer = DeadlockAnalyzer(protocol)
+        return analyzer, analyzer.analyze(), \
+            analyzer.deadlocked_ring_sizes(HORIZON)
+
+    analyzer, report, sizes = benchmark(analyze)
+
+    assert not report.deadlock_free
+    lengths = sorted({len(c) for c in report.witness_cycles})
+    assert 4 in lengths and 6 in lengths
+    lls = protocol.space.state_of("left", "left", "self")
+    assert all(lls in c for c in report.witness_cycles
+               if len(c) in (4, 6))
+
+    # Exact per-size verdicts; 5 clean (the synthesis size), 4/6/7 bad.
+    assert {4, 6, 7} <= sizes
+    assert 5 not in sizes
+
+    # Resolving ⟨l,l,s⟩ alone suffices (the paper's repair note).
+    assert frozenset({lls}) in analyzer.resolve_candidates()
+
+    legitimate = protocol.legitimate_states()
+    write_artifact("fig03_ex43_deadlock_rcg.dot",
+                   rcg_to_dot(report.induced_rcg, legitimate,
+                              title="Figure 3"))
+    rows = [(size, "deadlocks" if size in sizes else "clean")
+            for size in range(3, HORIZON + 1)]
+    cycles_text = "\n".join(
+        " -> ".join(state_label(s) for s in cycle)
+        for cycle in report.witness_cycles)
+    write_artifact(
+        "fig03_ex43_summary.txt",
+        "illegitimate RCG cycles:\n" + cycles_text + "\n\n"
+        + render_table(["K", "verdict (Thm 4.2 closed walks)"], rows))

@@ -1,0 +1,34 @@
+"""F4 — Figure 4: the Local Transition Graph of Example 4.2.
+
+The LTG augments the 27-vertex RCG with the t-arcs induced by actions
+A1–A5 (left s-arcs omitted, as in the paper's rendering).
+"""
+
+from repro.core import build_ltg
+from repro.core.ltg import t_arcs
+from repro.protocols import generalizable_matching
+from repro.viz import adjacency_listing, ltg_to_dot
+
+
+def test_fig04_ltg_of_example42(benchmark, write_artifact):
+    protocol = generalizable_matching()
+
+    ltg = benchmark(build_ltg, protocol.space)
+
+    assert len(ltg) == 27
+    s_count = sum(1 for _u, _v, key in ltg.edges() if key == "s")
+    assert s_count == 81
+    arcs = t_arcs(ltg)
+    assert len(arcs) == len(protocol.space.transitions)
+    # every t-arc leaves an enabled (non-deadlock) state
+    deadlocks = set(protocol.space.deadlocks())
+    assert all(t.source not in deadlocks for t in arcs)
+    # A2's nondeterminism: ⟨s,s,s⟩ has two outgoing t-arcs
+    sss = protocol.space.state_of("self", "self", "self")
+    assert sum(1 for t in arcs if t.source == sss) == 2
+
+    legitimate = protocol.legitimate_states()
+    write_artifact("fig04_ltg_ex42.dot",
+                   ltg_to_dot(ltg, legitimate, title="Figure 4"))
+    write_artifact("fig04_ltg_ex42.txt",
+                   adjacency_listing(ltg, legitimate))

@@ -1,0 +1,48 @@
+"""F6 — Figure 6: two precedence-preserving livelocks of Example 5.2.
+
+Every precedence-preserving permutation replays to a distinct global
+state cycle entirely outside the invariant (Lemma 5.11); the artifact
+lists all eight, the first being the paper's original sequence and the
+rest its equivalence class (Figure 6 depicts two of them).
+"""
+
+from repro.core.precedence import (
+    precedence_preserving_schedules,
+    precedence_relation,
+    replay,
+)
+from repro.protocols import livelock_agreement
+
+PAPER_CYCLE = ("1000", "1100", "0100", "0110",
+               "0111", "0011", "1011", "1001")
+
+
+def test_fig06_livelock_equivalence_class(benchmark, write_artifact):
+    protocol = livelock_agreement()
+    instance = protocol.instantiate(4)
+    cycle = [instance.state_of(*map(int, s)) for s in PAPER_CYCLE]
+
+    def enumerate_class():
+        relation = precedence_relation(instance, cycle)
+        sequences = []
+        for permutation in precedence_preserving_schedules(relation):
+            states = replay(instance, cycle[0], relation.schedule,
+                            permutation)
+            sequences.append((permutation, states))
+        return sequences
+
+    sequences = benchmark(enumerate_class)
+
+    assert len(sequences) == 8
+    rendered = set()
+    lines = []
+    for permutation, states in sequences:
+        assert all(not instance.invariant_holds(s) for s in states)
+        text = " -> ".join(
+            "".join(str(c[0]) for c in s) for s in states)
+        assert text not in rendered  # all eight cycles are distinct
+        rendered.add(text)
+        lines.append(f"perm {permutation}:\n  {text}")
+    original = " -> ".join(PAPER_CYCLE)
+    assert original in "\n".join(lines)
+    write_artifact("fig06_livelocks.txt", "\n".join(lines))

@@ -1,0 +1,31 @@
+"""F7 — Figure 7: enablement dynamics of a contiguous livelock.
+
+Reproduces the K=6, |E|=3 scenario: the rightmost enablement of the
+adjacent block propagates; after K-|E| propagations the block reappears
+shifted one position against the propagation direction; K rounds rotate
+it fully around the ring.
+"""
+
+from repro.core.contiguous import ContiguousLivelockModel
+
+
+def test_fig07_contiguous_livelock_dynamics(benchmark, write_artifact):
+    model = ContiguousLivelockModel(6, 3)
+
+    states = benchmark(model.run, model.steps_per_rotation)
+
+    # Lemma 5.5: |E| is conserved in every state.
+    assert all(len(s.enabled) == 3 for s in states)
+    # One round = K - |E| = 3 propagations, block shifted left by one.
+    assert states[0].enabled == frozenset({0, 1, 2})
+    assert states[3].enabled == frozenset({5, 0, 1})
+    # Full rotation after K * (K - |E|) = 18 steps.
+    assert model.steps_per_rotation == 18
+    assert states[-1].enabled == states[0].enabled
+
+    lines = [f"step {i:2d}: {state.render()}"
+             for i, state in enumerate(states[:model.steps_per_round * 2
+                                              + 1])]
+    write_artifact("fig07_contiguous.txt",
+                   "K=6, |E|=3 — two rounds of propagation\n"
+                   + "\n".join(lines))

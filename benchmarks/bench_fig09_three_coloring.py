@@ -1,0 +1,43 @@
+"""F9 — Figure 9 / §6.1: the 3-coloring synthesis walkthrough.
+
+Every step of the methodology: Resolve = {00, 11, 22} (all self-looped
+in the RCG), 2³ candidate combinations, every one of which contains a
+pseudo-livelock forming a contiguous trail — synthesis declares failure.
+"""
+
+from repro.core import build_ltg, synthesize_convergence
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.core.synthesis import SynthesisOutcome
+from repro.protocols import three_coloring
+from repro.viz import ltg_to_dot, render_table, state_label
+
+
+def test_fig09_three_coloring_fails(benchmark, write_artifact):
+    protocol = three_coloring()
+
+    result = benchmark(synthesize_convergence, protocol)
+
+    assert result.outcome is SynthesisOutcome.FAILURE
+    assert {state_label(s) for s in result.resolve} == {"00", "11", "22"}
+    # Step 2: every illegitimate deadlock has a continuation self-loop.
+    analyzer = DeadlockAnalyzer(protocol)
+    induced = analyzer.analyze().induced_rcg
+    for state in result.resolve:
+        assert induced.has_edge(state, state)
+    # Step 3: two candidate t-arcs per deadlock, eight combinations.
+    assert all(len(options) == 2
+               for options in result.candidates.values())
+    assert len(result.rejected) == 8
+    assert all("contiguous trail" in r.reason for r in result.rejected)
+
+    rows = [(" + ".join(t.label for t in r.transitions), r.reason)
+            for r in result.rejected]
+    write_artifact("fig09_three_coloring.txt",
+                   result.summary() + "\n\n"
+                   + render_table(["combination", "rejection"], rows))
+    ltg = build_ltg(protocol.space,
+                    transitions=[t for opts in result.candidates.values()
+                                 for t in opts])
+    write_artifact("fig09_ltg_three_coloring.dot",
+                   ltg_to_dot(ltg, protocol.legitimate_states(),
+                              title="Figure 9"))

@@ -1,0 +1,53 @@
+"""F11 — Figure 11 / §6.2: 2-coloring cannot be concluded.
+
+Both illegitimate local deadlocks carry continuation self-loops, so both
+must be resolved; the only candidate pair {t01, t10} forms the trail
+``00 -t01-> 01 -s-> 11 -t10-> 10 -s-> 00`` and is rejected.  The paper
+notes this is consistent with the impossibility of self-stabilizing
+2-coloring on unidirectional rings [25]; the benchmark additionally
+confirms with the global checker that the candidate pair really
+livelocks at even sizes.
+"""
+
+from repro.checker import check_instance
+from repro.core import build_ltg, synthesize_convergence
+from repro.core.selfdisabling import action_for_transition
+from repro.core.synthesis import SynthesisOutcome
+from repro.protocol.actions import LocalTransition
+from repro.protocols import two_coloring
+from repro.viz import ltg_to_dot, state_label
+
+
+def test_fig11_two_coloring_failure(benchmark, write_artifact):
+    protocol = two_coloring()
+
+    result = benchmark(synthesize_convergence, protocol)
+
+    assert result.outcome is SynthesisOutcome.FAILURE
+    assert {state_label(s) for s in result.resolve} == {"00", "11"}
+    assert len(result.rejected) == 1
+    rejection = result.rejected[0]
+    assert len(rejection.transitions) == 2
+
+    # The rejected pair genuinely livelocks on even rings.
+    space = protocol.space
+
+    def t(a, b, new):
+        source = space.state_of(a, b)
+        return LocalTransition(source, source.replace_own((new,)),
+                               f"t{b}{new}")
+
+    pair = [t(0, 0, 1), t(1, 1, 0)]
+    candidate = protocol.extended_with(
+        [action_for_transition(x, x.label) for x in pair])
+    report = check_instance(candidate.instantiate(4))
+    assert report.livelock_cycles  # the trail is real here, not spurious
+
+    write_artifact("fig11_two_coloring.txt",
+                   result.summary()
+                   + "\n\nK=4 livelock cycles found globally: "
+                   + str(len(report.livelock_cycles)))
+    write_artifact(
+        "fig11_ltg_two_coloring.dot",
+        ltg_to_dot(build_ltg(candidate.space),
+                   candidate.legitimate_states(), title="Figure 11"))

@@ -1,0 +1,63 @@
+"""X4 — the Example 4.3 phenomenon, regenerated with the STSyn stand-in.
+
+Synthesize maximal matching in the **global** state space of K=5 (as the
+authors did with STSyn), then audit the solutions:
+
+* each is self-stabilizing at its design size;
+* the solutions found here all deadlock at K=6 — non-generalizable,
+  exactly like Example 4.3;
+* Theorem 4.2 flags every such solution locally, without touching any
+  global state space.
+"""
+
+from repro.checker import GlobalSynthesizer, check_instance
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.protocols import matching_base
+from repro.viz import render_table
+
+SEEDS = (0, 1, 2)
+AUDIT_SIZES = (6, 7, 8)
+
+
+def synthesize_and_audit():
+    rows = []
+    non_generalizable = 0
+    for seed in SEEDS:
+        result = GlobalSynthesizer(matching_base(), ring_size=5,
+                                   seed=seed,
+                                   max_expansions=3000).synthesize()
+        assert result.success
+        assert check_instance(
+            result.protocol.instantiate(5)).self_stabilizing
+        analyzer = DeadlockAnalyzer(result.protocol)
+        local = analyzer.analyze()
+        predicted = analyzer.deadlocked_ring_sizes(max(AUDIT_SIZES))
+        failures = []
+        for size in AUDIT_SIZES:
+            report = check_instance(result.protocol.instantiate(size))
+            deadlocked = bool(report.deadlocks_outside)
+            assert deadlocked == (size in predicted), (seed, size)
+            if deadlocked:
+                failures.append(size)
+        if failures:
+            non_generalizable += 1
+            assert not local.deadlock_free  # flagged locally
+        rows.append((seed, len(result.added),
+                     "yes" if local.deadlock_free else "no",
+                     ",".join(map(str, failures)) or "-"))
+    return rows, non_generalizable
+
+
+def test_x4_global_synthesis_is_not_generalizable(benchmark,
+                                                  write_artifact):
+    (rows, non_generalizable) = benchmark.pedantic(
+        synthesize_and_audit, rounds=1, iterations=1)
+    # The phenomenon reproduces: at least one fixed-K solution (in our
+    # runs: all of them) fails at larger rings.
+    assert non_generalizable >= 1
+    write_artifact(
+        "x4_generalizability.txt",
+        "global synthesis of matching at K=5 (STSyn stand-in)\n"
+        + render_table(["seed", "added t-arcs",
+                        "deadlock-free all K (Thm 4.2)",
+                        "deadlocks at K"], rows))

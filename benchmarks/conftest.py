@@ -1,0 +1,32 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates the *content* of one paper figure (or an
+in-text claim), asserts its shape, times the underlying computation via
+pytest-benchmark, and writes a textual artifact under
+``benchmarks/out/`` so the figures can be inspected or diffed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def artifact_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def write_artifact(artifact_dir):
+    def _write(name: str, content: str) -> Path:
+        path = artifact_dir / name
+        path.write_text(content if content.endswith("\n")
+                        else content + "\n")
+        return path
+
+    return _write

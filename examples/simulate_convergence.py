@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Convergence-time study of the synthesized protocols under three
+daemons, with transient-fault injection.
+
+Complements the static certificates: a protocol proven strongly
+convergent for all K (Theorem 4.2 + 5.14) is executed here on rings of
+several sizes, from uniformly random states and from fault-injected
+legitimate states, under random, round-robin and adversarial central
+daemons.  Every run must converge — the daemons only change how fast.
+"""
+
+import random
+
+from repro.protocols import (
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+)
+from repro.simulation import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    convergence_study,
+    perturb,
+    run_until_convergence,
+)
+from repro.viz import render_table
+
+
+def daemon_comparison(protocol, sizes=(4, 6, 8, 10),
+                      samples: int = 100) -> None:
+    print(f"== {protocol.name}: mean recovery steps by daemon ==")
+    rows = []
+    for size in sizes:
+        instance = protocol.instantiate(size)
+        random_stats = convergence_study(
+            instance, samples=samples, seed=1)
+        rr_stats = convergence_study(
+            instance, samples=samples, seed=2,
+            scheduler_factory=lambda i: RoundRobinScheduler(size))
+        adv_stats = convergence_study(
+            instance, samples=samples, seed=3,
+            scheduler_factory=lambda i: AdversarialScheduler(
+                instance, seed=i))
+        for stats in (random_stats, rr_stats, adv_stats):
+            assert stats.converged == stats.samples, \
+                "a certified-convergent protocol failed to converge"
+        rows.append((size,
+                     f"{random_stats.mean_steps:.1f}",
+                     f"{rr_stats.mean_steps:.1f}",
+                     f"{adv_stats.mean_steps:.1f}",
+                     max(random_stats.max_steps, rr_stats.max_steps,
+                         adv_stats.max_steps)))
+    print(render_table(
+        ["K", "random", "round-robin", "adversarial", "max steps"], rows))
+    print()
+
+
+def fault_injection(protocol, size: int = 8, bursts: int = 30) -> None:
+    print(f"== {protocol.name}: {bursts} fault bursts at K={size} ==")
+    instance = protocol.instantiate(size)
+    rng = random.Random(7)
+    # Start from a legitimate fixpoint: all processes agreeing / summing
+    # legally — find one by searching the invariant.
+    state = next(instance.invariant_states())
+    recoveries = []
+    for burst in range(bursts):
+        faults = rng.randint(1, size // 2)
+        state = perturb(instance, state, rng, faults=faults)
+        trace = run_until_convergence(
+            instance, state, RandomScheduler(seed=burst))
+        recoveries.append((faults, trace.recovery_steps))
+        state = trace.states[-1]
+    worst = max(steps for _f, steps in recoveries)
+    mean = sum(steps for _f, steps in recoveries) / len(recoveries)
+    print(f"all {bursts} bursts recovered; "
+          f"mean {mean:.1f} steps, worst {worst}")
+    print()
+
+
+def main() -> None:
+    for factory in (stabilizing_agreement, stabilizing_sum_not_two):
+        protocol = factory()
+        daemon_comparison(protocol)
+        fault_injection(protocol)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,165 @@
+"""Local reasoning for global convergence of parameterized rings.
+
+A verification and synthesis library for self-stabilizing ring protocols,
+reproducing Farahat & Ebnenasir (ICDCS 2012 / Michigan Tech CS-TR-11-04):
+
+* model parameterized ring protocols from a representative process
+  (:mod:`repro.protocol`);
+* decide **deadlock-freedom for every ring size** from the Right
+  Continuation Graph — Theorem 4.2, exact
+  (:func:`repro.core.analyze_deadlocks`);
+* certify **livelock-freedom for every ring size** from the Local
+  Transition Graph — Theorem 5.14, sufficient
+  (:func:`repro.core.certify_livelock_freedom`);
+* **synthesize convergence** in the local state space — Section 6
+  (:func:`repro.core.synthesize_convergence`);
+* cross-validate with an explicit-state global model checker and a
+  fixed-K global synthesizer baseline (:mod:`repro.checker`);
+* execute and fault-inject concrete rings (:mod:`repro.simulation`).
+
+Quickstart
+----------
+>>> from repro import RingProtocol, ProcessTemplate, ranged
+>>> from repro import synthesize_convergence
+>>> x = ranged("x", 2)
+>>> empty = ProcessTemplate(variables=(x,))
+>>> agreement = RingProtocol("agreement", empty, "x[0] == x[-1]")
+>>> result = synthesize_convergence(agreement)
+>>> result.succeeded
+True
+"""
+
+from repro.errors import (
+    AssumptionViolation,
+    DomainError,
+    DslNameError,
+    DslSyntaxError,
+    ProtocolDefinitionError,
+    ReproError,
+    SynthesisFailure,
+    TopologyError,
+    VerificationError,
+)
+from repro.protocol import (
+    Action,
+    LocalState,
+    LocalStateSpace,
+    LocalTransition,
+    LocalView,
+    ProcessTemplate,
+    RingInstance,
+    RingProtocol,
+    Variable,
+    parse_action,
+    parse_predicate,
+)
+from repro.protocol.variables import boolean, ranged
+from repro.core import (
+    ConvergenceReport,
+    ConvergenceVerdict,
+    DeadlockAnalyzer,
+    DeadlockReport,
+    LivelockCertifier,
+    LivelockReport,
+    LivelockVerdict,
+    SynthesisOutcome,
+    SynthesisResult,
+    Synthesizer,
+    analyze_deadlocks,
+    certify_livelock_freedom,
+    make_self_disabling,
+    synthesize_convergence,
+    verify_convergence,
+)
+from repro.core import (
+    HybridVerdict,
+    hybrid_synthesize,
+    hybrid_verify,
+)
+from repro.core.chains import (
+    synthesize_chain_convergence,
+    verify_chain_convergence,
+)
+from repro.core.trees import TreeDeadlockAnalyzer
+from repro.checker import (
+    GlobalSynthesizer,
+    check_instance,
+    compute_ranking,
+    sweep_verify,
+    verify_ranking,
+)
+from repro.protocol.chain import ChainInstance, ChainProtocol
+from repro.protocol.tree import TreeInstance
+from repro.serialization import (
+    load_protocol,
+    protocol_from_dict,
+    protocol_to_dict,
+    save_protocol,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "ProtocolDefinitionError",
+    "DslSyntaxError",
+    "DslNameError",
+    "DomainError",
+    "TopologyError",
+    "AssumptionViolation",
+    "SynthesisFailure",
+    "VerificationError",
+    # protocol model
+    "Variable",
+    "boolean",
+    "ranged",
+    "Action",
+    "LocalState",
+    "LocalStateSpace",
+    "LocalTransition",
+    "LocalView",
+    "ProcessTemplate",
+    "RingProtocol",
+    "RingInstance",
+    "parse_action",
+    "parse_predicate",
+    # local reasoning
+    "DeadlockAnalyzer",
+    "DeadlockReport",
+    "analyze_deadlocks",
+    "LivelockCertifier",
+    "LivelockReport",
+    "LivelockVerdict",
+    "certify_livelock_freedom",
+    "make_self_disabling",
+    "ConvergenceReport",
+    "ConvergenceVerdict",
+    "verify_convergence",
+    "Synthesizer",
+    "SynthesisResult",
+    "SynthesisOutcome",
+    "synthesize_convergence",
+    # global substrate
+    "check_instance",
+    "GlobalSynthesizer",
+    "compute_ranking",
+    "verify_ranking",
+    "sweep_verify",
+    # extensions
+    "HybridVerdict",
+    "hybrid_verify",
+    "hybrid_synthesize",
+    "ChainProtocol",
+    "ChainInstance",
+    "verify_chain_convergence",
+    "synthesize_chain_convergence",
+    "TreeInstance",
+    "TreeDeadlockAnalyzer",
+    # serialization
+    "protocol_to_dict",
+    "protocol_from_dict",
+    "save_protocol",
+    "load_protocol",
+]

@@ -1,0 +1,99 @@
+"""Exact convergence checking for a fixed ring size (Proposition 2.1).
+
+``strongly converges``: every computation from every state reaches ``I``.
+``weakly converges``: from every state *some* computation reaches ``I``.
+``self-stabilizing``: closed + strongly converging (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checker.deadlock import illegitimate_deadlocks
+from repro.checker.livelock import has_livelock, livelock_cycles
+from repro.checker.statespace import StateGraph
+
+
+def is_closed(graph: StateGraph) -> bool:
+    """Whether ``I(K)`` is closed in the protocol (no transition leaves
+    the invariant)."""
+    for source, targets in enumerate(graph.successors):
+        if graph.in_invariant[source]:
+            if any(not graph.in_invariant[t] for t in targets):
+                return False
+    return True
+
+
+def strongly_converges(graph: StateGraph) -> bool:
+    """No deadlock and no livelock outside ``I(K)`` (Proposition 2.1)."""
+    if illegitimate_deadlocks(graph):
+        return False
+    return not has_livelock(graph)
+
+
+def weakly_converges(graph: StateGraph) -> bool:
+    """Every state has *some* path into ``I(K)``."""
+    return all(d is not None for d in graph.distances_to_invariant())
+
+
+def is_self_stabilizing(graph: StateGraph) -> bool:
+    """Closure plus strong convergence."""
+    return is_closed(graph) and strongly_converges(graph)
+
+
+@dataclass(frozen=True)
+class GlobalReport:
+    """Everything the global checker determines about one instance."""
+
+    ring_size: int
+    state_count: int
+    invariant_count: int
+    closed: bool
+    deadlocks_outside: tuple
+    livelock_cycles: tuple
+    strongly_converging: bool
+    weakly_converging: bool
+    worst_case_recovery_steps: int | None
+    """Longest shortest path from any state into ``I(K)``; ``None`` when
+    some state cannot reach the invariant at all."""
+
+    @property
+    def self_stabilizing(self) -> bool:
+        return self.closed and self.strongly_converging
+
+    def summary(self) -> str:
+        lines = [
+            f"K={self.ring_size}: {self.state_count} states, "
+            f"{self.invariant_count} in I",
+            f"  closed: {self.closed}",
+            f"  deadlocks outside I: {len(self.deadlocks_outside)}",
+            f"  livelocks: {len(self.livelock_cycles)}",
+            f"  strong convergence: {self.strongly_converging}, "
+            f"weak: {self.weakly_converging}",
+            f"  worst-case recovery: "
+            f"{self.worst_case_recovery_steps} steps",
+        ]
+        return "\n".join(lines)
+
+
+def check_instance(instance, max_witnesses: int = 8) -> GlobalReport:
+    """Run the full global analysis on one protocol instance."""
+    graph = StateGraph(instance)
+    deadlocks = tuple(illegitimate_deadlocks(graph))
+    cycles = tuple(tuple(c) for c in livelock_cycles(
+        graph, max_cycles=max_witnesses))
+    distances = graph.distances_to_invariant()
+    reachable = [d for d in distances if d is not None]
+    worst = (max(reachable)
+             if len(reachable) == len(distances) and reachable else None)
+    return GlobalReport(
+        ring_size=getattr(instance, "size", -1),
+        state_count=len(graph),
+        invariant_count=len(graph.invariant_indices),
+        closed=is_closed(graph),
+        deadlocks_outside=deadlocks,
+        livelock_cycles=cycles,
+        strongly_converging=not deadlocks and not cycles,
+        weakly_converging=all(d is not None for d in distances),
+        worst_case_recovery_steps=worst,
+    )

@@ -1,0 +1,23 @@
+"""Global deadlock detection for a fixed ring size."""
+
+from __future__ import annotations
+
+from repro.checker.statespace import StateGraph
+
+
+def illegitimate_deadlocks(graph: StateGraph) -> list:
+    """Global deadlock states outside ``I(K)``.
+
+    These are exactly the witnesses Theorem 4.2 predicts from local
+    reasoning: a ring of local deadlocks with at least one illegitimate
+    member.
+    """
+    return [graph.states[i] for i in graph.deadlock_indices()
+            if not graph.in_invariant[i]]
+
+
+def legitimate_deadlocks(graph: StateGraph) -> list:
+    """Deadlocks inside ``I(K)`` (fixpoints — fine for *silent* protocols
+    such as matching or coloring)."""
+    return [graph.states[i] for i in graph.deadlock_indices()
+            if graph.in_invariant[i]]

@@ -1,0 +1,42 @@
+"""Global livelock detection for a fixed ring size.
+
+A livelock for ``I(K)`` is an infinite repetition of global states outside
+``I(K)`` (Section 2.3) — equivalently, a cycle of ``Δ_p | ¬I``, found here
+by SCC analysis of the transition graph induced over ``¬I``.
+"""
+
+from __future__ import annotations
+
+from repro.checker.statespace import StateGraph
+from repro.graphs.cycles import find_cycle_through
+from repro.graphs.scc import cyclic_components
+
+
+def livelock_cycles(graph: StateGraph,
+                    max_cycles: int = 8) -> list[list]:
+    """Up to *max_cycles* witness cycles of ``Δ_p | ¬I``, as state lists.
+
+    A returned cycle ``[s0, ..., sn]`` denotes the repeating computation
+    ``s0 -> s1 -> ... -> sn -> s0`` entirely outside the invariant.  Empty
+    result means the instance is livelock-free.
+    """
+    outside = [i for i, member in enumerate(graph.in_invariant)
+               if not member]
+    sub = graph.restricted_digraph(outside)
+    cycles = []
+    for component in cyclic_components(sub):
+        anchor = min(component)
+        induced = sub.induced_subgraph(component)
+        cycle = find_cycle_through(induced, anchor)
+        if cycle is not None:
+            cycles.append([graph.states[i] for i in cycle])
+            if len(cycles) >= max_cycles:
+                break
+    return cycles
+
+
+def has_livelock(graph: StateGraph) -> bool:
+    """Whether any computation can cycle forever outside ``I(K)``."""
+    outside = [i for i, member in enumerate(graph.in_invariant)
+               if not member]
+    return bool(cyclic_components(graph.restricted_digraph(outside)))

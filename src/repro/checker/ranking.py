@@ -1,0 +1,115 @@
+"""Ranking-function certificates for strong convergence.
+
+The classical way to *design* convergence (layering / ranking methods
+the paper's introduction surveys [9–12]) is a function that every step
+outside the invariant strictly decreases.  Going the other way, for any
+strongly convergent instance such a function always exists, and this
+module extracts a canonical one:
+
+    ρ(s) = length of the longest transition path from ``s`` that stays
+           outside ``I`` (0 for states in ``I``)
+
+``ρ`` is finite exactly when ``Δ_p | ¬I`` is acyclic (no livelocks), and
+every move from a state outside ``I`` either enters ``I`` or strictly
+decreases ρ — making ρ a *strict* ranking certificate whose maximum is
+the worst-case recovery time under the worst possible daemon (compare
+:meth:`GlobalReport.worst_case_recovery_steps`, which is the best-daemon
+distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.checker.statespace import StateGraph
+from repro.graphs.scc import cyclic_components
+
+
+@dataclass(frozen=True)
+class RankingCertificate:
+    """A strict ranking over one instance's state space.
+
+    ``ranks[i]`` is ρ of state index ``i`` in the underlying
+    :class:`StateGraph`'s ordering.
+    """
+
+    graph: StateGraph
+    ranks: tuple[int, ...]
+
+    @property
+    def max_rank(self) -> int:
+        """Worst-case recovery steps under the worst daemon."""
+        return max(self.ranks)
+
+    def rank_of(self, state) -> int:
+        return self.ranks[self.graph.index[state]]
+
+    def layers(self) -> dict[int, int]:
+        """Histogram: rank value -> number of states at that rank
+        (the "convergence stairs")."""
+        histogram: dict[int, int] = {}
+        for rank in self.ranks:
+            histogram[rank] = histogram.get(rank, 0) + 1
+        return dict(sorted(histogram.items()))
+
+
+def compute_ranking(graph: StateGraph) -> RankingCertificate | None:
+    """Extract the longest-escape ranking, or ``None`` when the instance
+    is not strongly convergent (a deadlock or cycle outside ``I``)."""
+    outside = [i for i, inside in enumerate(graph.in_invariant)
+               if not inside]
+    outside_set = set(outside)
+    sub = graph.restricted_digraph(outside)
+    if cyclic_components(sub):
+        return None  # livelock: no finite ranking exists
+
+    ranks = [0] * len(graph)
+    # Longest path over the ¬I DAG, processed in reverse topological
+    # order (Tarjan's SCC output is reverse-topological; with no cycles
+    # every component is a singleton).
+    from repro.graphs.scc import strongly_connected_components
+
+    order = [c[0] for c in strongly_connected_components(sub)]
+    for node in order:
+        best = 0
+        dead_end = True
+        for succ in graph.successors[node]:
+            dead_end = False
+            if succ in outside_set:
+                best = max(best, ranks[succ] + 1)
+            else:
+                best = max(best, 1)
+        if dead_end:
+            return None  # deadlock outside I
+        ranks[node] = best
+    return RankingCertificate(graph=graph, ranks=tuple(ranks))
+
+
+def verify_ranking(graph: StateGraph,
+                   ranks: tuple[int, ...] | list[int]) -> bool:
+    """Independently check that *ranks* is a valid strict ranking:
+
+    * states in ``I`` have rank 0;
+    * every state outside ``I`` has at least one move, and **every** of
+      its moves either enters ``I`` or strictly decreases the rank.
+
+    A valid ranking witnesses strong convergence (Proposition 2.1) —
+    this is the 'certificate checking' half of ranking-based design.
+    """
+    if len(ranks) != len(graph):
+        return False
+    for index in range(len(graph)):
+        if graph.in_invariant[index]:
+            if ranks[index] != 0:
+                return False
+            continue
+        if ranks[index] <= 0:
+            return False
+        successors = graph.successors[index]
+        if not successors:
+            return False
+        for succ in successors:
+            if not graph.in_invariant[succ] and \
+                    ranks[succ] >= ranks[index]:
+                return False
+    return True

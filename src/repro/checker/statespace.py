@@ -1,0 +1,92 @@
+"""Explicit global state graph of a concrete protocol instance.
+
+Works with any object exposing the :class:`~repro.protocol.instance.
+RingInstance` interface (``states()``, ``successors(state)``,
+``invariant_holds(state)``) — the Dijkstra token ring of
+:mod:`repro.protocols.token_ring` plugs in the same way despite its
+distinguished root process.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.graphs import Digraph
+
+
+class StateGraph:
+    """The global transition graph of one protocol instance.
+
+    States are interned to integer indices; the invariant membership of
+    every state is precomputed.  Construction visits every global state
+    once and its successors once.
+    """
+
+    def __init__(self, instance) -> None:
+        self.instance = instance
+        self.states: list[Hashable] = list(instance.states())
+        self.index: dict[Hashable, int] = {
+            state: i for i, state in enumerate(self.states)}
+        self.successors: list[list[int]] = []
+        self.in_invariant: list[bool] = []
+        for state in self.states:
+            self.successors.append(
+                [self.index[t] for t in instance.successors(state)])
+            self.in_invariant.append(bool(instance.invariant_holds(state)))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.states)
+
+    @property
+    def invariant_indices(self) -> list[int]:
+        """Indices of states inside ``I(K)``."""
+        return [i for i, member in enumerate(self.in_invariant) if member]
+
+    def deadlock_indices(self) -> list[int]:
+        """Indices of states with no outgoing transition."""
+        return [i for i, succ in enumerate(self.successors) if not succ]
+
+    # ------------------------------------------------------------------
+    def predecessors_map(self) -> list[list[int]]:
+        """Reverse adjacency (computed on demand)."""
+        reverse: list[list[int]] = [[] for _ in self.states]
+        for source, targets in enumerate(self.successors):
+            for target in targets:
+                reverse[target].append(source)
+        return reverse
+
+    def restricted_digraph(self, keep: Iterable[int]) -> Digraph:
+        """The transition :class:`Digraph` induced over state indices
+        *keep* (used for livelock detection on ``Δ_p | ¬I``)."""
+        keep_set = set(keep)
+        graph = Digraph(nodes=keep_set)
+        for source in keep_set:
+            for target in self.successors[source]:
+                if target in keep_set:
+                    graph.add_edge(source, target)
+        return graph
+
+    def distances_to_invariant(self) -> list[int | None]:
+        """BFS distance (in transitions) from each state to ``I(K)``.
+
+        ``None`` marks states from which no path into the invariant
+        exists; 0 marks invariant states themselves.
+        """
+        reverse = self.predecessors_map()
+        distance: list[int | None] = [None] * len(self.states)
+        frontier = []
+        for i in self.invariant_indices:
+            distance[i] = 0
+            frontier.append(i)
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier = []
+            for node in frontier:
+                for predecessor in reverse[node]:
+                    if distance[predecessor] is None:
+                        distance[predecessor] = depth
+                        next_frontier.append(predecessor)
+            frontier = next_frontier
+        return distance

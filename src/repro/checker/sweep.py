@@ -1,0 +1,89 @@
+"""Cutoff-style sweep verification (the related-work baseline of §7).
+
+Cutoff methods (Emerson–Kahlon, Emerson–Namjoshi) reduce parameterized
+verification to model checking every size up to a cutoff.  The paper
+argues local reasoning is cheaper than "verification for every K smaller
+than or equal to the cutoff"; this module implements that baseline —
+verify ``p(K)`` for each ``K`` in a range — so the comparison can be
+made concretely (benchmark X2 and the ablation benches use it).
+
+No general cutoff theorem applies to arbitrary convergence properties,
+so a sweep result is evidence for the checked range only; contrast with
+:func:`repro.core.verify_convergence`, whose verdicts quantify over all
+ring sizes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.checker.convergence import GlobalReport, check_instance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.ring import RingProtocol
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Per-size reports plus the aggregate verdict for the range."""
+
+    reports: tuple[GlobalReport, ...]
+    elapsed_seconds: tuple[float, ...]
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(r.ring_size for r in self.reports)
+
+    @property
+    def all_self_stabilizing(self) -> bool:
+        return all(r.self_stabilizing for r in self.reports)
+
+    @property
+    def failing_sizes(self) -> tuple[int, ...]:
+        return tuple(r.ring_size for r in self.reports
+                     if not r.self_stabilizing)
+
+    @property
+    def total_states_explored(self) -> int:
+        return sum(r.state_count for r in self.reports)
+
+    def summary(self) -> str:
+        lines = [f"sweep over K = {self.sizes[0]}..{self.sizes[-1]}: "
+                 + ("self-stabilizing throughout"
+                    if self.all_self_stabilizing
+                    else f"fails at K = {list(self.failing_sizes)}")]
+        for report, elapsed in zip(self.reports, self.elapsed_seconds):
+            lines.append(
+                f"  K={report.ring_size}: {report.state_count} states, "
+                f"{'ok' if report.self_stabilizing else 'FAIL'} "
+                f"({elapsed * 1e3:.1f} ms)")
+        lines.append(f"total states explored: "
+                     f"{self.total_states_explored}")
+        return "\n".join(lines)
+
+
+def sweep_verify(protocol: "RingProtocol", up_to: int,
+                 start: int | None = None,
+                 stop_on_failure: bool = False) -> SweepResult:
+    """Model-check every ring size from *start* (default: the read-window
+    width) through *up_to*.
+
+    With ``stop_on_failure`` the sweep aborts at the first
+    non-stabilizing size — the typical bug-hunting mode.
+    """
+    first = protocol.process.window_width if start is None else start
+    if first > up_to:
+        raise ValueError(f"empty sweep range {first}..{up_to}")
+    reports = []
+    timings = []
+    for size in range(first, up_to + 1):
+        began = time.perf_counter()
+        report = check_instance(protocol.instantiate(size))
+        timings.append(time.perf_counter() - began)
+        reports.append(report)
+        if stop_on_failure and not report.self_stabilizing:
+            break
+    return SweepResult(reports=tuple(reports),
+                       elapsed_seconds=tuple(timings))

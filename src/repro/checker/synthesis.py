@@ -1,0 +1,175 @@
+"""A global-state-space synthesizer for a fixed ring size (baseline).
+
+This plays the role of the authors' STSyn tool [17]: given a protocol and
+an invariant, it adds symmetric recovery transitions until the instance
+``p(K)`` strongly converges — by exploring the **global** state space of
+that one K.  Solutions found this way carry no guarantee for other ring
+sizes; Example 4.3 of the paper is exactly such a non-generalizable
+artifact (stabilizing for K=5, deadlocked for K=6), and benchmark X4
+reproduces the phenomenon with this synthesizer.
+
+Algorithm (deadlock-driven DFS with livelock repair):
+
+* candidates are local transitions of the representative process sourced
+  at *illegitimate* local states (so ``Δ_p|I`` is untouched — Problem 3.1);
+* while the instance has an illegitimate deadlock, branch on the candidate
+  transitions that resolve one of its corrupted, locally-deadlocked
+  processes;
+* when a livelock appears instead, branch on removing one of the added
+  transitions participating in it;
+* memoize visited transition sets and bound the number of expansions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.checker.convergence import check_instance
+from repro.checker.statespace import StateGraph
+from repro.core.selfdisabling import action_for_transition
+from repro.protocol.actions import LocalTransition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.ring import RingProtocol
+
+
+@dataclass
+class GlobalSynthesisResult:
+    """Outcome of the fixed-K synthesis."""
+
+    success: bool
+    protocol: "RingProtocol | None"
+    ring_size: int
+    added: tuple[LocalTransition, ...]
+    expansions: int
+
+    def summary(self) -> str:
+        status = "success" if self.success else "failure"
+        lines = [f"global synthesis at K={self.ring_size}: {status} "
+                 f"({self.expansions} search nodes)"]
+        for transition in self.added:
+            lines.append(f"  + {transition}")
+        return "\n".join(lines)
+
+
+class GlobalSynthesizer:
+    """Fixed-K synthesis by global state-space search."""
+
+    def __init__(self, protocol: "RingProtocol", ring_size: int,
+                 seed: int = 0, max_expansions: int = 2000) -> None:
+        self.protocol = protocol
+        self.ring_size = ring_size
+        self.rng = random.Random(seed)
+        self.max_expansions = max_expansions
+        self._expansions = 0
+        self._visited: set[frozenset[LocalTransition]] = set()
+
+    # ------------------------------------------------------------------
+    def candidates_from(self, local_state) -> list[LocalTransition]:
+        """Candidate recovery transitions out of one illegitimate local
+        state (any rewrite of the owned cell)."""
+        space = self.protocol.space
+        options = []
+        for cell in space.cells:
+            if cell == local_state.own:
+                continue
+            target = local_state.replace_own(cell)
+            options.append(LocalTransition(local_state, target,
+                                           label="g-rec"))
+        self.rng.shuffle(options)
+        return options
+
+    # ------------------------------------------------------------------
+    def synthesize(self) -> GlobalSynthesisResult:
+        """Search for a convergent transition set; never raises."""
+        self._expansions = 0
+        self._visited.clear()
+        added = self._search(frozenset())
+        if added is None:
+            return GlobalSynthesisResult(
+                success=False, protocol=None, ring_size=self.ring_size,
+                added=(), expansions=self._expansions)
+        ordered = tuple(sorted(added))
+        protocol = self._materialize(ordered)
+        return GlobalSynthesisResult(
+            success=True, protocol=protocol, ring_size=self.ring_size,
+            added=ordered, expansions=self._expansions)
+
+    # ------------------------------------------------------------------
+    def _materialize(self, added) -> "RingProtocol":
+        actions = tuple(action_for_transition(t, name=f"g{i}")
+                        for i, t in enumerate(added))
+        return self.protocol.extended_with(
+            actions, name=f"{self.protocol.name}_K{self.ring_size}")
+
+    def _search(self,
+                added: frozenset[LocalTransition],
+                ) -> frozenset[LocalTransition] | None:
+        if added in self._visited:
+            return None
+        self._visited.add(added)
+        self._expansions += 1
+        if self._expansions > self.max_expansions:
+            return None
+
+        candidate = self._materialize(tuple(sorted(added)))
+        instance = candidate.instantiate(self.ring_size)
+        graph = StateGraph(instance)
+        report = check_instance(instance)
+        if report.strongly_converging:
+            return added
+
+        if report.deadlocks_outside:
+            deadlock = report.deadlocks_outside[0]
+            space = self.protocol.space
+            branches: list[LocalTransition] = []
+            for process in instance.corrupted_processes(deadlock):
+                local = instance.local_state(deadlock, process)
+                if not space.is_deadlock(local):
+                    continue
+                # only locally-deadlocked corrupted processes get new arcs
+                for option in self.candidates_from(local):
+                    if option not in added:
+                        branches.append(option)
+            for option in branches:
+                result = self._search(added | {option})
+                if result is not None:
+                    return result
+            return None
+
+        # Livelock: try removing an added transition used along a cycle.
+        cycle = report.livelock_cycles[0]
+        used = self._transitions_along(instance, cycle)
+        removable = [t for t in used if t in added]
+        self.rng.shuffle(removable)
+        for transition in removable:
+            result = self._search(added - {transition})
+            if result is not None:
+                return result
+        # As a fallback, try removing any added transition.
+        for transition in sorted(added):
+            if transition in removable:
+                continue
+            result = self._search(added - {transition})
+            if result is not None:
+                return result
+        del graph
+        return None
+
+    @staticmethod
+    def _transitions_along(instance, cycle) -> list[LocalTransition]:
+        """The local transitions exercised by a global state cycle."""
+        used: list[LocalTransition] = []
+        n = len(cycle)
+        for k in range(n):
+            state, nxt = cycle[k], cycle[(k + 1) % n]
+            for process in range(instance.size):
+                if state[process] != nxt[process]:
+                    source = instance.local_state(state, process)
+                    target = source.replace_own(nxt[process])
+                    transition = LocalTransition(source, target)
+                    if transition not in used:
+                        used.append(transition)
+        return used

@@ -1,0 +1,336 @@
+"""Command-line interface.
+
+::
+
+    repro list
+    repro show matching-ex4.2
+    repro verify matching-ex4.3            # Theorem 4.2 + 5.14, all K
+    repro hybrid agreement-livelock        # refine UNKNOWN via checking
+    repro check agreement-ss -K 6          # global model checking, one K
+    repro sweep matching-ex4.3 --up-to 8   # cutoff-style per-K baseline
+    repro synthesize sum-not-two           # Section 6 methodology
+    repro simulate agreement-ss -K 8       # random-daemon convergence study
+    repro fuzz --samples 50                # random-protocol theorem audit
+    repro figures --out figures/           # DOT files for the paper figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.checker import check_instance
+from repro.core import (
+    build_ltg,
+    synthesize_convergence,
+    verify_convergence,
+)
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.protocols.registry import REGISTRY, get_protocol
+from repro.simulation import convergence_study
+from repro.viz import ltg_to_dot, rcg_to_dot
+
+
+def _resolve_protocol(name: str):
+    """A registry name, or a path to a JSON protocol file."""
+    if name.endswith(".json"):
+        from repro.serialization import load_protocol
+
+        return load_protocol(name)
+    return get_protocol(name)
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.serialization import save_protocol
+
+    protocol = get_protocol(args.protocol)
+    save_protocol(protocol, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(REGISTRY):
+        protocol = get_protocol(name)
+        kind = ("unidirectional" if protocol.unidirectional
+                else "bidirectional")
+        print(f"{name:28s} {kind:14s} {protocol.description}")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    print(get_protocol(args.protocol).pretty())
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    protocol = _resolve_protocol(args.protocol)
+    report = verify_convergence(protocol,
+                                max_ring_size=args.max_ring_size)
+    if args.json:
+        import json
+
+        from repro.serialization import convergence_report_to_dict
+
+        print(json.dumps(convergence_report_to_dict(report), indent=2))
+        return 0 if report.verdict.value == "converges" else 1
+    print(f"== parameterized verification of {protocol.name} ==")
+    print(report.summary())
+    if not report.deadlock.deadlock_free:
+        analyzer = DeadlockAnalyzer(protocol)
+        sizes = sorted(analyzer.deadlocked_ring_sizes(args.max_sizes))
+        print(f"deadlocked ring sizes <= {args.max_sizes}: {sizes}")
+    return 0 if report.verdict.value == "converges" else 1
+
+
+def _cmd_chain(args: argparse.Namespace) -> int:
+    from repro.core.chains import (
+        synthesize_chain_convergence,
+        verify_chain_convergence,
+    )
+    from repro.protocols.chains import CHAIN_REGISTRY, get_chain_protocol
+
+    if args.protocol == "list":
+        for name in sorted(CHAIN_REGISTRY):
+            print(f"{name:24s} {get_chain_protocol(name).description}")
+        return 0
+    protocol = get_chain_protocol(args.protocol)
+    if args.synthesize:
+        result = synthesize_chain_convergence(protocol)
+        print(f"== chain synthesis for {protocol.name} ==")
+        print(result.summary())
+        if result.succeeded and result.protocol is not None:
+            print()
+            print(result.protocol.pretty())
+        return 0 if result.succeeded else 1
+    report = verify_chain_convergence(protocol)
+    print(f"== chain verification of {protocol.name} ==")
+    print(report.summary())
+    return 0 if report.verdict.value == "converges" else 1
+
+
+def _cmd_hybrid(args: argparse.Namespace) -> int:
+    from repro.core.hybrid import HybridVerdict, hybrid_verify
+
+    protocol = get_protocol(args.protocol)
+    report = hybrid_verify(protocol,
+                           max_ring_size=args.max_ring_size,
+                           check_up_to=args.check_up_to)
+    print(f"== hybrid verification of {protocol.name} ==")
+    print(report.summary())
+    return 0 if report.verdict in (HybridVerdict.CONVERGES,
+                                   HybridVerdict.BOUNDED) else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.checker.sweep import sweep_verify
+
+    protocol = get_protocol(args.protocol)
+    result = sweep_verify(protocol, up_to=args.up_to,
+                          stop_on_failure=args.stop_on_failure)
+    print(f"== per-size sweep of {protocol.name} ==")
+    print(result.summary())
+    return 0 if result.all_self_stabilizing else 1
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.randomgen import audit_theorems
+
+    report = audit_theorems(samples=args.samples,
+                            max_ring_size=args.max_ring_size,
+                            seed=args.seed)
+    print(report.summary())
+    for discrepancy in report.discrepancies:
+        print(f"  {discrepancy.kind} at K={discrepancy.ring_size}:")
+        print("    " + discrepancy.protocol_listing.replace("\n",
+                                                            "\n    "))
+    return 0 if report.clean else 1
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    protocol = _resolve_protocol(args.protocol)
+    instance = protocol.instantiate(args.ring_size)
+    report = check_instance(instance)
+    if args.json:
+        import json
+
+        from repro.serialization import global_report_to_dict
+
+        print(json.dumps(global_report_to_dict(report), indent=2))
+        return 0 if report.self_stabilizing else 1
+    print(f"== global model checking of {protocol.name} ==")
+    print(report.summary())
+    return 0 if report.self_stabilizing else 1
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    protocol = get_protocol(args.protocol)
+    result = synthesize_convergence(protocol,
+                                    max_ring_size=args.max_ring_size)
+    print(f"== synthesis for {protocol.name} ==")
+    print(result.summary())
+    if result.succeeded and result.protocol is not None:
+        print()
+        print(result.protocol.pretty())
+    return 0 if result.succeeded else 1
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    protocol = get_protocol(args.protocol)
+    instance = protocol.instantiate(args.ring_size)
+    stats = convergence_study(instance, samples=args.samples,
+                              seed=args.seed)
+    print(f"== simulation of {protocol.name} ==")
+    print(stats.summary())
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    from repro.core.rcg import build_rcg
+    from repro.protocols import (
+        generalizable_matching,
+        matching_base,
+        nongeneralizable_matching,
+        three_coloring,
+    )
+    from repro.protocols.agreement import agreement
+    from repro.protocols.sum_not_two import sum_not_two
+
+    jobs = []
+    base = matching_base()
+    jobs.append(("fig01_rcg_matching.dot", rcg_to_dot(
+        build_rcg(base.space), base.legitimate_states(),
+        title="Fig. 1: RCG of maximal matching")))
+    ex42 = generalizable_matching()
+    jobs.append(("fig02_ex42_deadlock_rcg.dot", rcg_to_dot(
+        DeadlockAnalyzer(ex42).analyze().induced_rcg,
+        ex42.legitimate_states(),
+        title="Fig. 2: RCG over local deadlocks of Example 4.2")))
+    ex43 = nongeneralizable_matching()
+    jobs.append(("fig03_ex43_deadlock_rcg.dot", rcg_to_dot(
+        DeadlockAnalyzer(ex43).analyze().induced_rcg,
+        ex43.legitimate_states(),
+        title="Fig. 3: RCG over local deadlocks of Example 4.3")))
+    jobs.append(("fig04_ltg_ex42.dot", ltg_to_dot(
+        build_ltg(ex42.space), ex42.legitimate_states(),
+        title="Fig. 4: LTG of Example 4.2")))
+    for name, protocol in [("fig09_ltg_3coloring.dot", three_coloring()),
+                           ("fig10_ltg_agreement.dot", agreement()),
+                           ("fig12_ltg_sum_not_two.dot", sum_not_two())]:
+        synthesized = synthesize_convergence(protocol)
+        target = (synthesized.protocol if synthesized.protocol is not None
+                  else protocol)
+        jobs.append((name, ltg_to_dot(
+            build_ltg(target.space), target.legitimate_states(),
+            title=name.removesuffix(".dot"))))
+    for filename, dot in jobs:
+        (out / filename).write_text(dot)
+        print(f"wrote {out / filename}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verification and synthesis of self-stabilizing "
+                    "parameterized ring protocols (Farahat & Ebnenasir, "
+                    "ICDCS 2012).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list bundled protocols") \
+        .set_defaults(func=_cmd_list)
+
+    show = sub.add_parser("show", help="print a protocol's guarded "
+                                       "commands")
+    show.add_argument("protocol")
+    show.set_defaults(func=_cmd_show)
+
+    verify = sub.add_parser("verify", help="parameterized verification "
+                                           "(all ring sizes)")
+    verify.add_argument("protocol")
+    verify.add_argument("--max-ring-size", type=int, default=9,
+                        help="bound for the contiguous-trail sweep")
+    verify.add_argument("--max-sizes", type=int, default=20,
+                        help="horizon for deadlocked-size prediction")
+    verify.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+    verify.set_defaults(func=_cmd_verify)
+
+    chain = sub.add_parser("chain", help="exact chain-topology "
+                                         "verification / synthesis "
+                                         "('chain list' to enumerate)")
+    chain.add_argument("protocol")
+    chain.add_argument("--synthesize", action="store_true")
+    chain.set_defaults(func=_cmd_chain)
+
+    hybrid = sub.add_parser("hybrid", help="local certificates refined "
+                                           "by bounded global checking")
+    hybrid.add_argument("protocol")
+    hybrid.add_argument("--max-ring-size", type=int, default=9)
+    hybrid.add_argument("--check-up-to", type=int, default=7,
+                        help="largest ring size to model-check")
+    hybrid.set_defaults(func=_cmd_hybrid)
+
+    sweep = sub.add_parser("sweep", help="cutoff-style per-size "
+                                         "verification baseline")
+    sweep.add_argument("protocol")
+    sweep.add_argument("--up-to", type=int, default=7)
+    sweep.add_argument("--stop-on-failure", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    fuzz = sub.add_parser("fuzz", help="random-protocol audit of the "
+                                       "theorems against brute force")
+    fuzz.add_argument("--samples", type=int, default=50)
+    fuzz.add_argument("--max-ring-size", type=int, default=5)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    check = sub.add_parser("check", help="global model checking at one K")
+    check.add_argument("protocol")
+    check.add_argument("-K", "--ring-size", type=int, required=True)
+    check.add_argument("--json", action="store_true",
+                       help="emit the report as JSON")
+    check.set_defaults(func=_cmd_check)
+
+    export = sub.add_parser("export", help="save a bundled protocol as "
+                                           "a JSON file")
+    export.add_argument("protocol")
+    export.add_argument("-o", "--out", required=True)
+    export.set_defaults(func=_cmd_export)
+
+    synth = sub.add_parser("synthesize", help="Section 6 synthesis "
+                                              "methodology")
+    synth.add_argument("protocol")
+    synth.add_argument("--max-ring-size", type=int, default=9)
+    synth.set_defaults(func=_cmd_synthesize)
+
+    simulate = sub.add_parser("simulate", help="random-daemon convergence "
+                                               "study")
+    simulate.add_argument("protocol")
+    simulate.add_argument("-K", "--ring-size", type=int, required=True)
+    simulate.add_argument("--samples", type=int, default=200)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.set_defaults(func=_cmd_simulate)
+
+    figures = sub.add_parser("figures", help="emit DOT files for the "
+                                             "paper's figures")
+    figures.add_argument("--out", default="figures")
+    figures.set_defaults(func=_cmd_figures)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""The paper's contribution: local reasoning over the representative
+process's state space for global, any-K guarantees.
+
+Main entry points
+-----------------
+* :func:`repro.core.convergence.verify_convergence` — the combined
+  parameterized analysis (Theorem 4.2 + Theorem 5.14).
+* :func:`repro.core.synthesis.synthesize_convergence` — the Section 6
+  methodology: add convergence to a non-stabilizing protocol.
+* :func:`repro.core.deadlock.analyze_deadlocks`,
+  :func:`repro.core.livelock.certify_livelock_freedom` — the individual
+  analyses.
+* :func:`repro.core.rcg.build_rcg`, :func:`repro.core.ltg.build_ltg` —
+  the underlying graph constructions.
+"""
+
+from repro.core.rcg import build_rcg, closed_walk_to_global_state
+from repro.core.ltg import build_ltg, ltg_of, t_arcs
+from repro.core.deadlock import (
+    DeadlockAnalyzer,
+    DeadlockReport,
+    analyze_deadlocks,
+)
+from repro.core.pseudolivelock import (
+    elementary_pseudo_livelocks,
+    has_pseudo_livelock,
+    is_pseudo_livelock_support,
+    pseudo_livelock_supports,
+    write_projection_graph,
+)
+from repro.core.trail import (
+    ContiguousTrailSearcher,
+    TrailWitness,
+    round_pattern,
+)
+from repro.core.livelock import (
+    LivelockCertifier,
+    LivelockReport,
+    LivelockVerdict,
+    certify_livelock_freedom,
+)
+from repro.core.selfdisabling import (
+    is_self_disabling,
+    is_self_terminating,
+    make_self_disabling,
+    self_disabling_transitions,
+)
+from repro.core.convergence import (
+    ConvergenceReport,
+    ConvergenceVerdict,
+    check_local_closure,
+    verify_convergence,
+)
+from repro.core.synthesis import (
+    SynthesisOutcome,
+    SynthesisResult,
+    Synthesizer,
+    synthesize_convergence,
+)
+from repro.core.precedence import (
+    PrecedenceRelation,
+    precedence_relation,
+    precedence_preserving_schedules,
+)
+from repro.core.contiguous import ContiguousLivelockModel
+from repro.core.hybrid import (
+    HybridReport,
+    HybridSynthesisResult,
+    hybrid_synthesize,
+    HybridVerdict,
+    WitnessClassification,
+    hybrid_verify,
+)
+
+__all__ = [
+    "build_rcg",
+    "closed_walk_to_global_state",
+    "build_ltg",
+    "ltg_of",
+    "t_arcs",
+    "DeadlockAnalyzer",
+    "DeadlockReport",
+    "analyze_deadlocks",
+    "write_projection_graph",
+    "has_pseudo_livelock",
+    "elementary_pseudo_livelocks",
+    "pseudo_livelock_supports",
+    "is_pseudo_livelock_support",
+    "ContiguousTrailSearcher",
+    "TrailWitness",
+    "round_pattern",
+    "LivelockCertifier",
+    "LivelockReport",
+    "LivelockVerdict",
+    "certify_livelock_freedom",
+    "is_self_disabling",
+    "is_self_terminating",
+    "make_self_disabling",
+    "self_disabling_transitions",
+    "ConvergenceReport",
+    "ConvergenceVerdict",
+    "check_local_closure",
+    "verify_convergence",
+    "Synthesizer",
+    "SynthesisResult",
+    "SynthesisOutcome",
+    "synthesize_convergence",
+    "PrecedenceRelation",
+    "precedence_relation",
+    "precedence_preserving_schedules",
+    "ContiguousLivelockModel",
+    "HybridReport",
+    "HybridVerdict",
+    "WitnessClassification",
+    "hybrid_verify",
+    "HybridSynthesisResult",
+    "hybrid_synthesize",
+]

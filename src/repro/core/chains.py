@@ -1,0 +1,326 @@
+"""Local reasoning for chains — the paper's future-work topology.
+
+The ring results carry over to open chains with two pleasant twists:
+
+**Deadlock-freedom (exact, all K).**  A global state of a chain of size
+K is a length-K *walk* of the RCG whose first vertex agrees with the
+left boundary and whose last agrees with the right one (instead of a
+closed walk, as for rings).  Hence: a chain protocol has a global
+deadlock outside ``I(K)`` for some K **iff** the RCG induced over local
+deadlocks has a boundary-consistent walk through an illegitimate local
+deadlock.  Both directions of the ring proof of Theorem 4.2 go through
+verbatim with "cycle" replaced by "boundary-consistent walk".
+
+**Livelock-freedom (free).**  On a *unidirectional* chain with
+self-disabling actions every execution terminates: ``P_0`` has no
+predecessor, so (by the chain analogue of Lemma 5.2) once disabled it
+stays disabled and executes at most once; inductively ``P_r`` executes
+at most ``r + 1`` times, bounding every execution by ``K(K+1)/2``
+steps.  Circulating corruptions — the whole difficulty of rings — cannot
+exist, matching the paper's remark that compositional approaches favour
+acyclic topologies [21].
+
+Consequently the combined chain verdict is **exact**: a unidirectional
+chain protocol strongly converges for every size iff its deadlock
+analysis is clean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import enum
+
+from repro.core.rcg import build_rcg
+from repro.core.selfdisabling import action_for_transition, \
+    is_self_disabling
+from repro.errors import AssumptionViolation, TopologyError
+from repro.graphs import Digraph
+from repro.graphs.cuts import has_bad_path, minimal_path_cuts
+from repro.protocol.actions import LocalTransition
+from repro.protocol.localstate import LocalState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.chain import ChainProtocol
+
+
+@dataclass(frozen=True)
+class ChainDeadlockReport:
+    """Outcome of the chain deadlock analysis (exact for every size)."""
+
+    deadlock_free: bool
+    local_deadlocks: tuple[LocalState, ...]
+    illegitimate_deadlocks: tuple[LocalState, ...]
+    start_deadlocks: tuple[LocalState, ...]
+    """Local deadlocks that can sit at position 0 (left boundary)."""
+    end_deadlocks: tuple[LocalState, ...]
+    """Local deadlocks that can sit at position K-1 (right boundary)."""
+    witness_walk: tuple[LocalState, ...] | None
+    induced_rcg: Digraph = field(compare=False)
+
+
+class ChainDeadlockAnalyzer:
+    """Exact deadlock-freedom for chain protocols, all sizes at once."""
+
+    def __init__(self, protocol: "ChainProtocol") -> None:
+        self.protocol = protocol
+        self._report: ChainDeadlockReport | None = None
+
+    def analyze(self) -> ChainDeadlockReport:
+        if self._report is not None:
+            return self._report
+        protocol = self.protocol
+        space = protocol.space
+        deadlocks = space.deadlocks()
+        illegitimate = tuple(s for s in deadlocks
+                             if not protocol.is_legitimate(s))
+        induced = build_rcg(space, vertices=deadlocks)
+        starts = tuple(s for s in deadlocks
+                       if protocol.boundary_consistent_left(s))
+        ends = tuple(s for s in deadlocks
+                     if protocol.boundary_consistent_right(s))
+        bad_exists = has_bad_path(induced, starts, ends, illegitimate)
+        witness = (self._witness_walk(induced, starts, ends,
+                                      set(illegitimate))
+                   if bad_exists else None)
+        self._report = ChainDeadlockReport(
+            deadlock_free=not bad_exists,
+            local_deadlocks=deadlocks,
+            illegitimate_deadlocks=illegitimate,
+            start_deadlocks=starts,
+            end_deadlocks=ends,
+            witness_walk=witness,
+            induced_rcg=induced,
+        )
+        return self._report
+
+    # ------------------------------------------------------------------
+    def deadlocked_chain_sizes(self, upto: int) -> set[int]:
+        """Exact chain sizes ``K <= upto`` with a deadlock outside I.
+
+        Dynamic programming over walk lengths with a "visited an
+        illegitimate deadlock" flag.
+        """
+        report = self.analyze()
+        graph = report.induced_rcg
+        bad = set(report.illegitimate_deadlocks)
+        ends = set(report.end_deadlocks)
+        # layer: set of (vertex, seen_bad)
+        layer = {(s, s in bad) for s in report.start_deadlocks}
+        sizes: set[int] = set()
+        for size in range(1, upto + 1):
+            if any(seen and vertex in ends for vertex, seen in layer):
+                sizes.add(size)
+            next_layer = set()
+            for vertex, seen in layer:
+                for succ in graph.successors(vertex):
+                    next_layer.add((succ, seen or succ in bad))
+            layer = next_layer
+            if not layer:
+                break
+        return sizes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _witness_walk(graph: Digraph, starts, ends,
+                      bad: set[LocalState]):
+        """A shortest boundary-consistent walk through a bad vertex."""
+        # BFS over (vertex, seen_bad) states.
+        from collections import deque
+
+        initial = [(s, s in bad) for s in starts if s in graph]
+        parents: dict[tuple, tuple | None] = {node: None
+                                              for node in initial}
+        queue = deque(initial)
+        goal = None
+        while queue:
+            node = queue.popleft()
+            vertex, seen = node
+            if seen and vertex in set(ends):
+                goal = node
+                break
+            for succ in graph.successors(vertex):
+                nxt = (succ, seen or succ in bad)
+                if nxt not in parents:
+                    parents[nxt] = node
+                    queue.append(nxt)
+        if goal is None:
+            return None
+        walk = []
+        node = goal
+        while node is not None:
+            walk.append(node[0])
+            node = parents[node]
+        walk.reverse()
+        return tuple(walk)
+
+    def witness_state(self) -> tuple | None:
+        """A concrete deadlocked chain state built from the witness."""
+        report = self.analyze()
+        if report.witness_walk is None:
+            return None
+        return tuple(state.own for state in report.witness_walk)
+
+
+def certify_chain_termination(protocol: "ChainProtocol") -> int:
+    """Certify that every execution of a unidirectional chain protocol
+    terminates, returning the per-size step bound factor.
+
+    Requires a unidirectional chain with self-disabling actions; by the
+    inductive argument in the module docstring, a chain of size K runs
+    at most ``K (K + 1) / 2`` steps.  Raises on bidirectional chains
+    (enablement can bounce) or self-enabling actions.
+    """
+    if not protocol.unidirectional:
+        raise TopologyError(
+            "the chain termination certificate needs a unidirectional "
+            "chain (enablement can bounce between bidirectional "
+            "neighbours)")
+    if not is_self_disabling(protocol.space):
+        raise AssumptionViolation(
+            "the chain termination certificate needs self-disabling "
+            "actions; apply make_self_disabling() first")
+    return 1  # certificate granted; bound is K(K+1)/2
+
+
+class ChainVerdict(enum.Enum):
+    """Chain convergence verdicts — note there is no UNKNOWN for
+    unidirectional chains: the analysis is exact."""
+
+    CONVERGES = "converges"
+    DIVERGES = "diverges"
+
+
+@dataclass(frozen=True)
+class ChainConvergenceReport:
+    verdict: ChainVerdict
+    deadlock: ChainDeadlockReport
+    terminates: bool
+
+    def summary(self) -> str:
+        lines = [f"verdict: {self.verdict.value} (exact for every "
+                 f"chain size)"]
+        lines.append(f"deadlock-free: {self.deadlock.deadlock_free}")
+        if self.deadlock.witness_walk:
+            lines.append("  witness walk: " + " -> ".join(
+                str(s) for s in self.deadlock.witness_walk))
+        lines.append(f"termination certificate: {self.terminates} "
+                     f"(bound K(K+1)/2 steps)")
+        return "\n".join(lines)
+
+
+def verify_chain_convergence(protocol: "ChainProtocol",
+                             ) -> ChainConvergenceReport:
+    """Exact convergence verdict for a unidirectional chain protocol."""
+    certify_chain_termination(protocol)
+    deadlock = ChainDeadlockAnalyzer(protocol).analyze()
+    verdict = (ChainVerdict.CONVERGES if deadlock.deadlock_free
+               else ChainVerdict.DIVERGES)
+    return ChainConvergenceReport(verdict=verdict, deadlock=deadlock,
+                                  terminates=True)
+
+
+@dataclass
+class ChainSynthesisResult:
+    """Outcome of chain synthesis (always livelock-free when it
+    succeeds, by the termination certificate)."""
+
+    succeeded: bool
+    protocol: "ChainProtocol | None"
+    resolve: frozenset[LocalState]
+    chosen: tuple[LocalTransition, ...]
+    reason: str = ""
+
+    def summary(self) -> str:
+        if not self.succeeded:
+            return f"chain synthesis failed: {self.reason}"
+        lines = ["chain synthesis succeeded (exact, all sizes)"]
+        lines.append("Resolve = {"
+                     + ", ".join(str(s) for s in sorted(self.resolve))
+                     + "}")
+        for transition in self.chosen:
+            lines.append(f"  + {transition}")
+        return "\n".join(lines)
+
+
+class ChainSynthesizer:
+    """Add convergence to a unidirectional chain protocol.
+
+    Deadlock resolution mirrors Section 6 with feedback vertex sets
+    replaced by boundary-path cuts; no livelock stage is needed — the
+    termination certificate makes any self-disabling resolution
+    livelock-free, so the *first* candidate combination always works.
+    """
+
+    def __init__(self, protocol: "ChainProtocol",
+                 max_resolve_sets: int = 16) -> None:
+        certify_chain_termination(protocol)
+        self.protocol = protocol
+        self.max_resolve_sets = max_resolve_sets
+
+    def synthesize(self) -> ChainSynthesisResult:
+        protocol = self.protocol
+        analyzer = ChainDeadlockAnalyzer(protocol)
+        report = analyzer.analyze()
+        if report.deadlock_free:
+            return ChainSynthesisResult(
+                succeeded=True, protocol=protocol,
+                resolve=frozenset(), chosen=())
+        cuts = list(minimal_path_cuts(
+            report.induced_rcg,
+            sources=report.start_deadlocks,
+            targets=report.end_deadlocks,
+            bad=report.illegitimate_deadlocks,
+            allowed=report.illegitimate_deadlocks,
+            max_sets=self.max_resolve_sets))
+        if not cuts:
+            return ChainSynthesisResult(
+                succeeded=False, protocol=None, resolve=frozenset(),
+                chosen=(), reason="no cut within ¬LC_r breaks every "
+                                  "boundary-consistent deadlock walk")
+        space = protocol.space
+        deadlocks = set(space.deadlocks())
+        for resolve in cuts:
+            chosen: list[LocalTransition] = []
+            feasible = True
+            for state in sorted(resolve):
+                options = []
+                for cell in space.cells:
+                    if cell == state.own:
+                        continue
+                    target = state.replace_own(cell)
+                    if target in resolve or target not in deadlocks:
+                        continue
+                    options.append(LocalTransition(state, target,
+                                                   _label(state, target)))
+                if not options:
+                    feasible = False
+                    break
+                chosen.append(options[0])
+            if not feasible:
+                continue
+            actions = [action_for_transition(t, t.label) for t in chosen]
+            revised = protocol.extended_with(actions)
+            revised.name = f"{protocol.name}_ss"
+            return ChainSynthesisResult(
+                succeeded=True, protocol=revised,
+                resolve=resolve, chosen=tuple(chosen))
+        return ChainSynthesisResult(
+            succeeded=False, protocol=None, resolve=cuts[0], chosen=(),
+            reason="every cut contains a deadlock with no self-disabling "
+                   "candidate transition")
+
+
+def synthesize_chain_convergence(protocol: "ChainProtocol",
+                                 ) -> ChainSynthesisResult:
+    """Convenience wrapper around :class:`ChainSynthesizer`."""
+    return ChainSynthesizer(protocol).synthesize()
+
+
+def _label(source: LocalState, target: LocalState) -> str:
+    def fmt(cell) -> str:
+        return "".join(str(v)[0] if isinstance(v, str) else str(v)
+                       for v in cell)
+
+    return f"t{fmt(source.own)}{fmt(target.own)}"

@@ -1,0 +1,110 @@
+"""The canonical contiguous-livelock dynamics (Figure 7).
+
+Lemma 5.11 reduces livelock search on unidirectional rings to *contiguous*
+livelocks: a global state with ``|E|`` adjacent enabled processes, whose
+rightmost enablement alone propagates ``K - |E|`` times until a new block
+of ``|E|`` adjacent enablements forms, one position to the left.  Repeating
+``K`` rounds rotates the block fully around the ring, opposite to the
+propagation direction.
+
+This module models those *enablement dynamics* abstractly (positions only,
+no protocol), which is exactly what Figure 7 depicts for ``K=6, |E|=3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SegmentState:
+    """Enabled positions at one point of the contiguous livelock.
+
+    ``block`` is the (still dormant) segment of adjacent enablements and
+    ``mover`` the position of the propagating enablement, or ``None``
+    while it has been absorbed into a full block.
+    """
+
+    ring_size: int
+    block_start: int
+    block_length: int
+    mover: int | None
+
+    @property
+    def enabled(self) -> frozenset[int]:
+        positions = {(self.block_start + i) % self.ring_size
+                     for i in range(self.block_length)}
+        if self.mover is not None:
+            positions.add(self.mover)
+        return frozenset(positions)
+
+    def render(self) -> str:
+        """ASCII row in the style of Figure 7, e.g. ``. E E E . .``."""
+        marks = []
+        enabled = self.enabled
+        for position in range(self.ring_size):
+            marks.append("E" if position in enabled else ".")
+        return " ".join(marks)
+
+
+class ContiguousLivelockModel:
+    """Generates the enablement sequence of a contiguous livelock."""
+
+    def __init__(self, ring_size: int, enablements: int) -> None:
+        if not 1 <= enablements < ring_size:
+            raise ValueError(
+                f"need 1 <= |E| < K, got |E|={enablements}, K={ring_size}")
+        self.ring_size = ring_size
+        self.enablements = enablements
+
+    def initial(self, block_start: int = 0) -> SegmentState:
+        """A full block of adjacent enablements starting at *block_start*."""
+        return SegmentState(self.ring_size, block_start,
+                            self.enablements, mover=None)
+
+    def step(self, state: SegmentState) -> SegmentState:
+        """Propagate the rightmost enablement once.
+
+        On a unidirectional ring, executing the enabled process ``i``
+        disables ``i`` and enables ``i+1`` (Lemma 5.2 + Assumption 2).
+        """
+        k = self.ring_size
+        if state.mover is None:
+            # Detach the rightmost member of the block.
+            rightmost = (state.block_start + state.block_length - 1) % k
+            detached = SegmentState(k, state.block_start,
+                                    state.block_length - 1,
+                                    mover=(rightmost + 1) % k)
+            return self._absorb(detached)
+        moved = SegmentState(k, state.block_start, state.block_length,
+                             mover=(state.mover + 1) % k)
+        return self._absorb(moved)
+
+    def _absorb(self, state: SegmentState) -> SegmentState:
+        """Merge the mover back into the block when it becomes adjacent on
+        the block's *left* (completing one round of Figure 7)."""
+        if state.mover is None:
+            return state
+        if (state.mover + 1) % self.ring_size == state.block_start:
+            return SegmentState(self.ring_size, state.mover,
+                                state.block_length + 1, mover=None)
+        return state
+
+    def run(self, steps: int,
+            block_start: int = 0) -> list[SegmentState]:
+        """The first *steps* states (inclusive of the initial one)."""
+        states = [self.initial(block_start)]
+        for _ in range(steps):
+            states.append(self.step(states[-1]))
+        return states
+
+    @property
+    def steps_per_round(self) -> int:
+        """Propagations per round: ``K - |E|``."""
+        return self.ring_size - self.enablements
+
+    @property
+    def steps_per_rotation(self) -> int:
+        """Steps for the block to rotate fully around the ring:
+        ``K`` rounds of ``K - |E|`` propagations."""
+        return self.ring_size * self.steps_per_round

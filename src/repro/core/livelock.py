@@ -1,0 +1,133 @@
+"""Parameterized livelock-freedom certification (Theorem 5.14).
+
+For a unidirectional ring protocol with self-disabling actions, if some
+``p(K)`` has a livelock then the LTG contains a contiguous trail through an
+illegitimate local state whose t-arcs form pseudo-livelocks.  The certifier
+therefore:
+
+1. enumerates every candidate t-arc support (union of elementary
+   pseudo-livelocks of ``δ_r``);
+2. runs the contiguous-trail search for each;
+3. certifies livelock-freedom for **all** K when no support yields a
+   trail, and otherwise answers *unknown* (the condition is sufficient
+   only — a found trail may be spurious, see sum-not-two in Section 6.2).
+
+On bidirectional rings the same machinery certifies absence of
+*contiguous* livelocks only (Section 5's closing remark); the report says
+so explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.pseudolivelock import (
+    SupportExplosion,
+    pseudo_livelock_supports,
+)
+from repro.core.selfdisabling import is_self_disabling, is_self_terminating
+from repro.core.trail import ContiguousTrailSearcher, TrailWitness
+from repro.errors import AssumptionViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.ring import RingProtocol
+
+
+class LivelockVerdict(enum.Enum):
+    """Outcome of the Theorem 5.14 analysis."""
+
+    CERTIFIED_FREE = "certified-livelock-free"
+    """No pseudo-livelock support forms a contiguous trail: livelock-free
+    for every ring size (for unidirectional rings; contiguous-livelock-free
+    for bidirectional ones)."""
+
+    UNKNOWN = "unknown"
+    """Some support forms a contiguous trail; the sufficient condition
+    cannot conclude.  The witnesses may or may not be real livelocks —
+    check concrete sizes with :mod:`repro.checker`."""
+
+
+@dataclass(frozen=True)
+class LivelockReport:
+    """Result of the parameterized livelock analysis."""
+
+    verdict: LivelockVerdict
+    supports_checked: int
+    trail_witnesses: tuple[TrailWitness, ...]
+    contiguous_only: bool
+    """True on bidirectional rings: the verdict covers only contiguous
+    livelocks (Theorem 5.14's scope there)."""
+    note: str = ""
+    """Human-readable caveat, e.g. when support enumeration was cut off
+    and the verdict degraded to a conservative UNKNOWN."""
+
+    @property
+    def certified(self) -> bool:
+        """Whether livelock-freedom is certified for all K."""
+        return (self.verdict is LivelockVerdict.CERTIFIED_FREE
+                and not self.contiguous_only)
+
+
+class LivelockCertifier:
+    """Runs the Theorem 5.14 sufficient condition on a protocol."""
+
+    def __init__(self, protocol: "RingProtocol",
+                 max_ring_size: int = 9,
+                 require_self_disabling: bool = True) -> None:
+        self.protocol = protocol
+        self.max_ring_size = max_ring_size
+        self.require_self_disabling = require_self_disabling
+
+    def analyze(self) -> LivelockReport:
+        """Run the analysis; raises :class:`AssumptionViolation` when the
+        protocol breaks Assumption 1/2 (use
+        :func:`repro.core.selfdisabling.make_self_disabling` first)."""
+        space = self.protocol.space
+        if self.require_self_disabling:
+            if not is_self_terminating(space):
+                raise AssumptionViolation(
+                    f"protocol {self.protocol.name!r} is not "
+                    f"self-terminating (Assumption 1)")
+            if not is_self_disabling(space):
+                raise AssumptionViolation(
+                    f"protocol {self.protocol.name!r} has self-enabling "
+                    f"local transitions (Assumption 2); apply "
+                    f"make_self_disabling() first")
+
+        try:
+            supports = pseudo_livelock_supports(space.transitions)
+        except SupportExplosion as explosion:
+            # Too many candidate supports to examine: degrade to the
+            # (sound) conservative answer.
+            return LivelockReport(
+                verdict=LivelockVerdict.UNKNOWN,
+                supports_checked=0,
+                trail_witnesses=(),
+                contiguous_only=not self.protocol.unidirectional,
+                note=str(explosion),
+            )
+        searcher = ContiguousTrailSearcher(
+            self.protocol, max_ring_size=self.max_ring_size)
+        witnesses = []
+        for support in supports:
+            witness = searcher.find_trail(support)
+            if witness is not None:
+                witnesses.append(witness)
+
+        verdict = (LivelockVerdict.CERTIFIED_FREE if not witnesses
+                   else LivelockVerdict.UNKNOWN)
+        return LivelockReport(
+            verdict=verdict,
+            supports_checked=len(supports),
+            trail_witnesses=tuple(witnesses),
+            contiguous_only=not self.protocol.unidirectional,
+        )
+
+
+def certify_livelock_freedom(protocol: "RingProtocol",
+                             max_ring_size: int = 9) -> LivelockReport:
+    """Convenience wrapper around :class:`LivelockCertifier`."""
+    return LivelockCertifier(protocol,
+                             max_ring_size=max_ring_size).analyze()

@@ -1,0 +1,74 @@
+"""The Local Transition Graph (Definition 5.3).
+
+The LTG augments the Right Continuation Graph with the local transitions of
+the representative process:
+
+* **s-arcs** carry the continuation relation (key ``"s"``),
+* **t-arcs** carry local transitions (keyed by the
+  :class:`~repro.protocol.actions.LocalTransition` itself).
+
+Global computations of a unidirectional ring project onto the LTG as
+alternations of t-arcs (a process executes) and s-arcs (control passes to
+the successor's local state) — the structure exploited by the
+contiguous-trail search of Lemma 5.12.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.rcg import build_rcg
+from repro.graphs import Digraph
+from repro.protocol.actions import LocalTransition
+from repro.protocol.localstate import LocalState, LocalStateSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.ring import RingProtocol
+
+S_ARC = "s"
+"""Edge key marking continuation (s) arcs."""
+
+
+def build_ltg(space: LocalStateSpace,
+              transitions: Iterable[LocalTransition] | None = None,
+              ) -> Digraph:
+    """Build the LTG over the full local state space.
+
+    *transitions* defaults to the transition set ``δ_r`` induced by the
+    process actions; synthesis passes candidate t-arc sets explicitly.
+    """
+    graph = build_rcg(space)
+    if transitions is None:
+        transitions = space.transitions
+    for transition in transitions:
+        graph.add_edge(transition.source, transition.target, key=transition)
+    return graph
+
+
+def t_arcs(graph: Digraph) -> list[LocalTransition]:
+    """All t-arcs of an LTG (edge keys that are local transitions)."""
+    return [key for _s, _t, key in graph.edges()
+            if isinstance(key, LocalTransition)]
+
+
+def s_successors(graph: Digraph, state: LocalState) -> list[LocalState]:
+    """States reachable from *state* via one s-arc."""
+    return [target for target in graph.successors(state)
+            if S_ARC in graph.edge_keys(state, target)]
+
+
+def t_successors(graph: Digraph,
+                 state: LocalState) -> list[tuple[LocalTransition,
+                                                  LocalState]]:
+    """(transition, target) pairs for t-arcs leaving *state*."""
+    result = []
+    for target in graph.successors(state):
+        for key in graph.edge_keys(state, target):
+            if isinstance(key, LocalTransition):
+                result.append((key, target))
+    return result
+
+
+def ltg_of(protocol: "RingProtocol") -> Digraph:
+    """The LTG of a protocol (actions' transitions as t-arcs)."""
+    return build_ltg(protocol.space)

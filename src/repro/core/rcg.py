@@ -1,0 +1,67 @@
+"""The Right Continuation Graph (Definition 4.1).
+
+The RCG has one vertex per local state of the representative process and an
+arc ``s1 -> s2`` whenever ``s2`` is a possible local state of the *right
+successor* of a process in local state ``s1`` — i.e. the two windows agree
+on every ring position they share.
+
+Every global state of a ring of size K corresponds to a closed walk of
+length K in the RCG (place the local state of ``P_i`` at step ``i``), and
+conversely every closed walk of length K >= window width yields a
+consistent global state.  This correspondence is what lets Theorem 4.2
+decide deadlock-freedom for *all* K in the local state space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graphs import Digraph
+from repro.protocol.localstate import LocalState, LocalStateSpace
+
+
+def build_rcg(space: LocalStateSpace,
+              vertices: Iterable[LocalState] | None = None) -> Digraph:
+    """Build the RCG over *vertices* (default: the whole local space).
+
+    When *vertices* is given, the result is the **induced subgraph** of the
+    full RCG over those local states — the object Theorem 4.2 inspects when
+    *vertices* are the local deadlocks.
+    """
+    if vertices is None:
+        nodes = list(space.states)
+    else:
+        nodes = list(vertices)
+    node_set = set(nodes)
+    graph = Digraph(nodes=nodes)
+    for source in nodes:
+        for target in nodes:
+            if space.continues(source, target):
+                graph.add_edge(source, target, key="s")
+    # All arcs carry the "s" key so the LTG can mix them with t-arcs.
+    del node_set
+    return graph
+
+
+def closed_walk_to_global_state(walk: list[LocalState],
+                                space: LocalStateSpace) -> tuple:
+    """Convert a closed RCG walk into the global ring state it encodes.
+
+    ``walk`` lists the local states assigned to ring positions
+    ``0 .. K-1`` (the closing arc ``walk[-1] -> walk[0]`` is implicit).
+    Returns the global state as a tuple of K owned cells.
+
+    Raises ``ValueError`` when consecutive walk entries (cyclically) are
+    not in the continuation relation, or when the walk is shorter than the
+    read window (such walks do not describe a ring).
+    """
+    width = space.process.window_width
+    if len(walk) < width:
+        raise ValueError(
+            f"walk of length {len(walk)} shorter than read window {width}")
+    for i, state in enumerate(walk):
+        nxt = walk[(i + 1) % len(walk)]
+        if not space.continues(state, nxt):
+            raise ValueError(
+                f"walk step {i}: {nxt} does not continue {state}")
+    return tuple(state.own for state in walk)

@@ -1,0 +1,369 @@
+"""Automated addition of convergence (Section 6 methodology).
+
+Given a (possibly empty) non-stabilizing protocol ``p`` and a locally
+conjunctive invariant closed in ``p``, the synthesizer follows the paper's
+five steps, entirely in the local state space:
+
+1. compute the local deadlocks and the RCG induced over them;
+2. pick ``Resolve`` — a minimal feedback vertex set of that graph drawn
+   from ``¬LC_r``, so that resolving those deadlocks leaves no cycle
+   through an illegitimate local deadlock (Theorem 4.2 ⇒ deadlock-freedom
+   for every K);
+3. enumerate ``Candidates_r`` — local transitions out of each Resolve
+   state into a non-Resolve local deadlock (hence self-disabling);
+4. try candidate combinations with **no** pseudo-livelock (*NPL*): accept
+   immediately by Theorem 5.14;
+5. otherwise accept a combination whose pseudo-livelocks form **no**
+   contiguous trail through an illegitimate state (*PL*); if every
+   combination of every Resolve set fails, declare failure.
+
+The output protocol ``p_ss`` adds the chosen recovery actions to ``p``;
+since every added action fires only in an illegitimate local deadlock,
+``I`` and ``Δ_p|I`` are untouched (Problem 3.1's constraints).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.core.livelock import LivelockCertifier, LivelockVerdict
+from repro.core.selfdisabling import action_for_transition
+from repro.errors import SynthesisFailure
+from repro.protocol.actions import LocalTransition
+from repro.protocol.localstate import LocalState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.ring import RingProtocol
+
+
+class SynthesisOutcome(enum.Enum):
+    """How the methodology concluded."""
+
+    SUCCESS_NPL = "success-no-pseudo-livelock"
+    """Accepted at step 4: the combination has no pseudo-livelock."""
+
+    SUCCESS_PL = "success-pseudo-livelocks-without-trails"
+    """Accepted at step 5: pseudo-livelocks exist but none forms a
+    contiguous trail."""
+
+    ALREADY_STABILIZING = "already-stabilizing"
+    """The input protocol needed no new transitions."""
+
+    FAILURE = "failure"
+    """Every candidate combination of every Resolve set was rejected
+    (the paper's "declare failure" — the sufficient livelock condition
+    could not be established; a stabilizing protocol may still exist)."""
+
+
+@dataclass(frozen=True)
+class RejectedCombination:
+    """Diagnostic record of one rejected candidate combination."""
+
+    transitions: tuple[LocalTransition, ...]
+    reason: str
+
+
+@dataclass
+class SynthesisResult:
+    """Everything the synthesizer found out.
+
+    ``protocol`` is the synthesized ``p_ss`` on success, else ``None``.
+    """
+
+    outcome: SynthesisOutcome
+    protocol: "RingProtocol | None"
+    resolve: frozenset[LocalState]
+    candidates: dict[LocalState, tuple[LocalTransition, ...]]
+    chosen: tuple[LocalTransition, ...]
+    rejected: tuple[RejectedCombination, ...] = ()
+    resolve_sets_tried: tuple[frozenset[LocalState], ...] = ()
+
+    @property
+    def succeeded(self) -> bool:
+        return self.outcome in (SynthesisOutcome.SUCCESS_NPL,
+                                SynthesisOutcome.SUCCESS_PL,
+                                SynthesisOutcome.ALREADY_STABILIZING)
+
+    def summary(self) -> str:
+        lines = [f"outcome: {self.outcome.value}"]
+        lines.append("Resolve = {"
+                     + ", ".join(str(s) for s in sorted(self.resolve)) + "}")
+        if self.chosen:
+            lines.append("added transitions:")
+            for transition in self.chosen:
+                lines.append(f"  {transition}")
+        if self.rejected:
+            lines.append(f"rejected combinations: {len(self.rejected)}")
+            for rejection in self.rejected[:8]:
+                arcs = ", ".join(str(t) for t in rejection.transitions)
+                lines.append(f"  [{arcs}] -- {rejection.reason}")
+        return "\n".join(lines)
+
+
+class Synthesizer:
+    """Implements the Section 6.1 methodology for a ring protocol."""
+
+    def __init__(self, protocol: "RingProtocol",
+                 max_ring_size: int = 9,
+                 max_resolve_sets: int = 16,
+                 max_combinations: int = 4096,
+                 stop_at_first: bool = True,
+                 accept_contiguous_only: bool = False) -> None:
+        self.protocol = protocol
+        self.max_ring_size = max_ring_size
+        self.max_resolve_sets = max_resolve_sets
+        self.max_combinations = max_combinations
+        self.stop_at_first = stop_at_first
+        self.accept_contiguous_only = accept_contiguous_only
+        """On bidirectional rings Theorem 5.14 only excludes contiguous
+        livelocks; by default such certificates are NOT accepted as
+        synthesis evidence (the paper's methodology is stated for
+        unidirectional rings).  Set True to accept them knowingly."""
+
+    # ------------------------------------------------------------------
+    def candidate_transitions(
+            self, resolve: frozenset[LocalState],
+    ) -> dict[LocalState, tuple[LocalTransition, ...]]:
+        """Step 3: candidate t-arcs out of each Resolve state.
+
+        A candidate ``(s, s')`` rewrites the owned cell of ``s`` and lands
+        in a local deadlock outside Resolve, so the revised protocol is
+        self-disabling by construction.
+        """
+        space = self.protocol.space
+        deadlocks = set(space.deadlocks())
+        candidates: dict[LocalState, tuple[LocalTransition, ...]] = {}
+        for state in sorted(resolve):
+            options = []
+            for cell in space.cells:
+                if cell == state.own:
+                    continue
+                target = state.replace_own(cell)
+                if target in resolve or target not in deadlocks:
+                    continue
+                label = _transition_label(state, target)
+                options.append(LocalTransition(state, target, label))
+            candidates[state] = tuple(options)
+        return candidates
+
+    # ------------------------------------------------------------------
+    def synthesize(self) -> SynthesisResult:
+        """Run the methodology; never raises on failure — inspect
+        :attr:`SynthesisResult.outcome`."""
+        if not self.protocol.unidirectional and \
+                not self.accept_contiguous_only:
+            return SynthesisResult(
+                outcome=SynthesisOutcome.FAILURE,
+                protocol=None,
+                resolve=frozenset(),
+                candidates={},
+                chosen=(),
+                rejected=(RejectedCombination(
+                    (), "bidirectional ring: Theorem 5.14 only excludes "
+                        "contiguous livelocks, which is insufficient "
+                        "synthesis evidence; pass "
+                        "accept_contiguous_only=True to proceed "
+                        "anyway"),),
+            )
+        analyzer = DeadlockAnalyzer(self.protocol)
+        resolve_sets = analyzer.resolve_candidates(
+            max_sets=self.max_resolve_sets)
+        if not resolve_sets:
+            # No subset of ¬LC_r breaks all illegitimate cycles: the
+            # deadlock structure itself is unrepairable by local t-arcs.
+            return SynthesisResult(
+                outcome=SynthesisOutcome.FAILURE,
+                protocol=None,
+                resolve=frozenset(),
+                candidates={},
+                chosen=(),
+                rejected=(RejectedCombination(
+                    (), "no feedback vertex set within ¬LC_r exists"),),
+            )
+
+        all_rejected: list[RejectedCombination] = []
+        for resolve in resolve_sets:
+            result = self._try_resolve_set(resolve)
+            if result.succeeded:
+                result.rejected = tuple(all_rejected) + result.rejected
+                result.resolve_sets_tried = tuple(resolve_sets)
+                return result
+            all_rejected.extend(result.rejected)
+
+        return SynthesisResult(
+            outcome=SynthesisOutcome.FAILURE,
+            protocol=None,
+            resolve=resolve_sets[0],
+            candidates=self.candidate_transitions(resolve_sets[0]),
+            chosen=(),
+            rejected=tuple(all_rejected),
+            resolve_sets_tried=tuple(resolve_sets),
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate_all_combinations(
+            self, resolve: frozenset[LocalState] | None = None,
+    ) -> list[tuple[tuple[LocalTransition, ...], str | None]]:
+        """Verdicts for **every** candidate combination of one Resolve
+        set, in the paper's enumeration style (§6.1 lists all 2³ subsets
+        for 3-coloring; §6.2 names the accepted/rejected ones for
+        sum-not-two).
+
+        Returns ``(combination, reason)`` pairs where ``reason`` is
+        ``None`` for accepted combinations and the rejection diagnosis
+        otherwise.  *resolve* defaults to the first minimal Resolve set.
+        """
+        if resolve is None:
+            analyzer = DeadlockAnalyzer(self.protocol)
+            candidates_sets = analyzer.resolve_candidates()
+            if not candidates_sets:
+                return []
+            resolve = candidates_sets[0]
+        candidates = self.candidate_transitions(resolve)
+        if not resolve or any(not opts for opts in candidates.values()):
+            return []
+        states = sorted(candidates)
+        pools = [candidates[s] for s in states]
+        verdicts = []
+        for count, combo in enumerate(itertools.product(*pools)):
+            if count >= self.max_combinations:
+                break
+            verdicts.append((tuple(combo), self._livelock_verdict(combo)))
+        return verdicts
+
+    # ------------------------------------------------------------------
+    def _try_resolve_set(self,
+                         resolve: frozenset[LocalState]) -> SynthesisResult:
+        candidates = self.candidate_transitions(resolve)
+        rejected: list[RejectedCombination] = []
+
+        if not resolve:
+            # Already deadlock-free; only the livelock side needs checking.
+            verdict = self._livelock_verdict(())
+            if verdict is None:
+                return SynthesisResult(
+                    outcome=SynthesisOutcome.ALREADY_STABILIZING,
+                    protocol=self.protocol, resolve=resolve,
+                    candidates=candidates, chosen=())
+            rejected.append(RejectedCombination((), verdict))
+            return SynthesisResult(
+                outcome=SynthesisOutcome.FAILURE, protocol=None,
+                resolve=resolve, candidates=candidates, chosen=(),
+                rejected=tuple(rejected))
+
+        if any(not options for options in candidates.values()):
+            blocked = [s for s, options in candidates.items() if not options]
+            rejected.append(RejectedCombination(
+                (), f"no candidate t-arc resolves "
+                    f"{', '.join(str(s) for s in blocked)}"))
+            return SynthesisResult(
+                outcome=SynthesisOutcome.FAILURE, protocol=None,
+                resolve=resolve, candidates=candidates, chosen=(),
+                rejected=tuple(rejected))
+
+        states = sorted(candidates)
+        pools = [candidates[s] for s in states]
+        count = 0
+        for combo in itertools.product(*pools):
+            count += 1
+            if count > self.max_combinations:
+                rejected.append(RejectedCombination(
+                    (), f"combination budget ({self.max_combinations}) "
+                        f"exhausted"))
+                break
+            reason = self._livelock_verdict(combo)
+            if reason is None:
+                return self._success(resolve, candidates, combo, rejected)
+            rejected.append(RejectedCombination(tuple(combo), reason))
+
+        return SynthesisResult(
+            outcome=SynthesisOutcome.FAILURE, protocol=None,
+            resolve=resolve, candidates=candidates, chosen=(),
+            rejected=tuple(rejected))
+
+    # ------------------------------------------------------------------
+    def _livelock_verdict(
+            self, combo: tuple[LocalTransition, ...]) -> str | None:
+        """``None`` when the combination is accepted, else the reason."""
+        from repro.errors import AssumptionViolation
+
+        if not self.protocol.unidirectional and \
+                not self.accept_contiguous_only:
+            # Fail fast: on bidirectional rings Theorem 5.14 can only
+            # exclude contiguous livelocks, which is not enough evidence
+            # for the methodology (stated for unidirectional rings).
+            return ("bidirectional ring: Theorem 5.14 only excludes "
+                    "contiguous livelocks; pass "
+                    "accept_contiguous_only=True to accept such "
+                    "certificates anyway")
+
+        candidate_protocol = self._materialize(combo)
+        certifier = LivelockCertifier(candidate_protocol,
+                                      max_ring_size=self.max_ring_size)
+        try:
+            report = certifier.analyze()
+        except AssumptionViolation as violation:
+            return str(violation)
+        if report.verdict is LivelockVerdict.CERTIFIED_FREE:
+            return None
+        witness = report.trail_witnesses[0]
+        return (f"pseudo-livelock {{"
+                + ", ".join(sorted(t.label or str(t) for t in witness.t_arcs))
+                + f"}} forms a contiguous trail (K={witness.ring_size}, "
+                  f"|E|={witness.enablements})")
+
+    def _materialize(self,
+                     combo: Iterable[LocalTransition]) -> "RingProtocol":
+        actions = tuple(action_for_transition(t, name=t.label)
+                        for t in combo)
+        return self.protocol.extended_with(actions)
+
+    def _success(self, resolve, candidates, combo,
+                 rejected) -> SynthesisResult:
+        from repro.core.pseudolivelock import has_pseudo_livelock
+
+        protocol = self._materialize(combo)
+        protocol.name = f"{self.protocol.name}_ss"
+        space = protocol.space
+        outcome = (SynthesisOutcome.SUCCESS_NPL
+                   if not has_pseudo_livelock(space.transitions)
+                   else SynthesisOutcome.SUCCESS_PL)
+        return SynthesisResult(
+            outcome=outcome,
+            protocol=protocol,
+            resolve=resolve,
+            candidates=candidates,
+            chosen=tuple(combo),
+            rejected=tuple(rejected),
+        )
+
+
+def synthesize_convergence(protocol: "RingProtocol",
+                           max_ring_size: int = 9,
+                           **kwargs) -> SynthesisResult:
+    """Run the Section 6 methodology on *protocol*.
+
+    Raises :class:`SynthesisFailure` when the caller sets
+    ``raise_on_failure=True`` and no combination is accepted.
+    """
+    raise_on_failure = kwargs.pop("raise_on_failure", False)
+    synthesizer = Synthesizer(protocol, max_ring_size=max_ring_size,
+                              **kwargs)
+    result = synthesizer.synthesize()
+    if raise_on_failure and not result.succeeded:
+        raise SynthesisFailure(
+            f"could not synthesize convergence for {protocol.name!r}: "
+            f"{len(result.rejected)} combinations rejected")
+    return result
+
+
+def _transition_label(source: LocalState, target: LocalState) -> str:
+    def fmt(cell) -> str:
+        parts = [str(v)[0] if isinstance(v, str) else str(v) for v in cell]
+        return "".join(parts) if len(cell) == 1 else "(" + ",".join(parts) + ")"
+
+    return f"t{fmt(source.own)}{fmt(target.own)}"

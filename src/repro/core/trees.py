@@ -1,0 +1,163 @@
+"""Exact deadlock analysis on rooted trees (parent-reading processes).
+
+A global tree state assigns every node a local state such that each
+child's parent-cell equals its parent's own cell — i.e. every
+parent→child edge is an arc of the **RCG**, with the root's local state
+boundary-consistent.  Hence:
+
+* a tree shape T has a global deadlock outside ``I`` **iff** the
+  deadlock-induced RCG admits an assignment along T (each node a local
+  deadlock, edges continuation-consistent, root boundary-consistent)
+  with at least one illegitimate node — decided exactly by a bottom-up
+  DP over T (:meth:`TreeDeadlockAnalyzer.analyze_shape`);
+* a deadlock exists for *some* tree shape iff it exists for some chain
+  (a path is a tree; conversely an illegitimate node of a deadlocked
+  tree sits on a root path that is a bad chain witness) — so the
+  any-shape question reduces to :class:`ChainDeadlockAnalyzer`
+  (:meth:`TreeDeadlockAnalyzer.deadlock_free_for_all_trees`).
+
+Livelocks: enablement flows parent→child only, the root can never be
+re-enabled; by the chain termination argument every execution of a
+self-disabling tree protocol terminates (each node executes at most
+``depth + 1`` times).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.chains import ChainDeadlockAnalyzer, \
+    certify_chain_termination
+from repro.core.rcg import build_rcg
+from repro.errors import TopologyError
+from repro.protocol.chain import ChainProtocol
+from repro.protocol.localstate import LocalState
+from repro.protocol.tree import validate_parents
+
+
+@dataclass(frozen=True)
+class TreeShapeReport:
+    """Exact verdict for one tree shape."""
+
+    deadlock_free: bool
+    witness: tuple[LocalState, ...] | None
+    """Per-node local deadlock assignment (index-aligned with the parent
+    vector) when a bad deadlock exists."""
+
+
+class TreeDeadlockAnalyzer:
+    """Deadlock analysis for parent-reading tree protocols."""
+
+    def __init__(self, protocol: ChainProtocol) -> None:
+        if not protocol.unidirectional or \
+                protocol.process.reads_left != 1:
+            raise TopologyError(
+                "tree analysis needs a (parent, self) read window")
+        self.protocol = protocol
+        space = protocol.space
+        self._deadlocks = set(space.deadlocks())
+        self._bad = {s for s in self._deadlocks
+                     if not protocol.is_legitimate(s)}
+        self._rcg = build_rcg(space, vertices=tuple(self._deadlocks))
+
+    # ------------------------------------------------------------------
+    def deadlock_free_for_all_trees(self) -> bool:
+        """Whether no tree shape of any size can deadlock outside I.
+
+        Equivalent to chain deadlock-freedom (paths are trees; a bad
+        tree contains a bad root path).
+        """
+        return ChainDeadlockAnalyzer(self.protocol).analyze() \
+            .deadlock_free
+
+    # ------------------------------------------------------------------
+    def analyze_shape(self,
+                      parents: Sequence[int | None]) -> TreeShapeReport:
+        """Exact per-shape analysis via bottom-up DP.
+
+        For each node, compute the set of local deadlocks it can take
+        such that its whole subtree is assignable, remembering for each
+        whether the subtree can contain an illegitimate node.
+        """
+        parents = tuple(parents)
+        root = validate_parents(parents)
+        children: dict[int, list[int]] = {i: [] for i in range(len(
+            parents))}
+        for i, parent in enumerate(parents):
+            if parent is not None:
+                children[parent].append(i)
+
+        # feasible[node] : dict[LocalState, bool] — state -> "subtree
+        # can be made to include an illegitimate node".
+        feasible: dict[int, dict[LocalState, bool]] = {}
+
+        def solve(node: int) -> None:
+            for child in children[node]:
+                solve(child)
+            table: dict[LocalState, bool] = {}
+            for state in self._deadlocks:
+                can_bad = state in self._bad
+                ok = True
+                for child in children[node]:
+                    options = [s for s in feasible[child]
+                               if self.protocol.space.continues(state, s)]
+                    if not options:
+                        ok = False
+                        break
+                    if any(feasible[child][s] for s in options):
+                        can_bad = True
+                if ok:
+                    table[state] = can_bad
+            feasible[node] = table
+
+        solve(root)
+        root_options = {
+            state: bad for state, bad in feasible[root].items()
+            if self.protocol.boundary_consistent_left(state)
+        }
+        if not any(root_options.values()):
+            return TreeShapeReport(deadlock_free=True, witness=None)
+
+        witness = self._extract_witness(parents, children, feasible,
+                                        root, root_options)
+        return TreeShapeReport(deadlock_free=False, witness=witness)
+
+    # ------------------------------------------------------------------
+    def _extract_witness(self, parents, children, feasible, root,
+                         root_options) -> tuple[LocalState, ...]:
+        """Materialize one bad assignment from the DP tables."""
+        assignment: dict[int, LocalState] = {}
+        need_bad = {root: True}
+
+        def pick(node: int, allowed, want_bad: bool) -> None:
+            choices = [s for s in allowed
+                       if not want_bad or feasible[node][s]]
+            state = sorted(choices)[0]
+            assignment[node] = state
+            # Distribute the "must contain a bad node" obligation.
+            remaining_bad = want_bad and state not in self._bad
+            for child in children[node]:
+                options = [s for s in feasible[child]
+                           if self.protocol.space.continues(state, s)]
+                child_bad = (remaining_bad
+                             and any(feasible[child][s] for s in options))
+                if child_bad:
+                    remaining_bad = False
+                pick(child, options, child_bad)
+
+        pick(root, list(root_options), True)
+        return tuple(assignment[i] for i in range(len(parents)))
+
+    def witness_state(self, parents: Sequence[int | None]):
+        """A concrete deadlocked global tree state, or ``None``."""
+        report = self.analyze_shape(parents)
+        if report.witness is None:
+            return None
+        return tuple(state.own for state in report.witness)
+
+
+def certify_tree_termination(protocol: ChainProtocol) -> int:
+    """Every execution on every tree shape terminates (self-disabling,
+    parent-reading): node executions are bounded by depth + 1."""
+    return certify_chain_termination(protocol)

@@ -1,0 +1,82 @@
+"""Minimal vertex cuts for constrained path families.
+
+The chain-topology analogue of the synthesis methodology's ``Resolve``
+computation: where rings need feedback vertex sets (break every bad
+*cycle*), chains need vertex sets breaking every source-to-target *path*
+through a bad vertex.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from itertools import combinations
+
+from repro.graphs.digraph import Digraph
+
+
+def _reachable_from(graph: Digraph, sources: set[Hashable],
+                    removed: set[Hashable]) -> set[Hashable]:
+    seen: set[Hashable] = set()
+    frontier = [s for s in sources if s in graph and s not in removed]
+    seen.update(frontier)
+    while frontier:
+        node = frontier.pop()
+        for succ in graph.successors(node):
+            if succ not in seen and succ not in removed:
+                seen.add(succ)
+                frontier.append(succ)
+    return seen
+
+
+def has_bad_path(graph: Digraph, sources: Iterable[Hashable],
+                 targets: Iterable[Hashable], bad: Iterable[Hashable],
+                 removed: Iterable[Hashable] = ()) -> bool:
+    """Whether a path source →* bad-vertex →* target survives *removed*.
+
+    Paths may have length zero on either side: a bad vertex that is
+    itself a source and/or target counts.
+    """
+    removed_set = set(removed)
+    source_set = set(sources) - removed_set
+    target_set = set(targets) - removed_set
+    bad_set = set(bad) - removed_set
+
+    forward = _reachable_from(graph, source_set, removed_set)
+    backward = _reachable_from(graph.reversed(), target_set, removed_set)
+    return any(node in forward and node in backward for node in bad_set)
+
+
+def minimal_path_cuts(graph: Digraph,
+                      sources: Iterable[Hashable],
+                      targets: Iterable[Hashable],
+                      bad: Iterable[Hashable],
+                      allowed: Iterable[Hashable] | None = None,
+                      max_sets: int | None = None,
+                      ) -> Iterator[frozenset[Hashable]]:
+    """Enumerate minimal vertex sets cutting every bad path.
+
+    A *bad path* runs from a source to a target through a vertex of
+    *bad*.  Cut vertices are drawn from *allowed* (default: all nodes).
+    Yields minimal sets by non-decreasing cardinality, mirroring
+    :func:`repro.graphs.fvs.minimal_feedback_vertex_sets`.
+    """
+    pool = sorted(set(graph.nodes) if allowed is None else set(allowed),
+                  key=repr)
+    sources = set(sources)
+    targets = set(targets)
+    bad = set(bad)
+    found: list[frozenset[Hashable]] = []
+    emitted = 0
+    for size in range(len(pool) + 1):
+        for combo in combinations(pool, size):
+            candidate = frozenset(combo)
+            if any(prior <= candidate for prior in found):
+                continue
+            if not has_bad_path(graph, sources, targets, bad,
+                                removed=candidate):
+                found.append(candidate)
+                yield candidate
+                emitted += 1
+                if max_sets is not None and emitted >= max_sets:
+                    return
+    return

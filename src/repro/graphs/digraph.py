@@ -1,0 +1,166 @@
+"""A minimal, hashable-node directed graph with parallel-edge support.
+
+The graph is deliberately simple: adjacency is stored as ``dict`` of
+``dict`` of edge-key sets, which supports the multigraph semantics needed by
+pseudo-livelock projection graphs (two distinct local transitions may project
+onto the same pair of written values and must remain distinguishable).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from typing import Any
+
+
+class Digraph:
+    """A directed multigraph over hashable nodes.
+
+    Edges are triples ``(source, target, key)``.  The *key* identifies a
+    parallel edge (for plain graphs it defaults to ``None``) and may carry
+    arbitrary hashable payload, e.g. the local transition that induced the
+    edge.
+
+    >>> g = Digraph()
+    >>> g.add_edge("a", "b")
+    >>> g.add_edge("b", "a", key="t1")
+    >>> sorted(g.successors("a"))
+    ['b']
+    >>> g.has_edge("b", "a")
+    True
+    """
+
+    def __init__(self, nodes: Iterable[Hashable] = (),
+                 edges: Iterable[tuple] = ()) -> None:
+        self._succ: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        self._pred: dict[Hashable, dict[Hashable, set[Hashable]]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for edge in edges:
+            self.add_edge(*edge)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Hashable) -> None:
+        """Add *node* to the graph (idempotent)."""
+        if node not in self._succ:
+            self._succ[node] = {}
+            self._pred[node] = {}
+
+    def add_edge(self, source: Hashable, target: Hashable,
+                 key: Hashable = None) -> None:
+        """Add the edge ``(source, target, key)``, creating nodes as needed."""
+        self.add_node(source)
+        self.add_node(target)
+        self._succ[source].setdefault(target, set()).add(key)
+        self._pred[target].setdefault(source, set()).add(key)
+
+    def remove_node(self, node: Hashable) -> None:
+        """Remove *node* and every incident edge."""
+        if node not in self._succ:
+            raise KeyError(node)
+        for target in list(self._succ[node]):
+            del self._pred[target][node]
+        for source in list(self._pred[node]):
+            del self._succ[source][node]
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._succ)
+
+    @property
+    def nodes(self) -> list[Hashable]:
+        """All nodes, in insertion order."""
+        return list(self._succ)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable, Hashable]]:
+        """Yield every edge as a ``(source, target, key)`` triple."""
+        for source, targets in self._succ.items():
+            for target, keys in targets.items():
+                for key in keys:
+                    yield source, target, key
+
+    def edge_count(self) -> int:
+        """Total number of edges, counting parallel edges separately."""
+        return sum(len(keys)
+                   for targets in self._succ.values()
+                   for keys in targets.values())
+
+    def has_edge(self, source: Hashable, target: Hashable,
+                 key: Hashable = ...) -> bool:
+        """Whether an edge ``source -> target`` exists.
+
+        With an explicit *key*, checks for that specific parallel edge.
+        """
+        keys = self._succ.get(source, {}).get(target)
+        if keys is None:
+            return False
+        if key is ...:
+            return True
+        return key in keys
+
+    def successors(self, node: Hashable) -> Iterator[Hashable]:
+        """Distinct successor nodes of *node*."""
+        return iter(self._succ[node])
+
+    def predecessors(self, node: Hashable) -> Iterator[Hashable]:
+        """Distinct predecessor nodes of *node*."""
+        return iter(self._pred[node])
+
+    def out_degree(self, node: Hashable) -> int:
+        """Number of outgoing edges of *node* (parallel edges counted)."""
+        return sum(len(keys) for keys in self._succ[node].values())
+
+    def in_degree(self, node: Hashable) -> int:
+        """Number of incoming edges of *node* (parallel edges counted)."""
+        return sum(len(keys) for keys in self._pred[node].values())
+
+    def edge_keys(self, source: Hashable, target: Hashable) -> set[Hashable]:
+        """The set of keys of parallel edges ``source -> target``."""
+        return set(self._succ.get(source, {}).get(target, ()))
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def induced_subgraph(self, nodes: Iterable[Hashable]) -> "Digraph":
+        """The subgraph induced by *nodes*.
+
+        Contains exactly the given nodes and every edge of this graph whose
+        both endpoints are among them (the maximal such edge set, matching
+        the induced-subgraph footnote of the paper).
+        """
+        keep = set(nodes)
+        sub = Digraph(nodes=keep)
+        for source, target, key in self.edges():
+            if source in keep and target in keep:
+                sub.add_edge(source, target, key)
+        return sub
+
+    def reversed(self) -> "Digraph":
+        """A new graph with every edge direction flipped."""
+        rev = Digraph(nodes=self.nodes)
+        for source, target, key in self.edges():
+            rev.add_edge(target, source, key)
+        return rev
+
+    def copy(self) -> "Digraph":
+        """A structural copy of this graph."""
+        return Digraph(nodes=self.nodes, edges=self.edges())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Digraph(nodes={len(self)}, "
+                f"edges={self.edge_count()})")
+
+    def to_edge_list(self) -> list[tuple[Any, Any, Any]]:
+        """Sorted edge list, convenient for deterministic comparisons."""
+        return sorted(self.edges(), key=repr)

@@ -1,0 +1,80 @@
+"""Minimal feedback vertex sets.
+
+Step 2 of the synthesis methodology (Section 6.1) computes ``Resolve`` as a
+minimal feedback vertex set of the deadlock-induced RCG, *restricted to be a
+subset of the illegitimate local states* ``¬LC_r``: removing those vertices
+must leave no directed cycle through an illegitimate vertex.
+
+Local state spaces are small (tens of states), so an exact enumeration by
+increasing cardinality is both simple and fast.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+from itertools import combinations
+
+from repro.graphs.digraph import Digraph
+from repro.graphs.scc import cyclic_components
+
+
+def is_feedback_vertex_set(graph: Digraph, vertices: Iterable[Hashable],
+                           bad: Iterable[Hashable] | None = None) -> bool:
+    """Whether *vertices* is a feedback vertex set of *graph*.
+
+    With *bad* given, only cycles passing through a vertex of *bad* need to
+    be broken (the relaxation used by Theorem 4.2: cycles entirely within
+    legitimate local deadlocks are harmless).
+    """
+    removed = set(vertices)
+    sub = graph.induced_subgraph(set(graph.nodes) - removed)
+    bad_set = set(graph.nodes) if bad is None else set(bad)
+    for component in cyclic_components(sub):
+        if any(node in bad_set for node in component):
+            return False
+    return True
+
+
+def minimal_feedback_vertex_sets(
+        graph: Digraph,
+        allowed: Iterable[Hashable] | None = None,
+        bad: Iterable[Hashable] | None = None,
+        max_sets: int | None = None,
+) -> Iterator[frozenset[Hashable]]:
+    """Enumerate minimal feedback vertex sets, smallest first.
+
+    Parameters
+    ----------
+    graph:
+        The directed graph to acyclify.
+    allowed:
+        Candidate vertices the set may draw from (the synthesis methodology
+        restricts ``Resolve ⊆ ¬LC_r``).  Defaults to all nodes.
+    bad:
+        Only cycles through these vertices must be broken.  Defaults to all
+        nodes (classical feedback vertex sets).
+    max_sets:
+        Stop after yielding this many sets.
+
+    Yields ``frozenset`` instances.  Every yielded set is *minimal*: no
+    proper subset is itself a feedback vertex set for the same problem.
+    Sets are yielded in order of non-decreasing cardinality, so the first
+    yielded set has minimum size.
+    """
+    pool = sorted(set(graph.nodes) if allowed is None else set(allowed),
+                  key=repr)
+    found: list[frozenset[Hashable]] = []
+    emitted = 0
+    for size in range(len(pool) + 1):
+        for combo in combinations(pool, size):
+            candidate = frozenset(combo)
+            if any(prior <= candidate for prior in found):
+                continue  # a subset already works => not minimal
+            if is_feedback_vertex_set(graph, candidate, bad=bad):
+                found.append(candidate)
+                yield candidate
+                emitted += 1
+                if max_sets is not None and emitted >= max_sets:
+                    return
+        # Nothing larger than the full pool can help.
+    return

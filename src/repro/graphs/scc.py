@@ -1,0 +1,108 @@
+"""Strongly connected components via Tarjan's algorithm (iterative).
+
+The deadlock-freedom decision procedure (Theorem 4.2) reduces to: *does any
+SCC of the deadlock-induced RCG both contain an illegitimate local state and
+contain a cycle?*  An SCC contains a cycle iff it has more than one node or
+its single node carries a self-loop.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.digraph import Digraph
+
+
+def strongly_connected_components(graph: Digraph) -> list[list[Hashable]]:
+    """Return the SCCs of *graph* as lists of nodes.
+
+    Components are returned in reverse topological order (every edge between
+    components points from a later component to an earlier one), which is
+    the order Tarjan's algorithm naturally emits.
+
+    The implementation is iterative so that local state spaces with long
+    chains do not overflow the Python recursion limit.
+    """
+    index_of: dict[Hashable, int] = {}
+    lowlink: dict[Hashable, int] = {}
+    on_stack: set[Hashable] = set()
+    stack: list[Hashable] = []
+    components: list[list[Hashable]] = []
+    counter = 0
+
+    for root in graph.nodes:
+        if root in index_of:
+            continue
+        # Each frame is (node, iterator over successors).
+        work = [(root, iter(list(graph.successors(root))))]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index_of:
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(list(graph.successors(succ)))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def condensation(graph: Digraph) -> tuple[Digraph, dict[Hashable, int]]:
+    """Condense *graph* by its SCCs.
+
+    Returns ``(dag, membership)`` where ``dag`` is a :class:`Digraph` whose
+    nodes are component indices and ``membership`` maps each original node
+    to its component index.
+    """
+    components = strongly_connected_components(graph)
+    membership = {node: idx
+                  for idx, component in enumerate(components)
+                  for node in component}
+    dag = Digraph(nodes=range(len(components)))
+    for source, target, _key in graph.edges():
+        cs, ct = membership[source], membership[target]
+        if cs != ct and not dag.has_edge(cs, ct):
+            dag.add_edge(cs, ct)
+    return dag, membership
+
+
+def cyclic_components(graph: Digraph) -> list[list[Hashable]]:
+    """SCCs of *graph* that contain at least one cycle.
+
+    An SCC is *cyclic* iff it has more than one node, or its single node has
+    a self-loop.  These are exactly the components through which a directed
+    cycle can pass.
+    """
+    cyclic = []
+    for component in strongly_connected_components(graph):
+        if len(component) > 1:
+            cyclic.append(component)
+        else:
+            node = component[0]
+            if graph.has_edge(node, node):
+                cyclic.append(component)
+    return cyclic

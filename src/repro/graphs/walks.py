@@ -1,0 +1,70 @@
+"""Closed-walk analyses over digraphs.
+
+Theorem 4.2's ring construction places one local deadlock per ring position
+along a *closed walk* of the deadlock-induced RCG.  Consequently, the exact
+set of ring sizes that can globally deadlock outside ``I`` is::
+
+    { K : the induced RCG has a closed walk of length K
+          through an illegitimate local deadlock }
+
+This module computes those lengths by dynamic programming over path lengths
+(a boolean "is there a walk of length L from u to v" table).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.graphs.digraph import Digraph
+
+
+def closed_walk_lengths(graph: Digraph, through: Iterable[Hashable],
+                        upto: int) -> set[int]:
+    """Lengths ``1..upto`` of closed walks through any vertex of *through*.
+
+    A closed walk of length ``L`` through vertex ``v`` is a sequence of
+    ``L`` edges starting and ending at ``v``.  The result is the union over
+    all ``v`` in *through*.
+    """
+    anchors = [v for v in through if v in graph]
+    if not anchors:
+        return set()
+    nodes = graph.nodes
+    index = {node: i for i, node in enumerate(nodes)}
+    n = len(nodes)
+    successors = [sorted((index[s] for s in graph.successors(node)))
+                  for node in nodes]
+
+    lengths: set[int] = set()
+    for anchor in anchors:
+        start = index[anchor]
+        # reachable[L] = set of node indices reachable from anchor in L steps
+        current = {start}
+        reach_by_len = [current]
+        for _ in range(upto):
+            nxt = set()
+            for u in current:
+                nxt.update(successors[u])
+            reach_by_len.append(nxt)
+            current = nxt
+            if not current:
+                break
+        # Walk of length L from anchor back to anchor closes at anchor.
+        for length in range(1, min(upto, len(reach_by_len) - 1) + 1):
+            if start in reach_by_len[length]:
+                lengths.add(length)
+    return lengths
+
+
+def shortest_closed_walk(graph: Digraph,
+                         vertex: Hashable) -> list[Hashable] | None:
+    """A shortest closed walk through *vertex*, as a node list.
+
+    Returns ``[vertex, v1, ..., vk]`` meaning the edge sequence
+    ``vertex -> v1 -> ... -> vk -> vertex``, or ``None`` when *vertex* lies
+    on no cycle.  Because the walk is shortest, it is in fact a simple
+    cycle.
+    """
+    from repro.graphs.cycles import find_cycle_through
+
+    return find_cycle_through(graph, vertex)

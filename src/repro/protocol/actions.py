@@ -1,0 +1,128 @@
+"""Guarded-command actions and local transitions.
+
+An action ``grd_r -> stmt_r`` (Dijkstra's guarded-command notation,
+Section 2.1) is represented by two callables over a
+:class:`~repro.protocol.localstate.LocalView`:
+
+* ``guard(view) -> bool`` — a local predicate over the read window;
+* ``effect(view) -> value | cell | list`` — the new owned values.  A bare
+  value is accepted for single-variable processes; a list (or tuple of
+  cells wrapped in a list) expresses nondeterministic choice, e.g. action
+  ``A_2`` of Example 4.2 (``m_r := right | left``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.localstate import Cell, LocalState, LocalView
+
+
+@dataclass(frozen=True)
+class Action:
+    """A guarded command of the representative process.
+
+    ``source_text`` optionally records the DSL string the action was parsed
+    from, for pretty-printing synthesized protocols.
+    """
+
+    name: str
+    guard: Callable[[LocalView], bool]
+    effect: Callable[[LocalView], object]
+    source_text: str | None = field(default=None, compare=False)
+
+    def result_cells(self, view: LocalView,
+                     normalize: Callable[[object], Cell]) -> list[Cell]:
+        """Evaluate the effect at *view* and normalize to a list of cells.
+
+        *normalize* is supplied by the local state space and validates the
+        written values against the variable domains.
+        """
+        raw = self.effect(view)
+        if isinstance(raw, list):
+            alternatives: Iterable[object] = raw
+        else:
+            alternatives = [raw]
+        cells = []
+        for alternative in alternatives:
+            cell = normalize(alternative)
+            if cell not in cells:
+                cells.append(cell)
+        if not cells:
+            raise ProtocolDefinitionError(
+                f"action {self.name!r} produced no result cells")
+        return cells
+
+    def __str__(self) -> str:
+        if self.source_text:
+            return f"{self.name}: {self.source_text}"
+        return f"{self.name}: <callable guard> -> <callable effect>"
+
+
+@dataclass(frozen=True, order=True)
+class LocalTransition:
+    """A local transition ``(s_r^l, s_r^l')`` of the representative process.
+
+    Only the offset-0 (writable) cell differs between source and target;
+    this invariant is established by the enumeration in
+    :meth:`~repro.protocol.localstate.LocalStateSpace.transitions` and
+    re-checked here.
+
+    The *label* carries action provenance and is excluded from equality:
+    the paper identifies a transition with its state pair.
+    """
+
+    source: LocalState
+    target: LocalState
+    label: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.source.left != self.target.left:
+            raise ProtocolDefinitionError(
+                "transition endpoints have different windows")
+        for offset in self.source.offsets:
+            if offset == 0:
+                continue
+            if self.source.cell(offset) != self.target.cell(offset):
+                raise ProtocolDefinitionError(
+                    f"local transition {self.source} -> {self.target} "
+                    f"writes a non-owned cell at offset {offset}")
+
+    @property
+    def write_projection(self) -> tuple[Cell, Cell]:
+        """The transition projected on the writable variables ``W_r``.
+
+        This is the (old cell, new cell) pair at offset 0, the object that
+        pseudo-livelock analysis (Definition 5.13) chains into cycles.
+        """
+        return (self.source.own, self.target.own)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the transition leaves the owned cell unchanged."""
+        return self.source.own == self.target.own
+
+    def __str__(self) -> str:
+        label = f" [{self.label}]" if self.label else ""
+        return f"{self.source} → {self.target}{label}"
+
+
+def transition_between(space, source: LocalState,
+                       target_cell: object) -> LocalTransition:
+    """Construct a labelled transition from *source* writing *target_cell*.
+
+    Convenience used by synthesis when materializing candidate t-arcs.
+    """
+    cell = space._normalize_cell(target_cell)
+    target = source.replace_own(cell)
+    old = _cell_repr(source.own)
+    new = _cell_repr(cell)
+    return LocalTransition(source, target, label=f"t[{old}->{new}]")
+
+
+def _cell_repr(cell: Cell) -> str:
+    if len(cell) == 1:
+        return str(cell[0])
+    return "(" + ",".join(str(v) for v in cell) + ")"

@@ -1,0 +1,250 @@
+"""Parameterized protocols on open chains (linear arrays).
+
+The paper notes (after Definition 4.1) that the continuation relation
+"naturally extends to network topologies other than rings", and lists
+non-ring topologies as future work; acyclic topologies are also the
+setting where circulating corruptions — the hard part of rings — cannot
+occur.  This module instantiates that extension for the simplest acyclic
+topology, the **chain** ``P_0 — P_1 — … — P_{K-1}``:
+
+* the process template and legitimacy constraint are exactly those of
+  ring protocols;
+* positions past either end of the chain read fixed *boundary cells*
+  (a virtual process ``P_{-1}`` holding ``left_boundary`` and, for
+  processes that read successors, a virtual ``P_K`` holding
+  ``right_boundary``), so every process still evaluates the same guarded
+  commands over a full window.
+
+With this convention, a global chain state of size K corresponds to a
+length-K *walk* of the ring RCG whose first (last) vertex agrees with
+the left (right) boundary — which is what makes the exact chain deadlock
+analysis of :mod:`repro.core.chains` work.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.instance import Move
+from repro.protocol.localstate import Cell, LocalState
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import Legitimacy, RingProtocol
+
+GlobalState = tuple
+
+
+class ChainProtocol:
+    """A parameterized protocol on an open chain, for all K.
+
+    Parameters mirror :class:`~repro.protocol.ring.RingProtocol`, plus
+    the boundary cells.  Boundary values must come from the declared
+    variable domains (add a sentinel value to the domain if the boundary
+    should be distinguishable from real states).
+    """
+
+    def __init__(self, name: str, process: ProcessTemplate,
+                 legitimacy: Legitimacy,
+                 left_boundary: object = None,
+                 right_boundary: object = None,
+                 description: str = "") -> None:
+        # Reuse the ring machinery for the local space and legitimacy.
+        self._core = RingProtocol(name, process, legitimacy,
+                                  description=description)
+        space = self._core.space
+        if process.reads_left > 0:
+            if left_boundary is None:
+                raise ProtocolDefinitionError(
+                    "chain processes read predecessors: left_boundary "
+                    "required")
+            self.left_boundary: Cell | None = \
+                space._normalize_cell(left_boundary)
+        else:
+            self.left_boundary = None
+        if process.reads_right > 0:
+            if right_boundary is None:
+                raise ProtocolDefinitionError(
+                    "chain processes read successors: right_boundary "
+                    "required")
+            self.right_boundary: Cell | None = \
+                space._normalize_cell(right_boundary)
+        else:
+            self.right_boundary = None
+
+    # Delegation ---------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._core.name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._core.name = value
+
+    @property
+    def description(self) -> str:
+        return self._core.description
+
+    @property
+    def process(self) -> ProcessTemplate:
+        return self._core.process
+
+    @property
+    def space(self):
+        return self._core.space
+
+    @property
+    def legitimacy(self):
+        return self._core.legitimacy
+
+    @property
+    def unidirectional(self) -> bool:
+        return self._core.unidirectional
+
+    def is_legitimate(self, state: LocalState) -> bool:
+        return self._core.is_legitimate(state)
+
+    def legitimate_states(self):
+        return self._core.legitimate_states()
+
+    def illegitimate_states(self):
+        return self._core.illegitimate_states()
+
+    def pretty(self) -> str:
+        text = self._core.pretty().replace(" ring)", " chain)")
+        boundaries = []
+        if self.left_boundary is not None:
+            boundaries.append(f"left boundary = {self.left_boundary}")
+        if self.right_boundary is not None:
+            boundaries.append(f"right boundary = {self.right_boundary}")
+        return text + "\n  " + ", ".join(boundaries)
+
+    # ------------------------------------------------------------------
+    def boundary_consistent_left(self, state: LocalState) -> bool:
+        """Whether *state* can be the local state of ``P_0``: every
+        negative-offset cell equals the left boundary."""
+        return all(state.cell(o) == self.left_boundary
+                   for o in state.offsets if o < 0)
+
+    def boundary_consistent_right(self, state: LocalState) -> bool:
+        """Whether *state* can be the local state of ``P_{K-1}``."""
+        return all(state.cell(o) == self.right_boundary
+                   for o in state.offsets if o > 0)
+
+    def instantiate(self, size: int) -> "ChainInstance":
+        """The concrete chain with *size* processes."""
+        return ChainInstance(self, size)
+
+    def extended_with(self, actions, name: str | None = None,
+                      ) -> "ChainProtocol":
+        """A chain protocol with *actions* added (synthesis output)."""
+        clone = ChainProtocol.__new__(ChainProtocol)
+        clone._core = self._core.extended_with(actions, name=name)
+        clone.left_boundary = self.left_boundary
+        clone.right_boundary = self.right_boundary
+        return clone
+
+    def __repr__(self) -> str:
+        return (f"ChainProtocol({self.name!r}, "
+                f"actions={len(self.process.actions)})")
+
+
+class ChainInstance:
+    """A concrete chain of K processes (duck-type compatible with
+    :class:`~repro.protocol.instance.RingInstance`)."""
+
+    def __init__(self, protocol: ChainProtocol, size: int) -> None:
+        if size < 1:
+            raise ProtocolDefinitionError("chains need >= 1 process")
+        self.protocol = protocol
+        self.size = size
+        self._space = protocol.space
+
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return len(self._space.cells) ** self.size
+
+    def states(self) -> Iterator[GlobalState]:
+        return product(self._space.cells, repeat=self.size)
+
+    def state_of(self, *cells: object) -> GlobalState:
+        if len(cells) != self.size:
+            raise ProtocolDefinitionError(
+                f"expected {self.size} cells, got {len(cells)}")
+        return tuple(self._space._normalize_cell(c) for c in cells)
+
+    def uniform_state(self, cell: object) -> GlobalState:
+        normalized = self._space._normalize_cell(cell)
+        return tuple(normalized for _ in range(self.size))
+
+    # ------------------------------------------------------------------
+    def local_state(self, state: GlobalState, process: int) -> LocalState:
+        offsets = self.protocol.process.window_offsets
+        cells = []
+        for offset in offsets:
+            position = process + offset
+            if position < 0:
+                cells.append(self.protocol.left_boundary)
+            elif position >= self.size:
+                cells.append(self.protocol.right_boundary)
+            else:
+                cells.append(state[position])
+        return LocalState(tuple(cells), self.protocol.process.reads_left)
+
+    def local_states(self, state: GlobalState) -> list[LocalState]:
+        return [self.local_state(state, r) for r in range(self.size)]
+
+    # ------------------------------------------------------------------
+    def moves_of(self, state: GlobalState, process: int) -> list[Move]:
+        local = self.local_state(state, process)
+        moves = []
+        for action in self._space.enabled_actions(local):
+            for target_local in self._space.targets(local, action):
+                cells = list(state)
+                cells[process] = target_local.own
+                moves.append(Move(process, action.name, tuple(cells)))
+        return moves
+
+    def moves(self, state: GlobalState) -> list[Move]:
+        result = []
+        for process in range(self.size):
+            result.extend(self.moves_of(state, process))
+        return result
+
+    def successors(self, state: GlobalState) -> list[GlobalState]:
+        seen = []
+        for move in self.moves(state):
+            if move.target not in seen:
+                seen.append(move.target)
+        return seen
+
+    def enabled_processes(self, state: GlobalState) -> list[int]:
+        return [r for r in range(self.size)
+                if self._space.is_enabled(self.local_state(state, r))]
+
+    def is_deadlock(self, state: GlobalState) -> bool:
+        return not self.enabled_processes(state)
+
+    # ------------------------------------------------------------------
+    def invariant_holds(self, state: GlobalState) -> bool:
+        return all(self.protocol.is_legitimate(self.local_state(state, r))
+                   for r in range(self.size))
+
+    def corrupted_processes(self, state: GlobalState) -> list[int]:
+        return [r for r in range(self.size)
+                if not self.protocol.is_legitimate(
+                    self.local_state(state, r))]
+
+    def invariant_states(self) -> Iterator[GlobalState]:
+        return (s for s in self.states() if self.invariant_holds(s))
+
+    def format_state(self, state: GlobalState) -> str:
+        def fmt(cell: Cell) -> str:
+            return "".join(str(v)[0] if isinstance(v, str) else str(v)
+                           for v in cell)
+
+        return "[" + " ".join(fmt(c) for c in state) + "]"
+
+    def __repr__(self) -> str:
+        return f"ChainInstance({self.protocol.name!r}, K={self.size})"

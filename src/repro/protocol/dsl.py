@@ -1,0 +1,156 @@
+"""A guarded-command text DSL.
+
+The paper presents protocols in Dijkstra's guarded-command notation; this
+module parses an ASCII rendition of it::
+
+    m[-1] == 'left' and m[0] != 'self' and m[1] == 'right' -> m := 'self'
+
+Grammar
+-------
+* An **action** is ``guard -> statement``.
+* The **guard** is a boolean expression (see :mod:`repro.protocol.expr`);
+  variables are referenced as ``name[offset]``.
+* The **statement** is one or more *alternatives* separated by a top-level
+  ``|`` (nondeterministic choice, as in ``m := 'right' | 'left'`` of
+  Example 4.2's action ``A_2``).  Each alternative is a comma-separated
+  list of assignments ``name := expr``; unassigned owned variables keep
+  their values.  All assignments of an alternative are applied atomically
+  (right-hand sides see the pre-state).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.errors import DslNameError, DslSyntaxError
+from repro.protocol.actions import Action
+from repro.protocol.expr import compile_expression, compile_predicate
+from repro.protocol.localstate import LocalView
+from repro.protocol.variables import Variable
+
+
+def split_top_level(text: str, separator: str) -> list[str]:
+    """Split *text* on *separator* outside parentheses/brackets/quotes."""
+    parts: list[str] = []
+    depth = 0
+    quote: str | None = None
+    current: list[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if quote is not None:
+            current.append(char)
+            if char == quote:
+                quote = None
+        elif char in "'\"":
+            quote = char
+            current.append(char)
+        elif char in "([":
+            depth += 1
+            current.append(char)
+        elif char in ")]":
+            depth -= 1
+            current.append(char)
+        elif depth == 0 and text.startswith(separator, i):
+            parts.append("".join(current))
+            current = []
+            i += len(separator)
+            continue
+        else:
+            current.append(char)
+        i += 1
+    if quote is not None:
+        raise DslSyntaxError(f"unterminated quote in {text!r}")
+    if depth != 0:
+        raise DslSyntaxError(f"unbalanced brackets in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_assignment(text: str, variables: Sequence[Variable],
+                      writable: set[str],
+                      ) -> tuple[str, list[Callable]]:
+    """Parse ``name := expr | expr | ...`` into (name, alternatives)."""
+    pieces = text.split(":=")
+    if len(pieces) != 2:
+        raise DslSyntaxError(f"assignment must be 'name := expr', "
+                             f"got {text!r}")
+    name = pieces[0].strip()
+    if name not in {v.name for v in variables}:
+        raise DslNameError(f"unknown variable {name!r} in assignment "
+                           f"{text!r}")
+    if name not in writable:
+        raise DslSyntaxError(f"variable {name!r} is not writable")
+    alternatives = [compile_expression(piece, variables)
+                    for piece in split_top_level(pieces[1], "|")]
+    return name, alternatives
+
+
+def parse_action(text: str, variables: Iterable[Variable],
+                 name: str = "A") -> Action:
+    """Parse ``guard -> statement`` into an :class:`Action`.
+
+    >>> from repro.protocol.variables import ranged
+    >>> a = parse_action("x[-1] == 1 and x[0] == 0 -> x := 1",
+    ...                  [ranged("x", 2)], name="t01")
+    >>> a.name
+    't01'
+    """
+    variables = tuple(variables)
+    writable = {v.name for v in variables}
+    halves = split_top_level(text, "->")
+    if len(halves) != 2:
+        raise DslSyntaxError(
+            f"action must be 'guard -> statement', got {text!r}")
+    guard_text, statement_text = halves[0].strip(), halves[1].strip()
+    guard = compile_predicate(guard_text, variables)
+
+    assignments = [
+        _parse_assignment(piece, variables, writable)
+        for piece in split_top_level(statement_text, ",")
+    ]
+    if not assignments:
+        raise DslSyntaxError(f"empty statement in {text!r}")
+
+    positions = {v.name: i for i, v in enumerate(variables)}
+
+    def effect(view: LocalView) -> list[tuple]:
+        # Nondeterministic alternatives per assignment compose by
+        # Cartesian product; all writes of one choice happen atomically
+        # against the pre-state view.
+        results = [list(view.cell(0))]
+        for var_name, expressions in assignments:
+            expanded = []
+            for cell in results:
+                for expression in expressions:
+                    updated = list(cell)
+                    updated[positions[var_name]] = expression(view)
+                    expanded.append(updated)
+            results = expanded
+        return [tuple(cell) for cell in results]
+
+    return Action(name=name, guard=guard, effect=effect, source_text=text)
+
+
+def parse_actions(texts: Iterable[str | tuple[str, str]],
+                  variables: Iterable[Variable],
+                  prefix: str = "A") -> tuple[Action, ...]:
+    """Parse several actions; items may be strings or ``(name, text)``.
+
+    Unnamed actions are labelled ``A1, A2, ...`` with the given *prefix*.
+    """
+    variables = tuple(variables)
+    actions = []
+    for i, item in enumerate(texts, start=1):
+        if isinstance(item, tuple):
+            action_name, text = item
+        else:
+            action_name, text = f"{prefix}{i}", item
+        actions.append(parse_action(text, variables, name=action_name))
+    return tuple(actions)
+
+
+def parse_predicate(text: str, variables: Iterable[Variable],
+                    ) -> Callable[[LocalView], bool]:
+    """Parse a local predicate (e.g. a legitimacy constraint ``LC_r``)."""
+    return compile_predicate(text, tuple(variables))

@@ -1,0 +1,151 @@
+"""Concrete ring instances ``p(K)``.
+
+A global state of ``p(K)`` is a tuple of ``K`` cells, cell ``r`` holding the
+owned-variable values of process ``P_r``.  The instance exposes the global
+transition relation under interleaving semantics: each global transition is
+one process executing one enabled action atomically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING, Iterator
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.localstate import Cell, LocalState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.ring import RingProtocol
+
+GlobalState = tuple
+"""A global state: tuple of K cells."""
+
+
+@dataclass(frozen=True)
+class Move:
+    """One enabled global transition: process *r* runs *action* and the
+    ring moves to *target*."""
+
+    process: int
+    action: str
+    target: GlobalState
+
+
+class RingInstance:
+    """The protocol instance with a fixed number of processes."""
+
+    def __init__(self, protocol: "RingProtocol", size: int) -> None:
+        if size < protocol.process.window_width:
+            raise ProtocolDefinitionError(
+                f"ring size {size} smaller than the read window "
+                f"({protocol.process.window_width}); the instance would be "
+                f"degenerate")
+        self.protocol = protocol
+        self.size = size
+        self._space = protocol.space
+
+    # ------------------------------------------------------------------
+    # State enumeration
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        """``|S_p(K)|`` — the number of global states."""
+        return len(self._space.cells) ** self.size
+
+    def states(self) -> Iterator[GlobalState]:
+        """Iterate over every global state (lazily)."""
+        return product(self._space.cells, repeat=self.size)
+
+    def state_of(self, *cells: object) -> GlobalState:
+        """Build a global state from one value/cell per process."""
+        if len(cells) != self.size:
+            raise ProtocolDefinitionError(
+                f"expected {self.size} cells, got {len(cells)}")
+        return tuple(self._space._normalize_cell(c) for c in cells)
+
+    def uniform_state(self, cell: object) -> GlobalState:
+        """The global state assigning the same cell to every process."""
+        normalized = self._space._normalize_cell(cell)
+        return tuple(normalized for _ in range(self.size))
+
+    # ------------------------------------------------------------------
+    # Local projections
+    # ------------------------------------------------------------------
+    def local_state(self, state: GlobalState, process: int) -> LocalState:
+        """The projection of *state* on the read window of ``P_process``."""
+        offsets = self.protocol.process.window_offsets
+        cells = tuple(state[(process + o) % self.size] for o in offsets)
+        return LocalState(cells, self.protocol.process.reads_left)
+
+    def local_states(self, state: GlobalState) -> list[LocalState]:
+        """Local states of every process, by ring position."""
+        return [self.local_state(state, r) for r in range(self.size)]
+
+    # ------------------------------------------------------------------
+    # Transition relation
+    # ------------------------------------------------------------------
+    def moves_of(self, state: GlobalState, process: int) -> list[Move]:
+        """Enabled moves of one process at *state*."""
+        local = self.local_state(state, process)
+        moves = []
+        for action in self._space.enabled_actions(local):
+            for target_local in self._space.targets(local, action):
+                cells = list(state)
+                cells[process] = target_local.own
+                moves.append(Move(process, action.name, tuple(cells)))
+        return moves
+
+    def moves(self, state: GlobalState) -> list[Move]:
+        """All enabled moves at *state*, over all processes."""
+        result = []
+        for process in range(self.size):
+            result.extend(self.moves_of(state, process))
+        return result
+
+    def successors(self, state: GlobalState) -> list[GlobalState]:
+        """Distinct successor states of *state*."""
+        seen = []
+        for move in self.moves(state):
+            if move.target not in seen:
+                seen.append(move.target)
+        return seen
+
+    def enabled_processes(self, state: GlobalState) -> list[int]:
+        """Ring positions whose process has an enabled action."""
+        return [r for r in range(self.size)
+                if self._space.is_enabled(self.local_state(state, r))]
+
+    def is_deadlock(self, state: GlobalState) -> bool:
+        """Whether no process is enabled at *state*."""
+        return not self.enabled_processes(state)
+
+    # ------------------------------------------------------------------
+    # Invariant
+    # ------------------------------------------------------------------
+    def invariant_holds(self, state: GlobalState) -> bool:
+        """Whether ``I(K) = ∧_r LC_r`` holds at *state*."""
+        return all(self.protocol.is_legitimate(self.local_state(state, r))
+                   for r in range(self.size))
+
+    def corrupted_processes(self, state: GlobalState) -> list[int]:
+        """Positions whose local state violates ``LC_r``."""
+        return [r for r in range(self.size)
+                if not self.protocol.is_legitimate(self.local_state(state, r))]
+
+    def invariant_states(self) -> Iterator[GlobalState]:
+        """All global states inside ``I(K)``."""
+        return (s for s in self.states() if self.invariant_holds(s))
+
+    # ------------------------------------------------------------------
+    def format_state(self, state: GlobalState) -> str:
+        """Compact rendering, e.g. ``(l s r l s)`` for matching rings."""
+        def fmt(cell: Cell) -> str:
+            parts = [str(v)[0] if isinstance(v, str) else str(v)
+                     for v in cell]
+            return "".join(parts)
+
+        return "(" + " ".join(fmt(c) for c in state) + ")"
+
+    def __repr__(self) -> str:
+        return f"RingInstance({self.protocol.name!r}, K={self.size})"

@@ -1,0 +1,303 @@
+"""Local states, local views and the local state space of a process.
+
+A *local state* of the representative process ``P_r`` is a valuation of the
+variables ``P_r`` can read (Section 2.1).  With a contiguous read window of
+offsets ``-left .. +right`` around the process, a local state is a tuple of
+*cells*, one cell per window position, where a cell is the tuple of values
+of the variables owned by the process at that position.
+
+Example (maximal matching, bidirectional, single variable ``m``)::
+
+    window offsets : -1        0         +1
+    local state    : (("left",), ("left",), ("self",))   # ⟨l, l, s⟩
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.errors import DomainError, ProtocolDefinitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.protocol.actions import Action, LocalTransition
+    from repro.protocol.process import ProcessTemplate
+
+Cell = tuple
+"""Values of the owned variables of one process, in declaration order."""
+
+
+@dataclass(frozen=True)
+class LocalState:
+    """An immutable valuation of a process's read window.
+
+    ``cells[i]`` holds the owned-variable values of the process at window
+    offset ``i - left``.  Instances are hashable and order-comparable (by
+    cell tuples), so they can serve directly as graph vertices.
+    """
+
+    cells: tuple[Cell, ...]
+    left: int
+
+    def cell(self, offset: int) -> Cell:
+        """The cell at window *offset* (0 = the process itself)."""
+        position = offset + self.left
+        if not 0 <= position < len(self.cells):
+            raise ProtocolDefinitionError(
+                f"offset {offset} outside the read window "
+                f"[{-self.left}..{len(self.cells) - 1 - self.left}]")
+        return self.cells[position]
+
+    @property
+    def own(self) -> Cell:
+        """The process's own (writable) cell — offset 0."""
+        return self.cells[self.left]
+
+    def replace_own(self, cell: Cell) -> "LocalState":
+        """A copy of this state with the offset-0 cell replaced."""
+        cells = list(self.cells)
+        cells[self.left] = cell
+        return LocalState(tuple(cells), self.left)
+
+    @property
+    def offsets(self) -> range:
+        """The window offsets this state covers."""
+        return range(-self.left, len(self.cells) - self.left)
+
+    def __lt__(self, other: "LocalState") -> bool:
+        return self.cells < other.cells
+
+    def __str__(self) -> str:
+        def fmt(cell: Cell) -> str:
+            inner = ",".join(str(v) for v in cell)
+            return inner if len(cell) == 1 else f"({inner})"
+
+        return "⟨" + " ".join(fmt(c) for c in self.cells) + "⟩"
+
+
+class LocalView:
+    """Read access to a local state for guard/effect callables.
+
+    * ``view[offset]`` — value of the **single** owned variable at *offset*
+      (only valid for one-variable processes, which covers every protocol in
+      the paper);
+    * ``view.get(name, offset=0)`` — value of variable *name* at *offset*;
+    * ``view.cell(offset)`` — the full cell tuple.
+    """
+
+    __slots__ = ("_state", "_positions")
+
+    def __init__(self, state: LocalState, positions: dict[str, int]) -> None:
+        self._state = state
+        self._positions = positions
+
+    def __getitem__(self, offset: int) -> object:
+        cell = self._state.cell(offset)
+        if len(cell) != 1:
+            raise ProtocolDefinitionError(
+                "view[offset] is only defined for single-variable processes;"
+                " use view.get(name, offset)")
+        return cell[0]
+
+    def get(self, name: str, offset: int = 0) -> object:
+        """Value of variable *name* at window *offset*."""
+        try:
+            position = self._positions[name]
+        except KeyError:
+            raise ProtocolDefinitionError(
+                f"unknown variable {name!r}") from None
+        return self._state.cell(offset)[position]
+
+    def cell(self, offset: int) -> Cell:
+        """The full cell tuple at *offset*."""
+        return self._state.cell(offset)
+
+    @property
+    def state(self) -> LocalState:
+        """The underlying local state."""
+        return self._state
+
+    @property
+    def offsets(self) -> range:
+        """The window offsets available to this view."""
+        return self._state.offsets
+
+
+class LocalStateSpace:
+    """The finite local state space ``S_r^l`` of a representative process.
+
+    Enumerates all local states (the product of owned-cell valuations over
+    the read window), evaluates actions to produce the local transition set
+    ``δ_r``, and implements the right-continuation relation of
+    Definition 4.1.
+    """
+
+    def __init__(self, process: "ProcessTemplate") -> None:
+        self.process = process
+        self._positions = {v.name: i
+                           for i, v in enumerate(process.variables)}
+        self._states: tuple[LocalState, ...] | None = None
+        self._index: dict[LocalState, int] | None = None
+        self._transitions: tuple["LocalTransition", ...] | None = None
+
+    # ------------------------------------------------------------------
+    # State enumeration
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> tuple[Cell, ...]:
+        """All possible cells (valuations of the owned variables)."""
+        domains = [v.domain for v in self.process.variables]
+        return tuple(product(*domains))
+
+    @property
+    def states(self) -> tuple[LocalState, ...]:
+        """All local states, in a fixed deterministic order."""
+        if self._states is None:
+            width = self.process.window_width
+            left = self.process.reads_left
+            self._states = tuple(
+                LocalState(combo, left)
+                for combo in product(self.cells, repeat=width))
+        return self._states
+
+    def index(self, state: LocalState) -> int:
+        """Position of *state* in :attr:`states`."""
+        if self._index is None:
+            self._index = {s: i for i, s in enumerate(self.states)}
+        return self._index[state]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def __iter__(self) -> Iterator[LocalState]:
+        return iter(self.states)
+
+    def view(self, state: LocalState) -> LocalView:
+        """A :class:`LocalView` over *state*."""
+        return LocalView(state, self._positions)
+
+    def state_of(self, *cells: object) -> LocalState:
+        """Build a local state from per-offset values, left to right.
+
+        Each argument is either a bare value (single-variable processes) or
+        a cell tuple.  ``state_of("left", "left", "self")`` builds the
+        matching state ⟨l,l,s⟩.
+        """
+        if len(cells) != self.process.window_width:
+            raise ProtocolDefinitionError(
+                f"expected {self.process.window_width} cells, "
+                f"got {len(cells)}")
+        normalized = tuple(self._normalize_cell(c) for c in cells)
+        return LocalState(normalized, self.process.reads_left)
+
+    def _normalize_cell(self, cell: object) -> Cell:
+        variables = self.process.variables
+        if not isinstance(cell, tuple):
+            cell = (cell,)
+        if len(cell) != len(variables):
+            raise ProtocolDefinitionError(
+                f"cell {cell!r} does not match the {len(variables)} owned "
+                f"variable(s)")
+        for value, variable in zip(cell, variables):
+            if value not in variable:
+                raise DomainError(
+                    f"{value!r} is not in the domain of {variable.name!r}")
+        return cell
+
+    # ------------------------------------------------------------------
+    # Action semantics
+    # ------------------------------------------------------------------
+    def enabled_actions(self, state: LocalState) -> list["Action"]:
+        """Actions whose guard holds at *state*."""
+        view = self.view(state)
+        return [a for a in self.process.actions if a.guard(view)]
+
+    def is_enabled(self, state: LocalState) -> bool:
+        """Whether any action is enabled at *state* (an *enablement*)."""
+        view = self.view(state)
+        return any(a.guard(view) for a in self.process.actions)
+
+    def is_deadlock(self, state: LocalState) -> bool:
+        """Whether *state* is a local deadlock (no action enabled)."""
+        return not self.is_enabled(state)
+
+    def targets(self, state: LocalState, action: "Action") -> list[LocalState]:
+        """Local states reachable from *state* by one execution of *action*.
+
+        Nondeterministic effects yield several targets.  Writes that leave
+        the owned cell unchanged are dropped: they are global stutters and
+        the paper's transition model (a local transition changes ``W_r``)
+        excludes them.
+        """
+        view = self.view(state)
+        results = []
+        for cell in action.result_cells(view, self._normalize_cell):
+            if cell != state.own:
+                results.append(state.replace_own(cell))
+        return results
+
+    @property
+    def transitions(self) -> tuple["LocalTransition", ...]:
+        """The local transition set ``δ_r`` induced by the actions.
+
+        Transitions are deduplicated by (source, target); when several
+        actions induce the same state change the labels are joined with
+        ``+`` (the pair of states *is* the transition in the paper's
+        formalism — labels are provenance only).
+        """
+        from repro.protocol.actions import LocalTransition
+
+        if self._transitions is None:
+            merged: dict[tuple[LocalState, LocalState], list[str]] = {}
+            for state in self.states:
+                view = self.view(state)
+                for action in self.process.actions:
+                    if not action.guard(view):
+                        continue
+                    for target in self.targets(state, action):
+                        key = (state, target)
+                        merged.setdefault(key, [])
+                        if action.name not in merged[key]:
+                            merged[key].append(action.name)
+            self._transitions = tuple(
+                LocalTransition(source, target, "+".join(labels))
+                for (source, target), labels in merged.items())
+        return self._transitions
+
+    # ------------------------------------------------------------------
+    # Continuation relation (Definition 4.1)
+    # ------------------------------------------------------------------
+    def continues(self, state: LocalState, candidate: LocalState) -> bool:
+        """Whether *candidate* is a right continuation of *state*.
+
+        ``candidate`` (a local state of ``P_{r+1}``) continues ``state``
+        (of ``P_r``) iff they agree on every ring position both windows
+        read: for every offset ``o`` with ``o-1`` also in the window,
+        ``state.cell(o) == candidate.cell(o-1)``.
+        """
+        offsets = self.process.window_offsets
+        for offset in offsets:
+            if offset - 1 in offsets:
+                if state.cell(offset) != candidate.cell(offset - 1):
+                    return False
+        return True
+
+    def right_continuations(self, state: LocalState) -> list[LocalState]:
+        """All right continuations of *state*."""
+        return [s for s in self.states if self.continues(state, s)]
+
+    # ------------------------------------------------------------------
+    # Deadlock / legitimacy partitions
+    # ------------------------------------------------------------------
+    def deadlocks(self) -> tuple[LocalState, ...]:
+        """All local deadlock states."""
+        return tuple(s for s in self.states if self.is_deadlock(s))
+
+    def partition(self, predicate: Callable[[LocalView], bool],
+                  ) -> tuple[tuple[LocalState, ...], tuple[LocalState, ...]]:
+        """Split the space into (satisfying, violating) for *predicate*."""
+        good, bad = [], []
+        for state in self.states:
+            (good if predicate(self.view(state)) else bad).append(state)
+        return tuple(good), tuple(bad)

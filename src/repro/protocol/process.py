@@ -1,0 +1,94 @@
+"""The representative (template) process ``P_r``.
+
+All K processes of a parameterized ring are instantiated from one template
+by index substitution (Section 2.1).  The template declares:
+
+* the variables each process **owns** (and can write) — the paper's ``W_r``
+  restricted to one process, replicated per ring position;
+* how many predecessors (``reads_left``) and successors (``reads_right``)
+  it can read — together with its own variables this forms ``R_r``;
+* its guarded-command actions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.actions import Action
+from repro.protocol.localstate import LocalStateSpace
+from repro.protocol.variables import Variable
+
+
+@dataclass(frozen=True)
+class ProcessTemplate:
+    """The representative process of a parameterized ring protocol.
+
+    >>> from repro.protocol.variables import ranged
+    >>> from repro.protocol.dsl import parse_action
+    >>> x = ranged("x", 2)
+    >>> agree = parse_action("x[-1] == 1 and x[0] == 0 -> x := 1", [x])
+    >>> P = ProcessTemplate(variables=(x,), actions=(agree,))
+    >>> P.window_width   # unidirectional default: reads x[-1] and x[0]
+    2
+    """
+
+    variables: tuple[Variable, ...]
+    actions: tuple[Action, ...] = ()
+    reads_left: int = 1
+    reads_right: int = 0
+    name: str = "P"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.variables, tuple):
+            object.__setattr__(self, "variables", tuple(self.variables))
+        if not isinstance(self.actions, tuple):
+            object.__setattr__(self, "actions", tuple(self.actions))
+        if not self.variables:
+            raise ProtocolDefinitionError("a process owns at least one "
+                                          "variable")
+        names = [v.name for v in self.variables]
+        if len(set(names)) != len(names):
+            raise ProtocolDefinitionError(f"duplicate variable names in "
+                                          f"{names}")
+        if self.reads_left < 0 or self.reads_right < 0:
+            raise ProtocolDefinitionError("read window sizes must be >= 0")
+        if self.reads_left == 0 and self.reads_right == 0:
+            raise ProtocolDefinitionError(
+                "a ring process must read at least one neighbour")
+
+    # ------------------------------------------------------------------
+    @property
+    def window_offsets(self) -> range:
+        """Ring offsets the process reads: ``-reads_left .. +reads_right``."""
+        return range(-self.reads_left, self.reads_right + 1)
+
+    @property
+    def window_width(self) -> int:
+        """Number of ring positions in the read window."""
+        return self.reads_left + self.reads_right + 1
+
+    @property
+    def unidirectional(self) -> bool:
+        """Whether the process reads no successor (information flows one
+        way around the ring, the setting of Section 5)."""
+        return self.reads_right == 0
+
+    def local_space(self) -> LocalStateSpace:
+        """A fresh :class:`LocalStateSpace` over this template.
+
+        The space caches state/transition enumerations, so callers should
+        hold on to one instance; :class:`repro.protocol.ring.RingProtocol`
+        does this for you.
+        """
+        return LocalStateSpace(self)
+
+    def with_actions(self, actions: Iterable[Action]) -> "ProcessTemplate":
+        """A copy of this template with *actions* replacing the current
+        ones (used when synthesis emits the stabilizing protocol)."""
+        return replace(self, actions=tuple(actions))
+
+    def extended_with(self, actions: Iterable[Action]) -> "ProcessTemplate":
+        """A copy with *actions* appended to the current ones."""
+        return replace(self, actions=self.actions + tuple(actions))

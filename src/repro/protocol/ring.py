@@ -1,0 +1,131 @@
+"""Parameterized ring protocols.
+
+A :class:`RingProtocol` bundles the representative process with a *locally
+conjunctive* set of legitimate states: ``I(K) = ∧_{r=0}^{K-1} LC_r`` where
+``LC_r`` is a local predicate over the read window (Section 2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Union
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.actions import Action
+from repro.protocol.dsl import parse_predicate
+from repro.protocol.localstate import LocalState, LocalStateSpace, LocalView
+from repro.protocol.process import ProcessTemplate
+
+Legitimacy = Union[str, Callable[[LocalView], bool]]
+
+
+class RingProtocol:
+    """A parameterized protocol ``p(K)`` on a ring, for all ``K``.
+
+    Parameters
+    ----------
+    name:
+        A human-readable protocol name.
+    process:
+        The representative process template.
+    legitimacy:
+        The local constraint ``LC_r``, either a DSL string (e.g.
+        ``"c[0] != c[-1]"``) or a callable over a ``LocalView``.
+    description:
+        Optional free-form documentation.
+    """
+
+    def __init__(self, name: str, process: ProcessTemplate,
+                 legitimacy: Legitimacy, description: str = "") -> None:
+        self.name = name
+        self.process = process
+        self.description = description
+        if isinstance(legitimacy, str):
+            self.legitimacy = parse_predicate(legitimacy, process.variables)
+        elif callable(legitimacy):
+            self.legitimacy = legitimacy
+        else:
+            raise ProtocolDefinitionError(
+                f"legitimacy must be a DSL string or callable, "
+                f"got {type(legitimacy).__name__}")
+        self._space: LocalStateSpace | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def space(self) -> LocalStateSpace:
+        """The (cached) local state space of the representative process."""
+        if self._space is None:
+            self._space = self.process.local_space()
+        return self._space
+
+    @property
+    def unidirectional(self) -> bool:
+        """Whether the underlying ring is unidirectional."""
+        return self.process.unidirectional
+
+    def is_legitimate(self, state: LocalState) -> bool:
+        """Whether ``LC_r`` holds at the local *state*."""
+        return bool(self.legitimacy(self.space.view(state)))
+
+    def legitimate_states(self) -> tuple[LocalState, ...]:
+        """All local states satisfying ``LC_r``."""
+        return tuple(s for s in self.space if self.is_legitimate(s))
+
+    def illegitimate_states(self) -> tuple[LocalState, ...]:
+        """All local states violating ``LC_r`` (the paper's ``¬LC_r``)."""
+        return tuple(s for s in self.space if not self.is_legitimate(s))
+
+    # ------------------------------------------------------------------
+    def instantiate(self, size: int):
+        """The concrete protocol instance ``p(K)`` with ``K = size``.
+
+        ``size`` must be at least the read-window width so that the window
+        positions of one process are distinct ring positions (smaller rings
+        are degenerate: a process would read the same neighbour twice).
+        """
+        from repro.protocol.instance import RingInstance
+
+        return RingInstance(self, size)
+
+    def with_actions(self, actions: Iterable[Action],
+                     name: str | None = None) -> "RingProtocol":
+        """A protocol with the same legitimacy but different actions."""
+        return RingProtocol(
+            name=name or f"{self.name}_revised",
+            process=self.process.with_actions(actions),
+            legitimacy=self.legitimacy,
+            description=self.description,
+        )
+
+    def extended_with(self, actions: Iterable[Action],
+                      name: str | None = None) -> "RingProtocol":
+        """A protocol with *actions* added to the existing ones.
+
+        This is the shape of Problem 3.1's output: recovery actions are
+        added while ``Δ_p|I`` is preserved (the new actions must only be
+        enabled outside ``LC_r``; synthesis guarantees this).
+        """
+        return RingProtocol(
+            name=name or f"{self.name}_ss",
+            process=self.process.extended_with(actions),
+            legitimacy=self.legitimacy,
+            description=self.description,
+        )
+
+    def pretty(self) -> str:
+        """A guarded-command listing of the protocol."""
+        lines = [f"protocol {self.name}"
+                 + (" (unidirectional ring)" if self.unidirectional
+                    else " (bidirectional ring)")]
+        variables = ", ".join(
+            f"{v.name} : {list(v.domain)}" for v in self.process.variables)
+        lines.append(f"  var {variables}")
+        legit = getattr(self.legitimacy, "source_text", None)
+        lines.append(f"  LC_r = {legit if legit else '<callable>'}")
+        for action in self.process.actions:
+            lines.append(f"  {action}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"RingProtocol({self.name!r}, "
+                f"actions={len(self.process.actions)}, "
+                f"window={list(self.process.window_offsets)})")

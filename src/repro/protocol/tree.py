@@ -1,0 +1,170 @@
+"""Concrete instances on rooted trees (parent-reading processes).
+
+Definition 4.1's closing note sketches how the continuation relation
+extends beyond rings: "we construct RCG of a tree from the locality of a
+non-root process".  For processes that read *parent and self* (the same
+window as a unidirectional chain), a tree instance is straightforward:
+every node evaluates the template's guarded commands against its
+parent's cell (the root reads the protocol's left boundary), and the
+invariant is the conjunction of ``LC_r`` over all nodes.
+
+Shapes are given as a parent vector: ``parents[i]`` is the index of
+node *i*'s parent, or ``None`` for the root.  :mod:`repro.core.trees`
+provides the exact per-shape deadlock analysis.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Sequence
+
+from repro.errors import ProtocolDefinitionError, TopologyError
+from repro.protocol.chain import ChainProtocol
+from repro.protocol.instance import Move
+from repro.protocol.localstate import Cell, LocalState
+
+GlobalState = tuple
+
+
+def validate_parents(parents: Sequence[int | None]) -> int:
+    """Check the parent vector describes one rooted tree; returns the
+    root index."""
+    roots = [i for i, parent in enumerate(parents) if parent is None]
+    if len(roots) != 1:
+        raise ProtocolDefinitionError(
+            f"a tree needs exactly one root, got {len(roots)}")
+    root = roots[0]
+    for i, parent in enumerate(parents):
+        if parent is None:
+            continue
+        if not 0 <= parent < len(parents):
+            raise ProtocolDefinitionError(
+                f"node {i} has out-of-range parent {parent}")
+        # walk to the root; cycles would loop forever without this bound
+        seen = set()
+        current: int | None = i
+        while current is not None:
+            if current in seen:
+                raise ProtocolDefinitionError(
+                    f"parent vector has a cycle through node {current}")
+            seen.add(current)
+            current = parents[current]
+    return root
+
+
+class TreeInstance:
+    """A protocol instance over one tree shape.
+
+    Built from a :class:`~repro.protocol.chain.ChainProtocol` (which
+    carries the boundary the root reads) and a parent vector.  Only
+    parent-reading (unidirectional) templates are supported.
+    """
+
+    def __init__(self, protocol: ChainProtocol,
+                 parents: Sequence[int | None]) -> None:
+        if not protocol.unidirectional:
+            raise TopologyError(
+                "tree instances support parent-reading (unidirectional) "
+                "process templates only")
+        if protocol.process.reads_left != 1:
+            raise TopologyError(
+                "tree instances need a window of exactly (parent, self)")
+        self.protocol = protocol
+        self.parents = tuple(parents)
+        self.root = validate_parents(self.parents)
+        self.size = len(self.parents)
+        self._space = protocol.space
+
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return len(self._space.cells) ** self.size
+
+    def states(self) -> Iterator[GlobalState]:
+        return product(self._space.cells, repeat=self.size)
+
+    def state_of(self, *cells: object) -> GlobalState:
+        if len(cells) != self.size:
+            raise ProtocolDefinitionError(
+                f"expected {self.size} cells, got {len(cells)}")
+        return tuple(self._space._normalize_cell(c) for c in cells)
+
+    def children_of(self, node: int) -> list[int]:
+        return [i for i, parent in enumerate(self.parents)
+                if parent == node]
+
+    def depth_of(self, node: int) -> int:
+        depth = 0
+        current = self.parents[node]
+        while current is not None:
+            depth += 1
+            current = self.parents[current]
+        return depth
+
+    # ------------------------------------------------------------------
+    def local_state(self, state: GlobalState, node: int) -> LocalState:
+        parent = self.parents[node]
+        parent_cell: Cell = (self.protocol.left_boundary
+                             if parent is None else state[parent])
+        return LocalState((parent_cell, state[node]), 1)
+
+    def local_states(self, state: GlobalState) -> list[LocalState]:
+        return [self.local_state(state, n) for n in range(self.size)]
+
+    def moves_of(self, state: GlobalState, node: int) -> list[Move]:
+        local = self.local_state(state, node)
+        moves = []
+        for action in self._space.enabled_actions(local):
+            for target_local in self._space.targets(local, action):
+                cells = list(state)
+                cells[node] = target_local.own
+                moves.append(Move(node, action.name, tuple(cells)))
+        return moves
+
+    def moves(self, state: GlobalState) -> list[Move]:
+        result = []
+        for node in range(self.size):
+            result.extend(self.moves_of(state, node))
+        return result
+
+    def successors(self, state: GlobalState) -> list[GlobalState]:
+        seen = []
+        for move in self.moves(state):
+            if move.target not in seen:
+                seen.append(move.target)
+        return seen
+
+    def enabled_processes(self, state: GlobalState) -> list[int]:
+        return [n for n in range(self.size)
+                if self._space.is_enabled(self.local_state(state, n))]
+
+    def is_deadlock(self, state: GlobalState) -> bool:
+        return not self.enabled_processes(state)
+
+    def invariant_holds(self, state: GlobalState) -> bool:
+        return all(self.protocol.is_legitimate(self.local_state(state, n))
+                   for n in range(self.size))
+
+    def corrupted_processes(self, state: GlobalState) -> list[int]:
+        return [n for n in range(self.size)
+                if not self.protocol.is_legitimate(
+                    self.local_state(state, n))]
+
+    def invariant_states(self) -> Iterator[GlobalState]:
+        return (s for s in self.states() if self.invariant_holds(s))
+
+    def format_state(self, state: GlobalState) -> str:
+        def fmt(cell: Cell) -> str:
+            return "".join(str(v)[0] if isinstance(v, str) else str(v)
+                           for v in cell)
+
+        parts = []
+        for node, cell in enumerate(state):
+            parent = self.parents[node]
+            tag = "r" if parent is None else str(parent)
+            parts.append(f"{node}<{tag}:{fmt(cell)}")
+        return "{" + " ".join(parts) + "}"
+
+    def __repr__(self) -> str:
+        return (f"TreeInstance({self.protocol.name!r}, "
+                f"nodes={self.size}, root={self.root})")

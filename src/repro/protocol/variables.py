@@ -1,0 +1,64 @@
+"""Finite-domain variables.
+
+Each process of a parameterized ring owns one instance of every declared
+variable; the instance owned by process ``P_i`` of variable ``x`` plays the
+role of the paper's ``x_i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ProtocolDefinitionError
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A named variable with a finite, ordered domain.
+
+    >>> m = Variable("m", ("left", "right", "self"))
+    >>> m.index("right")
+    1
+    >>> len(m.domain)
+    3
+    """
+
+    name: str
+    domain: tuple
+
+    def __post_init__(self) -> None:
+        if not self.name.isidentifier():
+            raise ProtocolDefinitionError(
+                f"variable name {self.name!r} is not a valid identifier")
+        if not isinstance(self.domain, tuple):
+            object.__setattr__(self, "domain", tuple(self.domain))
+        if len(self.domain) < 1:
+            raise ProtocolDefinitionError(
+                f"variable {self.name!r} has an empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise ProtocolDefinitionError(
+                f"variable {self.name!r} has duplicate domain values")
+
+    def __contains__(self, value: object) -> bool:
+        return value in self.domain
+
+    def index(self, value: object) -> int:
+        """Position of *value* in the domain (raises if absent)."""
+        try:
+            return self.domain.index(value)
+        except ValueError:
+            raise ProtocolDefinitionError(
+                f"{value!r} is not in the domain of {self.name!r}") from None
+
+
+def boolean(name: str) -> Variable:
+    """A convenience constructor for a 0/1 variable."""
+    return Variable(name, (0, 1))
+
+
+def ranged(name: str, size: int) -> Variable:
+    """A variable over ``{0, 1, ..., size-1}``."""
+    if size < 1:
+        raise ProtocolDefinitionError(f"ranged variable needs size >= 1, "
+                                      f"got {size}")
+    return Variable(name, tuple(range(size)))

@@ -1,0 +1,61 @@
+"""The paper's case-study protocols, ready to analyze.
+
+========================  =====================================  ==========
+Factory                   Paper reference                        Topology
+========================  =====================================  ==========
+``matching_base``         Example 4.1 (invariant only)           bidirectional
+``generalizable_matching``    Example 4.2 (deadlock-free ∀K)     bidirectional
+``nongeneralizable_matching`` Example 4.3 (deadlocks at 4k/6k)   bidirectional
+``gouda_acharya_matching``    Figure 8 ([23]; K=5 livelock)      bidirectional
+``agreement``             Example 5.2 / §6.2 (empty input)       unidirectional
+``livelock_agreement``    Example 5.2 (both t01 and t10)         unidirectional
+``stabilizing_agreement`` §6.2 synthesized solution              unidirectional
+``coloring``              §6.1 / §6.2 (2- and 3-coloring)        unidirectional
+``sum_not_two``           §6.2 (empty input)                     unidirectional
+``stabilizing_sum_not_two``   §6.2 synthesized solution          unidirectional
+``DijkstraTokenRing``     Dijkstra's K-state token ring [1]      unidirectional
+========================  =====================================  ==========
+"""
+
+from repro.protocols.maximal_matching import (
+    MATCHING_LEGITIMACY,
+    generalizable_matching,
+    gouda_acharya_matching,
+    matching_base,
+    nongeneralizable_matching,
+)
+from repro.protocols.agreement import (
+    agreement,
+    livelock_agreement,
+    stabilizing_agreement,
+)
+from repro.protocols.coloring import coloring, two_coloring, three_coloring
+from repro.protocols.sum_not_two import sum_not_two, stabilizing_sum_not_two
+from repro.protocols.token_ring import DijkstraTokenRing
+from repro.protocols.chains import (
+    chain_agreement,
+    chain_broadcast,
+    chain_coloring,
+    stabilizing_chain_coloring,
+)
+
+__all__ = [
+    "chain_agreement",
+    "chain_broadcast",
+    "chain_coloring",
+    "stabilizing_chain_coloring",
+    "MATCHING_LEGITIMACY",
+    "matching_base",
+    "generalizable_matching",
+    "nongeneralizable_matching",
+    "gouda_acharya_matching",
+    "agreement",
+    "livelock_agreement",
+    "stabilizing_agreement",
+    "coloring",
+    "two_coloring",
+    "three_coloring",
+    "sum_not_two",
+    "stabilizing_sum_not_two",
+    "DijkstraTokenRing",
+]

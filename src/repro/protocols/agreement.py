@@ -1,0 +1,69 @@
+"""Binary (and m-ary) agreement on a unidirectional ring (Example 5.2,
+Section 6.2).
+
+The invariant is local equality, ``LC_r = (x_r = x_{r-1})``; globally all
+processes hold the same value.  Three variants:
+
+* :func:`agreement` — the empty input protocol (the synthesis problem);
+* :func:`livelock_agreement` — Example 5.2's protocol with **both** copy
+  transitions ``t01`` and ``t10``, which livelocks (the K=4 cycle of
+  Figures 5 and 6);
+* :func:`stabilizing_agreement` — the §6.2 solution including exactly one
+  of the two candidate transitions, self-stabilizing for every K.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.dsl import parse_actions
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+
+AGREEMENT_LEGITIMACY = "x[0] == x[-1]"
+
+
+def _protocol(name: str, values: int, texts, description: str,
+              ) -> RingProtocol:
+    x = ranged("x", values)
+    actions = parse_actions(texts, [x])
+    process = ProcessTemplate(variables=(x,), actions=actions,
+                              reads_left=1, reads_right=0)
+    return RingProtocol(name, process, AGREEMENT_LEGITIMACY,
+                        description=description)
+
+
+def agreement(values: int = 2) -> RingProtocol:
+    """The empty agreement protocol over ``values`` values."""
+    return _protocol("agreement", values, (),
+                     "Agreement invariant (x_r = x_{r-1}); no actions — "
+                     "the input to the Section 6.2 synthesis example.")
+
+
+def livelock_agreement() -> RingProtocol:
+    """Example 5.2: both copy transitions — livelocks (e.g. the K=4 cycle
+    ``1000 → 1100 → 0100 → 0110 → 0111 → 0011 → 1011 → 1001 → 1000``)."""
+    texts = [
+        ("t10", "x[-1] == 0 and x[0] == 1 -> x := 0"),
+        ("t01", "x[-1] == 1 and x[0] == 0 -> x := 1"),
+    ]
+    return _protocol("agreement-livelock", 2, texts,
+                     "Example 5.2: copies the predecessor in both "
+                     "directions; has livelocks for every even K >= 4.")
+
+
+def stabilizing_agreement(values: int = 2,
+                          resolve_up: bool = True) -> RingProtocol:
+    """The §6.2 synthesized solution: exactly one copy direction.
+
+    ``resolve_up=True`` includes ``t01`` (raise toward the predecessor,
+    resolving local deadlocks with ``x_r < x_{r-1}``); ``False`` includes
+    ``t10``.  Either choice is strongly self-stabilizing for every K;
+    including *both* reintroduces the Example 5.2 livelock.
+    """
+    if resolve_up:
+        texts = [("t01", "x[0] < x[-1] -> x := x[-1]")]
+    else:
+        texts = [("t10", "x[0] > x[-1] -> x := x[-1]")]
+    return _protocol("agreement-ss", values, texts,
+                     "Section 6.2 agreement solution with a single copy "
+                     "direction; converges for every K.")

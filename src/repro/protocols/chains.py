@@ -1,0 +1,100 @@
+"""Chain-topology case studies (the future-work direction of §8).
+
+Two workloads that showcase why acyclic topologies are easier than
+rings (§3 notes rings are hard exactly because corruption can cycle):
+
+* **chain 2-coloring** — impossible to stabilize on unidirectional
+  rings [25], yet on a chain the very candidate pair {t01, t10} that
+  Theorem 5.14 must reject on rings is perfectly fine: enablement falls
+  off the right end instead of circulating.
+* **chain agreement / broadcast** — every process copies its
+  predecessor; with a fixed left boundary the chain converges to the
+  boundary value everywhere (a self-stabilizing broadcast).
+"""
+
+from __future__ import annotations
+
+from repro.protocol.chain import ChainProtocol
+from repro.protocol.dsl import parse_actions
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.variables import ranged
+
+
+CHAIN_REGISTRY = {
+    "2-coloring-chain": lambda: chain_coloring(2),
+    "3-coloring-chain": lambda: chain_coloring(3),
+    "2-coloring-chain-ss": lambda: stabilizing_chain_coloring(2),
+    "agreement-chain": lambda: chain_agreement(),
+    "broadcast-chain": lambda: chain_broadcast(),
+}
+"""Name → factory map for the CLI's ``chain`` subcommand."""
+
+
+def get_chain_protocol(name: str) -> ChainProtocol:
+    """Build the registered chain protocol *name*."""
+    try:
+        factory = CHAIN_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(CHAIN_REGISTRY))
+        raise KeyError(f"unknown chain protocol {name!r}; "
+                       f"known: {known}") from None
+    return factory()
+
+
+def chain_coloring(colors: int = 2, boundary: int = 0) -> ChainProtocol:
+    """The coloring invariant on a unidirectional chain (no actions)."""
+    if colors < 2:
+        raise ValueError("coloring needs at least 2 colors")
+    c = ranged("c", colors)
+    process = ProcessTemplate(variables=(c,))
+    return ChainProtocol(
+        f"{colors}-coloring-chain", process, "c[0] != c[-1]",
+        left_boundary=boundary,
+        description=f"{colors}-coloring on an open chain; position 0 "
+                    f"colors against the boundary value {boundary}.")
+
+
+def stabilizing_chain_coloring(colors: int = 2,
+                               boundary: int = 0) -> ChainProtocol:
+    """A self-stabilizing chain coloring: recolor against the
+    predecessor (cyclically).  Livelock-free by chain termination."""
+    if colors < 2:
+        raise ValueError("coloring needs at least 2 colors")
+    c = ranged("c", colors)
+    actions = parse_actions(
+        [("next", f"c[0] == c[-1] -> c := (c[0] + 1) % {colors}")], [c])
+    process = ProcessTemplate(variables=(c,), actions=actions)
+    return ChainProtocol(
+        f"{colors}-coloring-chain-ss", process, "c[0] != c[-1]",
+        left_boundary=boundary,
+        description="Recolor to predecessor+1 whenever equal; "
+                    "self-stabilizing on chains of every length.")
+
+
+def chain_agreement(values: int = 2, boundary: int = 0) -> ChainProtocol:
+    """The agreement invariant on a chain (no actions)."""
+    x = ranged("x", values)
+    process = ProcessTemplate(variables=(x,))
+    return ChainProtocol(
+        "agreement-chain", process, "x[0] == x[-1]",
+        left_boundary=boundary,
+        description="Agreement on a chain: with the fixed boundary the "
+                    "legitimate states pin every process to the "
+                    "boundary value.")
+
+
+def chain_broadcast(values: int = 2, boundary: int = 0) -> ChainProtocol:
+    """Self-stabilizing broadcast: copy the predecessor.
+
+    Converges, for every chain length, to all processes holding the
+    boundary value — recovery is a wave from the left.
+    """
+    x = ranged("x", values)
+    actions = parse_actions(
+        [("copy", "x[0] != x[-1] -> x := x[-1]")], [x])
+    process = ProcessTemplate(variables=(x,), actions=actions)
+    return ChainProtocol(
+        "broadcast-chain", process, "x[0] == x[-1]",
+        left_boundary=boundary,
+        description="Copy-the-predecessor broadcast; stabilizes to the "
+                    "boundary value on every chain length.")

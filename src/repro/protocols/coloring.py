@@ -1,0 +1,40 @@
+"""Ring coloring protocols (Sections 6.1 and 6.2).
+
+``LC_r = (c_r ≠ c_{r-1})`` — each process differs from its predecessor.
+Both the 3-coloring walkthrough of §6.1 and the 2-coloring example of
+§6.2 start from the *empty* protocol; the paper's methodology **fails** on
+both (every candidate set's pseudo-livelocks form contiguous trails),
+which for 2-coloring is consistent with the known impossibility of
+self-stabilizing 2-coloring on unidirectional rings [25].
+"""
+
+from __future__ import annotations
+
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+
+COLORING_LEGITIMACY = "c[0] != c[-1]"
+
+
+def coloring(colors: int) -> RingProtocol:
+    """The empty coloring protocol with the given number of colors."""
+    if colors < 2:
+        raise ValueError("coloring needs at least 2 colors")
+    c = ranged("c", colors)
+    process = ProcessTemplate(variables=(c,), actions=(),
+                              reads_left=1, reads_right=0)
+    return RingProtocol(
+        f"{colors}-coloring", process, COLORING_LEGITIMACY,
+        description=f"{colors}-coloring invariant (c_r != c_r-1) on a "
+                    f"unidirectional ring; no actions.")
+
+
+def two_coloring() -> RingProtocol:
+    """The §6.2 2-coloring instance (methodology declares failure)."""
+    return coloring(2)
+
+
+def three_coloring() -> RingProtocol:
+    """The §6.1 3-coloring walkthrough (methodology declares failure)."""
+    return coloring(3)

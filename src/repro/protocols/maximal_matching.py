@@ -1,0 +1,123 @@
+"""Maximal matching on a bidirectional ring (Examples 4.1–4.3, Figure 8).
+
+Each process owns ``m_r`` with domain ``{left, right, self}`` meaning "I
+match my predecessor / my successor / nobody".  The legitimate local states
+(Example 4.1) are::
+
+    LC_r =  (m_r = right ∧ m_{r+1} = left)
+          ∨ (m_{r-1} = right ∧ m_r = left)
+          ∨ (m_{r-1} = left ∧ m_r = self ∧ m_{r+1} = right)
+
+Three action sets are provided:
+
+* :func:`generalizable_matching` — Example 4.2, synthesized by STSyn for
+  K=6; its deadlock-induced RCG has no illegitimate cycle, so it is
+  deadlock-free for **every** K (Figure 2).
+* :func:`nongeneralizable_matching` — Example 4.3, synthesized for K=5;
+  its RCG has illegitimate cycles of lengths 4 and 6 through
+  ``⟨left,left,self⟩`` (Figure 3), so rings whose size is a combination
+  of 4s and 6s deadlock.
+* :func:`gouda_acharya_matching` — the livelock-relevant fragment of the
+  Gouda–Acharya solution [23] (Figure 8), which livelocks at K=5.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.dsl import parse_actions
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import Variable
+
+LEFT, RIGHT, SELF = "left", "right", "self"
+
+MATCHING_DOMAIN = (LEFT, RIGHT, SELF)
+
+MATCHING_LEGITIMACY = (
+    "(m[0] == 'right' and m[1] == 'left')"
+    " or (m[-1] == 'right' and m[0] == 'left')"
+    " or (m[-1] == 'left' and m[0] == 'self' and m[1] == 'right')"
+)
+
+
+def _matching_protocol(name: str, action_texts, description: str,
+                       ) -> RingProtocol:
+    m = Variable("m", MATCHING_DOMAIN)
+    actions = parse_actions(action_texts, [m])
+    process = ProcessTemplate(variables=(m,), actions=actions,
+                              reads_left=1, reads_right=1)
+    return RingProtocol(name, process, MATCHING_LEGITIMACY,
+                        description=description)
+
+
+def matching_base() -> RingProtocol:
+    """The matching problem with no actions (invariant only;
+    Example 4.1)."""
+    return _matching_protocol(
+        "maximal-matching", (),
+        "Maximal matching invariant on a bidirectional ring "
+        "(Example 4.1); no actions.")
+
+
+def generalizable_matching() -> RingProtocol:
+    """The Example 4.2 protocol: deadlock-free for every ring size."""
+    texts = [
+        ("A1", "m[-1] == 'left' and m[0] != 'self' and m[1] == 'right'"
+               " -> m := 'self'"),
+        ("A2", "m[-1] == 'self' and m[0] == 'self' and m[1] == 'self'"
+               " -> m := 'right' | 'left'"),
+        ("A3a", "m[-1] == 'right' and m[0] == 'self' -> m := 'left'"),
+        ("A3b", "m[0] == 'self' and m[1] == 'left' -> m := 'right'"),
+        ("A4a", "m[-1] == 'right' and m[0] == 'right' and m[1] != 'left'"
+                " -> m := 'left'"),
+        ("A4b", "m[-1] != 'right' and m[0] == 'left' and m[1] == 'left'"
+                " -> m := 'right'"),
+        ("A5a", "m[-1] == 'self' and m[0] != 'left' and m[1] == 'right'"
+                " -> m := 'left'"),
+        ("A5b", "m[-1] == 'left' and m[0] != 'right' and m[1] == 'self'"
+                " -> m := 'right'"),
+    ]
+    return _matching_protocol(
+        "matching-ex4.2", texts,
+        "Example 4.2: STSyn solution for K=6 whose continuation relation "
+        "proves deadlock-freedom for arbitrary K (Figure 2).")
+
+
+def nongeneralizable_matching() -> RingProtocol:
+    """The Example 4.3 protocol: stabilizes for K=5, deadlocks at K=6."""
+    texts = [
+        ("B1", "m[-1] == 'left' and m[0] != 'self' and m[1] == 'right'"
+               " -> m := 'self'"),
+        ("B2a", "m[-1] == 'right' and m[0] == 'self' and m[1] == 'left'"
+                " -> m := 'right'"),
+        ("B2b", "m[-1] == 'self' and m[0] == 'self' and m[1] == 'self'"
+                " -> m := 'right'"),
+        ("B3a", "m[-1] == 'right' and m[0] == 'right' and m[1] == 'left'"
+                " -> m := 'left'"),
+        ("B3b", "m[-1] == 'self' and m[0] == 'self' and m[1] == 'right'"
+                " -> m := 'left'"),
+        ("B4a", "m[-1] == 'right' and m[0] != 'left' and m[1] != 'left'"
+                " -> m := 'left'"),
+        ("B4b", "m[-1] != 'right' and m[0] != 'right' and m[1] == 'left'"
+                " -> m := 'right'"),
+    ]
+    return _matching_protocol(
+        "matching-ex4.3", texts,
+        "Example 4.3: STSyn solution for K=5 whose RCG has illegitimate "
+        "deadlock cycles of lengths 4 and 6 through ⟨l,l,s⟩ (Figure 3).")
+
+
+def gouda_acharya_matching() -> RingProtocol:
+    """The livelock-relevant fragment of Gouda & Acharya's matching [23].
+
+    Figure 8 shows only these two actions because only they participate in
+    the K=5 livelock ``lslsl → ... → lslsl``; the fragment suffices to
+    reproduce the livelock and its LTG contiguous trail.
+    """
+    texts = [
+        ("t_ls", "m[0] == 'left' and m[-1] == 'left' -> m := 'self'"),
+        ("t_sl", "m[0] == 'self' and m[-1] != 'left' -> m := 'left'"),
+    ]
+    return _matching_protocol(
+        "matching-gouda-acharya", texts,
+        "Livelock fragment of the Gouda–Acharya matching solution "
+        "(Figure 8); livelocks at K=5.")

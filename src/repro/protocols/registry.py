@@ -1,0 +1,49 @@
+"""A name → factory registry of the bundled protocols (CLI and tests)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.protocol.ring import RingProtocol
+from repro.protocols.agreement import (
+    agreement,
+    livelock_agreement,
+    stabilizing_agreement,
+)
+from repro.protocols.coloring import three_coloring, two_coloring
+from repro.protocols.maximal_matching import (
+    generalizable_matching,
+    gouda_acharya_matching,
+    matching_base,
+    nongeneralizable_matching,
+)
+from repro.protocols.sum_not_two import (
+    stabilizing_sum_not_two,
+    sum_not_two,
+)
+
+REGISTRY: dict[str, Callable[[], RingProtocol]] = {
+    "agreement": agreement,
+    "agreement-livelock": livelock_agreement,
+    "agreement-ss": stabilizing_agreement,
+    "matching-base": matching_base,
+    "matching-ex4.2": generalizable_matching,
+    "matching-ex4.3": nongeneralizable_matching,
+    "matching-gouda-acharya": gouda_acharya_matching,
+    "2-coloring": two_coloring,
+    "3-coloring": three_coloring,
+    "sum-not-two": sum_not_two,
+    "sum-not-two-ss": stabilizing_sum_not_two,
+}
+
+
+def get_protocol(name: str) -> RingProtocol:
+    """Build the registered protocol *name* (raises ``KeyError`` with the
+    available names otherwise)."""
+    try:
+        factory = REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(REGISTRY))
+        raise KeyError(f"unknown protocol {name!r}; known: {known}") \
+            from None
+    return factory()

@@ -1,0 +1,79 @@
+"""The sum-not-two protocol (Section 6.2).
+
+``x_r ∈ {0,1,2}``, ``LC_r = (x_r + x_{r-1} ≠ 2)``.  All three illegitimate
+states ``⟨2,0⟩, ⟨1,1⟩, ⟨0,2⟩`` must be resolved; the paper shows that the
+candidate set ``{t21, t10, t02}`` has a pseudo-livelock participating in a
+(spurious!) contiguous trail — so the methodology rejects it, illustrating
+that Theorem 5.14 is sufficient but not necessary — while
+``{t21, t12, t01}`` is accepted and yields a convergent protocol,
+captured by the guarded commands below.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.dsl import parse_actions
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+
+SUM_NOT_TWO_LEGITIMACY = "x[0] + x[-1] != 2"
+
+
+def _protocol(name: str, texts, description: str) -> RingProtocol:
+    x = ranged("x", 3)
+    actions = parse_actions(texts, [x])
+    process = ProcessTemplate(variables=(x,), actions=actions,
+                              reads_left=1, reads_right=0)
+    return RingProtocol(name, process, SUM_NOT_TWO_LEGITIMACY,
+                        description=description)
+
+
+def forbidden_sum(domain: int, forbidden: int) -> RingProtocol:
+    """The generalized family: ``LC_r = (x_r + x_{r-1} != forbidden)``.
+
+    ``forbidden_sum(3, 2)`` is the paper's sum-not-two.  The family is a
+    useful synthesis workload: the number of illegitimate local states,
+    the Resolve structure and the trail landscape all vary with
+    ``(domain, forbidden)``.
+    """
+    if domain < 2:
+        raise ValueError("forbidden_sum needs a domain of at least 2")
+    if not 0 <= forbidden <= 2 * (domain - 1):
+        raise ValueError(
+            f"forbidden sum {forbidden} is unreachable for domain "
+            f"0..{domain - 1}")
+    x = ranged("x", domain)
+    process = ProcessTemplate(variables=(x,), actions=(),
+                              reads_left=1, reads_right=0)
+    return RingProtocol(
+        f"sum-not-{forbidden}(d{domain})", process,
+        f"x[0] + x[-1] != {forbidden}",
+        description=f"Forbidden-sum invariant over 0..{domain - 1}: "
+                    f"adjacent values must not add up to {forbidden}.")
+
+
+def sum_not_two() -> RingProtocol:
+    """The empty input protocol (the synthesis problem of §6.2)."""
+    return _protocol("sum-not-two", (),
+                     "Sum-not-two invariant (x_r + x_{r-1} != 2); "
+                     "no actions.")
+
+
+def stabilizing_sum_not_two() -> RingProtocol:
+    """The paper's accepted solution ``{t21, t12, t01}``.
+
+    Rendered as the two guarded commands of Section 6.2::
+
+        (x_r + x_{r-1} = 2) ∧ (x_r ≠ 2) → x_r := (x_r + 1) mod 3
+        (x_r + x_{r-1} = 2) ∧ (x_r = 2) → x_r := (x_r - 1) mod 3
+
+    which pick exactly the transitions ``20→21`` (t01), ``11→12`` (t12)
+    and ``02→01`` (t21).
+    """
+    texts = [
+        ("up", "x[0] + x[-1] == 2 and x[0] != 2 -> x := (x[0] + 1) % 3"),
+        ("down", "x[0] + x[-1] == 2 and x[0] == 2 -> x := (x[0] - 1) % 3"),
+    ]
+    return _protocol("sum-not-two-ss", texts,
+                     "Section 6.2 synthesized sum-not-two solution "
+                     "{t21, t12, t01}; converges for every K.")

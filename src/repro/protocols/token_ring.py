@@ -1,0 +1,118 @@
+"""Dijkstra's K-state token ring [1].
+
+Section 5 cites this protocol as the classic witness that *corrupting*
+convergence actions can still converge (so non-corruption is sufficient
+but unnecessary for livelock-freedom).  It has a **distinguished root**
+process and therefore falls outside the paper's symmetric parameterized
+model; we provide it as a concrete-instance class compatible with the
+global checker and the simulator (same duck-typed interface as
+:class:`~repro.protocol.instance.RingInstance`), so the classic closure /
+convergence facts can be model-checked and simulated.
+
+Rules (values in ``{0..M-1}``, unidirectional reads):
+
+* root ``P_0``:     ``x_0 = x_{K-1}  →  x_0 := (x_0 + 1) mod M``
+* other ``P_i``:    ``x_i ≠ x_{i-1}  →  x_i := x_{i-1}``
+
+A process is *privileged* (holds a token) when its guard is true; the
+invariant is "exactly one token".  With ``M >= K`` the protocol is
+self-stabilizing.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.instance import Move
+
+GlobalState = tuple
+
+
+class DijkstraTokenRing:
+    """A concrete instance of Dijkstra's first (K-state) protocol.
+
+    Not a :class:`RingProtocol` (the root breaks process symmetry), but it
+    implements the instance interface used by :mod:`repro.checker` and
+    :mod:`repro.simulation`.
+    """
+
+    def __init__(self, size: int, values: int | None = None) -> None:
+        if size < 2:
+            raise ProtocolDefinitionError("token ring needs >= 2 processes")
+        self.size = size
+        self.values = size if values is None else values
+        if self.values < 2:
+            raise ProtocolDefinitionError("token ring needs >= 2 values")
+        self.name = f"dijkstra-token-ring(K={size}, M={self.values})"
+
+    # ------------------------------------------------------------------
+    @property
+    def state_count(self) -> int:
+        return self.values ** self.size
+
+    def states(self) -> Iterator[GlobalState]:
+        return product(range(self.values), repeat=self.size)
+
+    def state_of(self, *values: int) -> GlobalState:
+        if len(values) != self.size:
+            raise ProtocolDefinitionError(
+                f"expected {self.size} values, got {len(values)}")
+        for value in values:
+            if not 0 <= value < self.values:
+                raise ProtocolDefinitionError(
+                    f"value {value} outside 0..{self.values - 1}")
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    def privileged(self, state: GlobalState) -> list[int]:
+        """Processes holding a token at *state*."""
+        holders = []
+        if state[0] == state[-1]:
+            holders.append(0)
+        holders.extend(i for i in range(1, self.size)
+                       if state[i] != state[i - 1])
+        return holders
+
+    # Instance interface -------------------------------------------------
+    def enabled_processes(self, state: GlobalState) -> list[int]:
+        return self.privileged(state)
+
+    def moves(self, state: GlobalState) -> list[Move]:
+        moves = []
+        for process in self.privileged(state):
+            values = list(state)
+            if process == 0:
+                values[0] = (values[0] + 1) % self.values
+            else:
+                values[process] = values[process - 1]
+            moves.append(Move(process, f"pass@{process}", tuple(values)))
+        return moves
+
+    def successors(self, state: GlobalState) -> list[GlobalState]:
+        return [move.target for move in self.moves(state)]
+
+    def is_deadlock(self, state: GlobalState) -> bool:
+        # Never: the root is enabled whenever no other process is.
+        return not self.privileged(state)
+
+    def invariant_holds(self, state: GlobalState) -> bool:
+        """Exactly one token in the ring."""
+        return len(self.privileged(state)) == 1
+
+    def corrupted_processes(self, state: GlobalState) -> list[int]:
+        """Token holders beyond the first (a global notion here — the
+        invariant is not locally conjunctive for this protocol)."""
+        holders = self.privileged(state)
+        return holders[1:] if len(holders) > 1 else []
+
+    def format_state(self, state: GlobalState) -> str:
+        marks = []
+        privileged = set(self.privileged(state))
+        for i, value in enumerate(state):
+            marks.append(f"{value}*" if i in privileged else f"{value}")
+        return "(" + " ".join(marks) + ")"
+
+    def __repr__(self) -> str:
+        return f"DijkstraTokenRing(size={self.size}, values={self.values})"

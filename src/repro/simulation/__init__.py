@@ -1,0 +1,38 @@
+"""Execution of concrete protocol instances under interleaving semantics.
+
+Provides central-daemon schedulers (random, round-robin, adversarial),
+an execution engine producing traces, transient-fault injection, and
+convergence-time statistics — the runtime counterpart of the static
+analyses: a protocol certified convergent by :mod:`repro.core` can be
+watched actually recovering here.
+"""
+
+from repro.simulation.schedulers import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+)
+from repro.simulation.engine import Trace, run, run_until_convergence
+from repro.simulation.faults import perturb, random_state
+from repro.simulation.metrics import ConvergenceStats, convergence_study
+from repro.simulation.rounds import (
+    round_boundaries,
+    rounds_to_convergence,
+)
+
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "AdversarialScheduler",
+    "Trace",
+    "run",
+    "run_until_convergence",
+    "perturb",
+    "random_state",
+    "ConvergenceStats",
+    "convergence_study",
+    "round_boundaries",
+    "rounds_to_convergence",
+]

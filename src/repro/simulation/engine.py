@@ -1,0 +1,76 @@
+"""The execution engine: drive an instance under a scheduler."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simulation.schedulers import Scheduler
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One execution.
+
+    ``states`` includes the start state; ``converged_at`` is the index of
+    the first state inside ``I`` (``None`` when the run never entered the
+    invariant within the step budget).  ``deadlocked`` marks runs that
+    ended because no move was enabled.
+    """
+
+    states: tuple
+    converged_at: int | None
+    deadlocked: bool
+
+    @property
+    def steps(self) -> int:
+        """Transitions executed."""
+        return len(self.states) - 1
+
+    @property
+    def converged(self) -> bool:
+        return self.converged_at is not None
+
+    @property
+    def recovery_steps(self) -> int | None:
+        """Steps taken to first re-enter the invariant."""
+        return self.converged_at
+
+
+def run(instance, start, scheduler: Scheduler,
+        max_steps: int = 10_000,
+        stop_on_convergence: bool = True) -> Trace:
+    """Execute *instance* from *start* until convergence, deadlock or the
+    step budget.
+
+    With ``stop_on_convergence=False`` the run continues inside the
+    invariant (useful for closure checks: a self-stabilizing protocol must
+    stay legitimate once converged).
+    """
+    state = start
+    states = [state]
+    converged_at = 0 if instance.invariant_holds(state) else None
+    deadlocked = False
+    for _step in range(max_steps):
+        if converged_at is not None and stop_on_convergence:
+            break
+        moves = instance.moves(state)
+        if not moves:
+            deadlocked = True
+            break
+        state = scheduler.choose(state, moves).target
+        states.append(state)
+        if converged_at is None and instance.invariant_holds(state):
+            converged_at = len(states) - 1
+    return Trace(states=tuple(states), converged_at=converged_at,
+                 deadlocked=deadlocked)
+
+
+def run_until_convergence(instance, start, scheduler: Scheduler,
+                          max_steps: int = 10_000) -> Trace:
+    """Like :func:`run` but raises when the budget is exhausted without
+    convergence (handy in tests of certified-convergent protocols)."""
+    trace = run(instance, start, scheduler, max_steps=max_steps)
+    if not trace.converged and not trace.deadlocked:
+        raise RuntimeError(
+            f"no convergence within {max_steps} steps from {start}")
+    return trace

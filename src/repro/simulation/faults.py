@@ -1,0 +1,47 @@
+"""Transient-fault injection.
+
+Self-stabilization is exactly recovery from *any* state, so fault
+injection here means: take a legitimate state and corrupt the cells of a
+few processes arbitrarily — the protocol must find its way back.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def _cells_of(instance):
+    """Per-process value alternatives of *instance*.
+
+    Ring instances expose them through their protocol's local space;
+    stand-alone instances (e.g. the Dijkstra token ring) expose a
+    ``values`` count of plain integers instead.
+    """
+    protocol = getattr(instance, "protocol", None)
+    if protocol is not None:
+        return protocol.space.cells
+    return tuple(range(instance.values))
+
+
+def random_state(instance, rng: random.Random):
+    """A uniformly random global state of *instance*."""
+    cells = _cells_of(instance)
+    return tuple(cells[rng.randrange(len(cells))]
+                 for _ in range(instance.size))
+
+
+def perturb(instance, state, rng: random.Random, faults: int = 1):
+    """Corrupt *faults* distinct processes of *state* with random cells.
+
+    Each chosen process receives a cell different from its current one
+    (a fault that changes nothing is no fault).
+    """
+    if not 0 <= faults <= instance.size:
+        raise ValueError(f"faults must be within 0..{instance.size}")
+    cells = _cells_of(instance)
+    victims = rng.sample(range(instance.size), faults)
+    corrupted = list(state)
+    for victim in victims:
+        alternatives = [c for c in cells if c != corrupted[victim]]
+        corrupted[victim] = alternatives[rng.randrange(len(alternatives))]
+    return tuple(corrupted)

@@ -1,0 +1,67 @@
+"""Convergence-time statistics over sampled executions."""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+
+from repro.simulation.engine import run
+from repro.simulation.faults import random_state
+from repro.simulation.schedulers import RandomScheduler
+
+
+@dataclass(frozen=True)
+class ConvergenceStats:
+    """Summary of a convergence study."""
+
+    ring_size: int
+    samples: int
+    converged: int
+    deadlocked: int
+    mean_steps: float | None
+    max_steps: int | None
+
+    @property
+    def convergence_rate(self) -> float:
+        return self.converged / self.samples if self.samples else 0.0
+
+    def summary(self) -> str:
+        mean = (f"{self.mean_steps:.1f}"
+                if self.mean_steps is not None else "n/a")
+        return (f"K={self.ring_size}: {self.converged}/{self.samples} "
+                f"converged (deadlocked: {self.deadlocked}), "
+                f"mean {mean} steps, max {self.max_steps}")
+
+
+def convergence_study(instance, samples: int = 200, seed: int = 0,
+                      max_steps: int = 10_000,
+                      scheduler_factory=None) -> ConvergenceStats:
+    """Run *samples* executions from uniformly random states.
+
+    A run counts as converged when it reaches ``I`` within *max_steps*;
+    runs ending in a deadlock outside ``I`` are counted separately (a
+    strongly convergent protocol shows ``converged == samples``).
+    """
+    rng = random.Random(seed)
+    recovery: list[int] = []
+    deadlocked = 0
+    for index in range(samples):
+        if scheduler_factory is None:
+            scheduler = RandomScheduler(seed=rng.randrange(2 ** 31))
+        else:
+            scheduler = scheduler_factory(index)
+        start = random_state(instance, rng)
+        trace = run(instance, start, scheduler, max_steps=max_steps)
+        if trace.converged:
+            recovery.append(trace.recovery_steps)
+        elif trace.deadlocked:
+            deadlocked += 1
+    return ConvergenceStats(
+        ring_size=instance.size,
+        samples=samples,
+        converged=len(recovery),
+        deadlocked=deadlocked,
+        mean_steps=statistics.fmean(recovery) if recovery else None,
+        max_steps=max(recovery) if recovery else None,
+    )

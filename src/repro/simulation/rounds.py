@@ -1,0 +1,68 @@
+"""Asynchronous rounds — the standard time measure of the SS literature.
+
+Step counts depend on the daemon; *rounds* normalize them: a round is a
+minimal trace segment during which every process that was enabled at the
+segment's start either executes or becomes disabled.  Convergence in
+``O(f(K))`` rounds is the usual way stabilization time is reported.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.engine import Trace
+
+
+def round_boundaries(instance, trace: Trace) -> list[int]:
+    """Indices into ``trace.states`` where each round completes.
+
+    The first round starts at state 0; a round completes at the first
+    index by which every process enabled at the round's start has
+    executed at least once or been observed disabled.  The trailing
+    partial round (if any) is not reported.
+    """
+    states = trace.states
+    boundaries: list[int] = []
+    start = 0
+    while start < len(states) - 1:
+        pending = set(instance.enabled_processes(states[start]))
+        if not pending:
+            break
+        index = start
+        while pending and index < len(states) - 1:
+            moved = _actor(instance, states[index], states[index + 1])
+            index += 1
+            pending.discard(moved)
+            # processes observed disabled leave the round too
+            pending &= set(instance.enabled_processes(states[index]))
+        if pending:
+            break  # trace ended mid-round
+        boundaries.append(index)
+        start = index
+    return boundaries
+
+
+def _actor(instance, state, nxt) -> int:
+    """The process whose cell changed between two consecutive states."""
+    for position in range(instance.size):
+        if state[position] != nxt[position]:
+            return position
+    raise ValueError("consecutive trace states are identical")
+
+
+def rounds_to_convergence(instance, trace: Trace) -> int | None:
+    """Complete rounds elapsed before the trace first entered ``I``.
+
+    0 when the trace starts converged; ``None`` when the trace never
+    converged.
+    """
+    if not trace.converged:
+        return None
+    if trace.converged_at == 0:
+        return 0
+    boundaries = round_boundaries(instance, trace)
+    completed = 0
+    for boundary in boundaries:
+        if boundary <= trace.converged_at:
+            completed += 1
+        else:
+            break
+    return completed

@@ -1,0 +1,70 @@
+"""Central-daemon schedulers.
+
+Under interleaving semantics a *scheduler* (daemon) picks, at every step,
+one enabled move to execute.  Self-stabilization must hold for **every**
+daemon, so besides the random daemon we provide a round-robin one and an
+adversarial one that greedily tries to keep the ring outside the
+invariant (useful for stress-testing convergence-time claims; it cannot
+defeat a strongly convergent protocol, only slow it down).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol, Sequence
+
+from repro.protocol.instance import Move
+
+
+class Scheduler(Protocol):
+    """Anything that picks the next move."""
+
+    def choose(self, state, moves: Sequence[Move]) -> Move:
+        """Select one of *moves* (never called with an empty sequence)."""
+        ...  # pragma: no cover - protocol definition
+
+
+class RandomScheduler:
+    """The random central daemon."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+
+    def choose(self, state, moves: Sequence[Move]) -> Move:
+        return moves[self.rng.randrange(len(moves))]
+
+
+class RoundRobinScheduler:
+    """Cycles process priority: after process ``r`` moves, the next
+    enabled process at or after ``r+1`` (ring order) moves."""
+
+    def __init__(self, ring_size: int) -> None:
+        if ring_size < 1:
+            raise ValueError("ring_size must be positive")
+        self.ring_size = ring_size
+        self._next = 0
+
+    def choose(self, state, moves: Sequence[Move]) -> Move:
+        chosen = min(
+            moves,
+            key=lambda m: (m.process - self._next) % self.ring_size)
+        self._next = (chosen.process + 1) % self.ring_size
+        return chosen
+
+
+class AdversarialScheduler:
+    """Greedy adversary: prefers moves whose target stays outside ``I``.
+
+    Requires the instance (for invariant checks); ties are broken by a
+    seeded RNG so runs are reproducible.
+    """
+
+    def __init__(self, instance, seed: int = 0) -> None:
+        self.instance = instance
+        self.rng = random.Random(seed)
+
+    def choose(self, state, moves: Sequence[Move]) -> Move:
+        bad = [m for m in moves
+               if not self.instance.invariant_holds(m.target)]
+        pool = bad if bad else list(moves)
+        return pool[self.rng.randrange(len(pool))]

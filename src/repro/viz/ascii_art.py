@@ -1,0 +1,70 @@
+"""Deterministic text renderings of local-state graphs and result tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.graphs import Digraph
+from repro.protocol.actions import LocalTransition
+from repro.protocol.localstate import LocalState
+
+
+def state_label(state: LocalState) -> str:
+    """Compact label: first letter of string values, digits otherwise.
+
+    ``⟨left left self⟩ -> 'lls'``, ``⟨0 1⟩ -> '01'``.
+    """
+    parts = []
+    for cell in state.cells:
+        for value in cell:
+            text = str(value)
+            parts.append(text[0] if text and not text.isdigit() else text)
+    return "".join(parts)
+
+
+def adjacency_listing(graph: Digraph,
+                      legitimate: Iterable[LocalState] = (),
+                      ) -> str:
+    """A sorted, line-per-node adjacency listing.
+
+    Illegitimate nodes are suffixed ``!``; t-arc targets are rendered as
+    ``=label=>`` and s-arcs as ``->``.
+    """
+    legit = set(legitimate)
+
+    def tag(node) -> str:
+        label = state_label(node) if isinstance(node, LocalState) else \
+            str(node)
+        if legit and node not in legit:
+            label += "!"
+        return label
+
+    lines = []
+    for node in sorted(graph.nodes, key=repr):
+        arcs = []
+        for target in sorted(graph.successors(node), key=repr):
+            for key in sorted(graph.edge_keys(node, target), key=repr):
+                if isinstance(key, LocalTransition):
+                    arcs.append(f"={key.label or 't'}=> {tag(target)}")
+                else:
+                    arcs.append(f"-> {tag(target)}")
+        lines.append(f"{tag(node)}: " + ("  ".join(arcs) if arcs else "-"))
+    return "\n".join(lines)
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """A minimal fixed-width table (no external dependencies)."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(row)).rstrip()
+
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Graphviz DOT emission for RCGs and LTGs (the paper's figures)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graphs import Digraph
+from repro.protocol.actions import LocalTransition
+from repro.protocol.localstate import LocalState
+from repro.viz.ascii_art import state_label
+
+
+def _node_id(node) -> str:
+    label = state_label(node) if isinstance(node, LocalState) else str(node)
+    return '"' + label.replace('"', r"\"") + '"'
+
+
+def rcg_to_dot(graph: Digraph,
+               legitimate: Iterable[LocalState] = (),
+               title: str = "RCG") -> str:
+    """DOT rendering of a continuation graph.
+
+    Legitimate local states are drawn filled (the paper draws them as
+    colored vertices); arcs are plain.
+    """
+    legit = set(legitimate)
+    lines = [f'digraph "{title}" {{', "  rankdir=LR;",
+             "  node [shape=circle, fontsize=10];"]
+    for node in sorted(graph.nodes, key=repr):
+        style = ('style=filled, fillcolor="palegreen"'
+                 if node in legit else 'style=filled, fillcolor="white"')
+        lines.append(f"  {_node_id(node)} [{style}];")
+    for source, target, key in sorted(graph.edges(), key=repr):
+        if isinstance(key, LocalTransition):
+            continue  # s-arcs only in an RCG view
+        lines.append(f"  {_node_id(source)} -> {_node_id(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def ltg_to_dot(graph: Digraph,
+               legitimate: Iterable[LocalState] = (),
+               title: str = "LTG") -> str:
+    """DOT rendering of a Local Transition Graph.
+
+    s-arcs are dashed; t-arcs are solid, bold and labelled with the
+    transition label — mirroring the paper's Figure 4 convention.
+    """
+    legit = set(legitimate)
+    lines = [f'digraph "{title}" {{', "  rankdir=LR;",
+             "  node [shape=circle, fontsize=10];"]
+    for node in sorted(graph.nodes, key=repr):
+        style = ('style=filled, fillcolor="palegreen"'
+                 if node in legit else 'style=filled, fillcolor="white"')
+        lines.append(f"  {_node_id(node)} [{style}];")
+    for source, target, key in sorted(graph.edges(), key=repr):
+        if isinstance(key, LocalTransition):
+            label = key.label or "t"
+            lines.append(
+                f"  {_node_id(source)} -> {_node_id(target)} "
+                f'[style=bold, label="{label}"];')
+        else:
+            lines.append(f"  {_node_id(source)} -> {_node_id(target)} "
+                         f"[style=dashed, color=gray50];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Internals of the fixed-K global synthesizer."""
+
+from repro.checker import GlobalSynthesizer
+from repro.checker.synthesis import GlobalSynthesizer as GS
+from repro.protocols import agreement, livelock_agreement
+
+
+def test_candidates_from_illegitimate_state():
+    protocol = agreement()
+    synthesizer = GlobalSynthesizer(protocol, ring_size=3, seed=0)
+    state = protocol.space.state_of(0, 1)
+    options = synthesizer.candidates_from(state)
+    assert len(options) == 1  # binary: one alternative value
+    assert options[0].source == state
+    assert options[0].target == protocol.space.state_of(0, 0)
+
+
+def test_transitions_along_recovers_livelock_steps():
+    protocol = livelock_agreement()
+    instance = protocol.instantiate(4)
+    cycle = [instance.state_of(*map(int, s)) for s in
+             ("1000", "1100", "0100", "0110",
+              "0111", "0011", "1011", "1001")]
+    used = GS._transitions_along(instance, cycle)
+    # δ_r has exactly two local transitions and the livelock uses both
+    assert len(used) == 2
+    sources = {t.source for t in used}
+    assert sources == {protocol.space.state_of(1, 0),
+                       protocol.space.state_of(0, 1)}
+
+
+def test_expansion_budget_limits_search():
+    synthesizer = GlobalSynthesizer(agreement(), ring_size=4,
+                                    max_expansions=1)
+    result = synthesizer.synthesize()
+    # One expansion only inspects the empty set (which deadlocks).
+    assert not result.success
+    assert result.expansions >= 1
+
+
+def test_result_summary_lists_added_transitions():
+    result = GlobalSynthesizer(agreement(), ring_size=3).synthesize()
+    assert result.success
+    text = result.summary()
+    assert "success" in text
+    assert "K=3" in text
+    assert "+" in text

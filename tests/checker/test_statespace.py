@@ -1,0 +1,64 @@
+"""The explicit global state graph."""
+
+from repro.checker import StateGraph
+from repro.protocols import stabilizing_agreement, livelock_agreement
+
+
+def test_state_interning_and_counts():
+    instance = stabilizing_agreement().instantiate(3)
+    graph = StateGraph(instance)
+    assert len(graph) == 8
+    assert len(graph.invariant_indices) == 2
+    for state, index in graph.index.items():
+        assert graph.states[index] == state
+
+
+def test_successor_lists_match_instance():
+    instance = stabilizing_agreement().instantiate(3)
+    graph = StateGraph(instance)
+    for i, state in enumerate(graph.states):
+        expected = {graph.index[t] for t in instance.successors(state)}
+        assert set(graph.successors[i]) == expected
+
+
+def test_deadlock_indices():
+    instance = stabilizing_agreement().instantiate(3)
+    graph = StateGraph(instance)
+    deadlocks = {graph.states[i] for i in graph.deadlock_indices()}
+    assert deadlocks == {instance.uniform_state(0),
+                         instance.uniform_state(1)}
+
+
+def test_predecessors_map_inverts_successors():
+    instance = livelock_agreement().instantiate(3)
+    graph = StateGraph(instance)
+    reverse = graph.predecessors_map()
+    for source, targets in enumerate(graph.successors):
+        for target in targets:
+            assert source in reverse[target]
+
+
+def test_restricted_digraph_drops_outside_edges():
+    instance = livelock_agreement().instantiate(3)
+    graph = StateGraph(instance)
+    outside = [i for i, inside in enumerate(graph.in_invariant)
+               if not inside]
+    sub = graph.restricted_digraph(outside)
+    assert set(sub.nodes) == set(outside)
+    for u, v, _k in sub.edges():
+        assert u in outside and v in outside
+
+
+def test_distances_to_invariant():
+    instance = stabilizing_agreement().instantiate(3)
+    graph = StateGraph(instance)
+    distances = graph.distances_to_invariant()
+    for i, distance in enumerate(distances):
+        if graph.in_invariant[i]:
+            assert distance == 0
+        else:
+            assert distance is not None and distance >= 1
+    # (1 1 0): one copy by process 2 reaches all-ones.
+    assert distances[graph.index[instance.state_of(1, 1, 0)]] == 1
+    # (1 0 0): two copies are needed.
+    assert distances[graph.index[instance.state_of(1, 0, 0)]] == 2

@@ -1,0 +1,204 @@
+"""Chain topology: the instance model, exact deadlock analysis,
+termination certificate and synthesis."""
+
+import pytest
+
+from repro.checker import check_instance
+from repro.core.chains import (
+    ChainDeadlockAnalyzer,
+    ChainVerdict,
+    certify_chain_termination,
+    synthesize_chain_convergence,
+    verify_chain_convergence,
+)
+from repro.errors import (
+    AssumptionViolation,
+    ProtocolDefinitionError,
+    TopologyError,
+)
+from repro.protocol.chain import ChainProtocol
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.variables import ranged
+from repro.protocols import (
+    chain_agreement,
+    chain_broadcast,
+    chain_coloring,
+    stabilizing_chain_coloring,
+)
+
+
+class TestChainModel:
+    def test_boundary_required_for_left_reads(self):
+        x = ranged("x", 2)
+        with pytest.raises(ProtocolDefinitionError):
+            ChainProtocol("c", ProcessTemplate(variables=(x,)),
+                          "x[0] == x[-1]")
+
+    def test_right_boundary_required_for_bidirectional(self):
+        x = ranged("x", 2)
+        p = ProcessTemplate(variables=(x,), reads_left=1, reads_right=1)
+        with pytest.raises(ProtocolDefinitionError):
+            ChainProtocol("c", p, "x[0] == x[-1]", left_boundary=0)
+        chain = ChainProtocol("c", p, "x[0] == x[-1]",
+                              left_boundary=0, right_boundary=1)
+        assert chain.right_boundary == (1,)
+
+    def test_local_state_uses_boundaries(self):
+        chain = chain_broadcast(boundary=1)
+        instance = chain.instantiate(3)
+        state = instance.state_of(0, 1, 0)
+        assert instance.local_state(state, 0) == \
+            chain.space.state_of(1, 0)  # boundary on the left
+        assert instance.local_state(state, 2) == \
+            chain.space.state_of(1, 0)
+
+    def test_single_process_chain(self):
+        chain = chain_broadcast(boundary=1)
+        instance = chain.instantiate(1)
+        assert instance.state_count == 2
+        bad = instance.state_of(0)
+        assert not instance.invariant_holds(bad)
+        moves = instance.moves(bad)
+        assert len(moves) == 1
+        assert instance.invariant_holds(moves[0].target)
+
+    def test_invariant_pins_boundary_value(self):
+        chain = chain_agreement(boundary=1)
+        instance = chain.instantiate(4)
+        assert list(instance.invariant_states()) == [
+            instance.uniform_state(1)]
+
+    def test_format_state(self):
+        instance = chain_broadcast().instantiate(3)
+        assert instance.format_state(instance.state_of(0, 1, 0)) \
+            == "[0 1 0]"
+
+
+class TestChainDeadlocks:
+    def test_empty_coloring_deadlocks(self):
+        analyzer = ChainDeadlockAnalyzer(chain_coloring(2))
+        report = analyzer.analyze()
+        assert not report.deadlock_free
+        assert report.witness_walk is not None
+        # Concrete witness is a real deadlock of the right size.
+        state = analyzer.witness_state()
+        instance = chain_coloring(2).instantiate(len(state))
+        assert instance.is_deadlock(state)
+        assert not instance.invariant_holds(state)
+
+    def test_broadcast_is_deadlock_free(self):
+        report = ChainDeadlockAnalyzer(chain_broadcast()).analyze()
+        assert report.deadlock_free
+
+    @pytest.mark.parametrize("factory", [chain_coloring, chain_broadcast,
+                                         chain_agreement,
+                                         stabilizing_chain_coloring])
+    def test_per_size_prediction_matches_global(self, factory):
+        protocol = factory()
+        predicted = ChainDeadlockAnalyzer(protocol) \
+            .deadlocked_chain_sizes(5)
+        for size in range(1, 6):
+            instance = protocol.instantiate(size)
+            has_deadlock = any(
+                instance.is_deadlock(s)
+                and not instance.invariant_holds(s)
+                for s in instance.states())
+            assert (size in predicted) == has_deadlock, (factory, size)
+
+    def test_boundary_consistency_filters_starts(self):
+        chain = chain_coloring(2, boundary=0)
+        report = ChainDeadlockAnalyzer(chain).analyze()
+        for start in report.start_deadlocks:
+            assert start.cell(-1) == (0,)
+
+
+class TestTermination:
+    def test_certificate_for_self_disabling_chain(self):
+        assert certify_chain_termination(chain_broadcast()) == 1
+
+    def test_bidirectional_chain_rejected(self):
+        x = ranged("x", 2)
+        p = ProcessTemplate(variables=(x,), reads_left=1, reads_right=1)
+        chain = ChainProtocol("c", p, "x[0] == x[-1]",
+                              left_boundary=0, right_boundary=0)
+        with pytest.raises(TopologyError):
+            certify_chain_termination(chain)
+
+    def test_self_enabling_chain_rejected(self):
+        from repro.protocol.dsl import parse_action
+
+        x = ranged("x", 3)
+        climb = parse_action("x[0] < x[-1] -> x := x[0] + 1", [x])
+        chain = ChainProtocol(
+            "c", ProcessTemplate(variables=(x,), actions=(climb,)),
+            "x[0] == x[-1]", left_boundary=0)
+        with pytest.raises(AssumptionViolation):
+            certify_chain_termination(chain)
+
+    def test_every_execution_terminates_within_bound(self):
+        """Empirical check of the K(K+1)/2 bound on the broadcast."""
+        from repro.simulation import AdversarialScheduler, run
+
+        chain = chain_broadcast()
+        for size in (2, 4, 6):
+            instance = chain.instantiate(size)
+            bound = size * (size + 1) // 2
+            for seed in range(5):
+                start = tuple(((seed >> i) & 1,) for i in range(size))
+                trace = run(instance, start,
+                            AdversarialScheduler(instance, seed=seed),
+                            max_steps=bound + 1,
+                            stop_on_convergence=False)
+                assert trace.steps <= bound
+
+
+class TestChainVerification:
+    def test_broadcast_converges_exactly(self):
+        report = verify_chain_convergence(chain_broadcast())
+        assert report.verdict is ChainVerdict.CONVERGES
+        assert "exact" in report.summary()
+
+    def test_empty_coloring_diverges(self):
+        report = verify_chain_convergence(chain_coloring(2))
+        assert report.verdict is ChainVerdict.DIVERGES
+        assert report.deadlock.witness_walk is not None
+
+    @pytest.mark.parametrize("size", [1, 2, 4, 6])
+    def test_verdicts_confirmed_globally(self, size):
+        for factory, expect in [(chain_broadcast, True),
+                                (stabilizing_chain_coloring, True),
+                                (chain_coloring, False)]:
+            protocol = factory()
+            report = check_instance(protocol.instantiate(size))
+            assert report.self_stabilizing == expect, (factory, size)
+
+
+class TestChainSynthesis:
+    def test_two_coloring_synthesizes_on_chains(self):
+        """Impossible on unidirectional rings [25]; trivial on chains."""
+        result = synthesize_chain_convergence(chain_coloring(2))
+        assert result.succeeded
+        assert len(result.chosen) == 2  # resolve both 00 and 11
+        verdict = verify_chain_convergence(result.protocol)
+        assert verdict.verdict is ChainVerdict.CONVERGES
+        for size in (1, 3, 5):
+            assert check_instance(
+                result.protocol.instantiate(size)).self_stabilizing
+
+    def test_agreement_synthesizes_on_chains(self):
+        result = synthesize_chain_convergence(chain_agreement())
+        assert result.succeeded
+        for size in (2, 4):
+            assert check_instance(
+                result.protocol.instantiate(size)).self_stabilizing
+
+    def test_already_stabilizing_input(self):
+        protocol = chain_broadcast()
+        result = synthesize_chain_convergence(protocol)
+        assert result.succeeded
+        assert result.chosen == ()
+        assert result.protocol is protocol  # returned unchanged
+
+    def test_summary_renders(self):
+        result = synthesize_chain_convergence(chain_coloring(3))
+        assert "chain synthesis succeeded" in result.summary()

@@ -1,0 +1,79 @@
+"""Bidirectional chains: the deadlock analysis covers windows that read
+both neighbours (the boundary constrains both ends)."""
+
+import pytest
+
+from repro.core.chains import ChainDeadlockAnalyzer
+from repro.errors import TopologyError
+from repro.core.chains import certify_chain_termination
+from repro.protocol.chain import ChainProtocol
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.variables import ranged
+from repro.protocols.maximal_matching import (
+    MATCHING_DOMAIN,
+    MATCHING_LEGITIMACY,
+)
+from repro.protocol.variables import Variable
+
+
+def bidirectional_chain(legitimacy: str, domain: int = 2,
+                        left=0, right=0) -> ChainProtocol:
+    x = ranged("x", domain)
+    process = ProcessTemplate(variables=(x,), reads_left=1,
+                              reads_right=1)
+    return ChainProtocol("bi-chain", process, legitimacy,
+                         left_boundary=left, right_boundary=right)
+
+
+class TestBidirectionalChainDeadlocks:
+    @pytest.mark.parametrize("legitimacy,left,right", [
+        ("x[0] != x[-1] and x[0] != x[1]", 0, 0),   # middle coloring
+        ("x[-1] == x[0] and x[0] == x[1]", 1, 1),   # full agreement
+        ("x[0] == 0 or x[-1] == x[1]", 0, 1),
+    ])
+    def test_per_size_prediction_matches_global(self, legitimacy,
+                                                left, right):
+        protocol = bidirectional_chain(legitimacy, left=left,
+                                       right=right)
+        analyzer = ChainDeadlockAnalyzer(protocol)
+        predicted = analyzer.deadlocked_chain_sizes(5)
+        for size in range(1, 6):
+            instance = protocol.instantiate(size)
+            brute = any(
+                instance.is_deadlock(s)
+                and not instance.invariant_holds(s)
+                for s in instance.states())
+            assert (size in predicted) == brute, (legitimacy, size)
+
+    def test_both_boundaries_constrain_the_walk(self):
+        protocol = bidirectional_chain("x[0] != x[-1]", left=0, right=0)
+        report = ChainDeadlockAnalyzer(protocol).analyze()
+        for start in report.start_deadlocks:
+            assert start.cell(-1) == (0,)
+        for end in report.end_deadlocks:
+            assert end.cell(1) == (0,)
+
+    def test_matching_invariant_on_a_chain(self):
+        """Maximal matching on an open chain: the deadlock analysis runs
+        on the bidirectional window and agrees with brute force."""
+        m = Variable("m", MATCHING_DOMAIN)
+        process = ProcessTemplate(variables=(m,), reads_left=1,
+                                  reads_right=1)
+        protocol = ChainProtocol("matching-chain", process,
+                                 MATCHING_LEGITIMACY,
+                                 left_boundary="right",
+                                 right_boundary="left")
+        analyzer = ChainDeadlockAnalyzer(protocol)
+        predicted = analyzer.deadlocked_chain_sizes(4)
+        for size in (1, 2, 3, 4):
+            instance = protocol.instantiate(size)
+            brute = any(
+                instance.is_deadlock(s)
+                and not instance.invariant_holds(s)
+                for s in instance.states())
+            assert (size in predicted) == brute, size
+
+    def test_termination_certificate_refuses_bidirectional(self):
+        protocol = bidirectional_chain("x[0] != x[-1]")
+        with pytest.raises(TopologyError):
+            certify_chain_termination(protocol)

@@ -1,0 +1,63 @@
+"""The contiguous-livelock dynamics model (Figure 7)."""
+
+import pytest
+
+from repro.core.contiguous import ContiguousLivelockModel
+
+
+class TestDynamics:
+    def test_figure7_scenario_k6_e3(self):
+        """Figure 7: K=6, |E|=3 — after K-|E|=3 propagations the block
+        of 3 adjacent enablements reappears one position to the left."""
+        model = ContiguousLivelockModel(6, 3)
+        states = model.run(model.steps_per_round)
+        assert states[0].enabled == frozenset({0, 1, 2})
+        assert states[-1].enabled == frozenset({5, 0, 1})
+        assert states[-1].mover is None
+
+    def test_enablement_count_is_invariant(self):
+        """Lemma 5.5: |E| never changes along the livelock."""
+        for ring, block in [(6, 3), (5, 2), (7, 1), (4, 3)]:
+            model = ContiguousLivelockModel(ring, block)
+            for state in model.run(3 * model.steps_per_rotation):
+                assert len(state.enabled) == block
+
+    def test_full_rotation_returns_to_start(self):
+        model = ContiguousLivelockModel(6, 3)
+        states = model.run(model.steps_per_rotation)
+        assert states[-1].enabled == states[0].enabled
+        assert model.steps_per_rotation == 6 * 3
+
+    def test_block_rotates_against_propagation(self):
+        """The segment moves left (decreasing positions) while each
+        individual enablement propagates right."""
+        model = ContiguousLivelockModel(6, 3)
+        starts = []
+        state = model.initial()
+        for _round in range(6):
+            starts.append(state.block_start)
+            for _ in range(model.steps_per_round):
+                state = model.step(state)
+        assert starts == [0, 5, 4, 3, 2, 1]
+
+    def test_single_enablement_walks_the_ring(self):
+        model = ContiguousLivelockModel(4, 1)
+        positions = [next(iter(s.enabled))
+                     for s in model.run(8)]
+        assert positions == [0, 1, 2, 3, 0, 1, 2, 3, 0]
+
+    def test_render_matches_figure_style(self):
+        model = ContiguousLivelockModel(6, 3)
+        assert model.initial().render() == "E E E . . ."
+        stepped = model.step(model.initial())
+        assert stepped.render() == "E E . E . ."
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ContiguousLivelockModel(4, 0)
+        with pytest.raises(ValueError):
+            ContiguousLivelockModel(4, 4)
+
+    def test_custom_block_start(self):
+        model = ContiguousLivelockModel(5, 2)
+        assert model.initial(block_start=3).enabled == frozenset({3, 4})

@@ -1,0 +1,98 @@
+"""The combined convergence verdict and the local closure check."""
+
+import pytest
+
+from repro.checker import StateGraph, is_closed
+from repro.core.convergence import (
+    ConvergenceVerdict,
+    check_local_closure,
+    verify_convergence,
+)
+from repro.protocol.dsl import parse_action
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+from repro.protocols import (
+    generalizable_matching,
+    gouda_acharya_matching,
+    livelock_agreement,
+    nongeneralizable_matching,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+    three_coloring,
+)
+
+
+class TestLocalClosure:
+    @pytest.mark.parametrize("factory", [
+        generalizable_matching,
+        nongeneralizable_matching,
+        gouda_acharya_matching,
+        stabilizing_agreement,
+        stabilizing_sum_not_two,
+        livelock_agreement,
+        three_coloring,
+    ])
+    def test_paper_protocols_are_closed(self, factory):
+        assert check_local_closure(factory())
+
+    def test_detects_direct_violation(self):
+        """An action enabled inside LC that exits LC."""
+        x = ranged("x", 2)
+        bad = parse_action("x[0] == x[-1] -> x := 1 - x[0]", [x])
+        protocol = RingProtocol(
+            "bad", ProcessTemplate(variables=(x,), actions=(bad,)),
+            "x[0] == x[-1]")
+        assert not check_local_closure(protocol)
+
+    def test_detects_neighbour_corruption(self):
+        """An action that keeps its own window legitimate but corrupts
+        its successor's: with ``LC_r = (x_{r-1} == 0)`` the writer never
+        sees the damage (it does not read its own variable's effect on
+        LC), yet writing ``x_r := 1`` breaks the successor's constraint."""
+        x = ranged("x", 2)
+        sneaky = parse_action("x[-1] == 0 and x[0] == 0 -> x := 1", [x])
+        protocol = RingProtocol(
+            "sneaky", ProcessTemplate(variables=(x,), actions=(sneaky,)),
+            "x[-1] == 0")
+        assert not check_local_closure(protocol)
+
+    @pytest.mark.parametrize("factory,size", [
+        (generalizable_matching, 5),
+        (nongeneralizable_matching, 6),
+        (stabilizing_sum_not_two, 5),
+        (livelock_agreement, 5),
+    ])
+    def test_agrees_with_global_closure(self, factory, size):
+        protocol = factory()
+        local = check_local_closure(protocol)
+        graph = StateGraph(protocol.instantiate(size))
+        assert local == is_closed(graph)
+
+
+class TestVerdicts:
+    def test_converges(self):
+        report = verify_convergence(stabilizing_agreement())
+        assert report.verdict is ConvergenceVerdict.CONVERGES
+        assert report.closure_ok
+        assert "converges" in report.summary()
+
+    def test_diverges_on_deadlock(self):
+        report = verify_convergence(nongeneralizable_matching())
+        assert report.verdict is ConvergenceVerdict.DIVERGES
+        assert report.livelock is None  # skipped: deadlock is definitive
+        assert "witness cycle" in report.summary()
+
+    def test_unknown_on_livelock(self):
+        report = verify_convergence(livelock_agreement())
+        assert report.verdict is ConvergenceVerdict.UNKNOWN
+        assert report.deadlock.deadlock_free
+        assert report.livelock is not None
+        assert report.livelock.trail_witnesses
+
+    def test_livelock_check_can_be_skipped(self):
+        report = verify_convergence(stabilizing_agreement(),
+                                    check_livelocks=False)
+        assert report.verdict is ConvergenceVerdict.UNKNOWN
+        assert report.livelock is None
+        assert "skipped" in report.summary()

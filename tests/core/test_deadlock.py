@@ -1,0 +1,140 @@
+"""Theorem 4.2: the deadlock analysis on the paper's examples, plus
+cross-validation of the per-size predictions against global checking."""
+
+import pytest
+
+from repro.checker import check_instance
+from repro.core import analyze_deadlocks
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.protocols import (
+    agreement,
+    generalizable_matching,
+    nongeneralizable_matching,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+    sum_not_two,
+    three_coloring,
+    two_coloring,
+)
+from repro.viz import state_label
+
+
+class TestExample42:
+    """Figure 2: Example 4.2 is deadlock-free for every K."""
+
+    def test_deadlock_free_for_all_k(self):
+        report = analyze_deadlocks(generalizable_matching())
+        assert report.deadlock_free
+        assert report.witness_cycles == ()
+
+    def test_no_deadlocked_size_exists(self):
+        analyzer = DeadlockAnalyzer(generalizable_matching())
+        assert analyzer.deadlocked_ring_sizes(12) == set()
+
+    def test_cycles_over_legitimate_deadlocks_are_fine(self):
+        """The induced RCG may contain cycles — they just must avoid
+        illegitimate deadlocks (Theorem 4.2's condition is about bad
+        cycles, not acyclicity)."""
+        report = analyze_deadlocks(generalizable_matching())
+        from repro.graphs import has_cycle
+
+        assert has_cycle(report.induced_rcg)  # legitimate rings exist!
+
+
+class TestExample43:
+    """Figure 3: cycles of lengths 4 and 6 through ⟨l,l,s⟩."""
+
+    def test_not_deadlock_free(self):
+        report = analyze_deadlocks(nongeneralizable_matching())
+        assert not report.deadlock_free
+
+    def test_witness_cycle_lengths_include_4_and_6(self):
+        report = analyze_deadlocks(nongeneralizable_matching())
+        lengths = {len(c) for c in report.witness_cycles}
+        assert {4, 6} <= lengths
+
+    def test_lls_is_on_the_short_cycles(self):
+        report = analyze_deadlocks(nongeneralizable_matching())
+        for cycle in report.witness_cycles:
+            if len(cycle) in (4, 6):
+                assert "lls" in {state_label(s) for s in cycle}
+
+    def test_length4_cycle_is_the_papers(self):
+        report = analyze_deadlocks(nongeneralizable_matching())
+        four = next(c for c in report.witness_cycles if len(c) == 4)
+        assert {state_label(s) for s in four} == {"lls", "lsr", "srl",
+                                                  "rll"}
+
+    def test_witness_state_is_a_real_deadlock(self):
+        protocol = nongeneralizable_matching()
+        report = analyze_deadlocks(protocol)
+        four = next(i for i, c in enumerate(report.witness_cycles)
+                    if len(c) == 4)
+        state = report.witness_state(four, repetitions=2)
+        instance = protocol.instantiate(8)
+        assert instance.is_deadlock(state)
+        assert not instance.invariant_holds(state)
+
+    @pytest.mark.parametrize("size", [4, 5, 6, 7, 8])
+    def test_per_size_prediction_matches_global_checker(self, size):
+        protocol = nongeneralizable_matching()
+        predicted = DeadlockAnalyzer(protocol).deadlocked_ring_sizes(size)
+        report = check_instance(protocol.instantiate(size))
+        assert (size in predicted) == bool(report.deadlocks_outside)
+
+    def test_refinement_of_papers_claim(self):
+        """The paper says "multiples of 4 or 6" but closed walks combine
+        cycles: K=7 also deadlocks (confirmed globally in the test
+        above), while K=5 stays clean."""
+        predicted = DeadlockAnalyzer(
+            nongeneralizable_matching()).deadlocked_ring_sizes(12)
+        assert 4 in predicted and 6 in predicted
+        assert 7 in predicted          # beyond the paper's statement
+        assert 5 not in predicted      # the size it was synthesized for
+
+
+class TestEmptyProtocols:
+    def test_agreement_deadlocks(self):
+        report = analyze_deadlocks(agreement())
+        assert not report.deadlock_free
+        assert len(report.local_deadlocks) == 4  # every state
+        assert len(report.illegitimate_deadlocks) == 2
+
+    def test_sum_not_two_deadlocks(self):
+        report = analyze_deadlocks(sum_not_two())
+        labels = {state_label(s) for s in report.illegitimate_deadlocks}
+        assert labels == {"20", "11", "02"}
+
+    def test_resolve_candidates_agreement(self):
+        """Section 6.2: either {01} or {10} suffices."""
+        sets = DeadlockAnalyzer(agreement()).resolve_candidates()
+        labels = {frozenset(state_label(s) for s in r) for r in sets}
+        assert labels == {frozenset({"01"}), frozenset({"10"})}
+
+    def test_resolve_candidates_sum_not_two(self):
+        """Section 6.2: no proper subset works — all three required."""
+        sets = DeadlockAnalyzer(sum_not_two()).resolve_candidates()
+        labels = [frozenset(state_label(s) for s in r) for r in sets]
+        assert labels == [frozenset({"20", "11", "02"})]
+
+    def test_resolve_candidates_colorings(self):
+        """Both colorings: every illegitimate state has a continuation
+        self-loop, so all must be resolved."""
+        for protocol, expected in [(two_coloring(), {"00", "11"}),
+                                   (three_coloring(),
+                                    {"00", "11", "22"})]:
+            sets = DeadlockAnalyzer(protocol).resolve_candidates()
+            labels = [frozenset(state_label(s) for s in r) for r in sets]
+            assert labels == [frozenset(expected)]
+
+
+class TestStabilizedProtocols:
+    @pytest.mark.parametrize("factory", [stabilizing_agreement,
+                                         stabilizing_sum_not_two])
+    def test_synthesized_solutions_are_deadlock_free(self, factory):
+        report = analyze_deadlocks(factory())
+        assert report.deadlock_free
+
+    def test_analysis_is_cached(self):
+        analyzer = DeadlockAnalyzer(stabilizing_agreement())
+        assert analyzer.analyze() is analyzer.analyze()

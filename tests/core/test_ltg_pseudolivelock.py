@@ -1,0 +1,125 @@
+"""LTG construction (Definition 5.3) and pseudo-livelocks
+(Definition 5.13)."""
+
+from repro.core.ltg import build_ltg, s_successors, t_arcs, t_successors
+from repro.core.pseudolivelock import (
+    elementary_pseudo_livelocks,
+    has_pseudo_livelock,
+    is_pseudo_livelock_support,
+    pseudo_livelock_supports,
+    write_projection_graph,
+)
+from repro.protocol.actions import LocalTransition
+from repro.protocols import (
+    generalizable_matching,
+    livelock_agreement,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+)
+
+
+class TestLtg:
+    def test_ltg_contains_both_arc_kinds(self):
+        p = stabilizing_agreement()
+        ltg = build_ltg(p.space)
+        assert len(t_arcs(ltg)) == len(p.space.transitions) == 1
+        s_count = sum(1 for _u, _v, k in ltg.edges() if k == "s")
+        assert s_count == 8  # full RCG of the 4-state space
+
+    def test_figure4_ltg_of_example42(self):
+        p = generalizable_matching()
+        ltg = build_ltg(p.space)
+        assert len(ltg) == 27
+        assert len(t_arcs(ltg)) == len(p.space.transitions)
+        # every local state has 3 right continuations (s-arcs)
+        for node in p.space.states:
+            assert len(s_successors(ltg, node)) == 3
+
+    def test_t_successors(self):
+        p = stabilizing_agreement()
+        ltg = build_ltg(p.space)
+        src = p.space.state_of(1, 0)
+        pairs = t_successors(ltg, src)
+        assert len(pairs) == 1
+        transition, target = pairs[0]
+        assert target == p.space.state_of(1, 1)
+        assert transition.source == src
+
+    def test_explicit_transition_override(self):
+        p = stabilizing_agreement()
+        ltg = build_ltg(p.space, transitions=())
+        assert t_arcs(ltg) == []
+
+
+def tr(space, a, b, new):
+    source = space.state_of(a, b)
+    return LocalTransition(source, source.replace_own((new,)),
+                           f"t{b}{new}")
+
+
+class TestPseudoLivelocks:
+    def test_two_cycle(self):
+        space = livelock_agreement().space
+        t01 = tr(space, 1, 0, 1)
+        t10 = tr(space, 0, 1, 0)
+        assert has_pseudo_livelock([t01, t10])
+        assert not has_pseudo_livelock([t01])
+        assert elementary_pseudo_livelocks([t01, t10]) == [
+            frozenset({t01, t10})]
+
+    def test_projection_graph_structure(self):
+        space = livelock_agreement().space
+        t01 = tr(space, 1, 0, 1)
+        graph = write_projection_graph([t01])
+        assert graph.has_edge((0,), (1,))
+        assert graph.edge_keys((0,), (1,)) == {t01}
+
+    def test_three_cycle_of_coloring(self):
+        from repro.protocols import three_coloring
+
+        space = three_coloring().space
+        cyc = [tr(space, 0, 0, 1), tr(space, 1, 1, 2), tr(space, 2, 2, 0)]
+        assert has_pseudo_livelock(cyc)
+        assert elementary_pseudo_livelocks(cyc) == [frozenset(cyc)]
+        # dropping any one breaks the cycle
+        for skip in range(3):
+            rest = [t for i, t in enumerate(cyc) if i != skip]
+            assert not has_pseudo_livelock(rest)
+
+    def test_parallel_projections_give_distinct_livelocks(self):
+        space = livelock_agreement().space
+        a = tr(space, 1, 0, 1)        # 0 -> 1 from ⟨1 0⟩
+        b = tr(space, 0, 0, 1)        # 0 -> 1 from ⟨0 0⟩ (parallel edge)
+        c = tr(space, 0, 1, 0)        # 1 -> 0
+        livelocks = elementary_pseudo_livelocks([a, b, c])
+        assert frozenset({a, c}) in livelocks
+        assert frozenset({b, c}) in livelocks
+        assert len(livelocks) == 2
+
+    def test_supports_are_unions_of_elementary(self):
+        space = livelock_agreement().space
+        a = tr(space, 1, 0, 1)
+        b = tr(space, 0, 0, 1)
+        c = tr(space, 0, 1, 0)
+        supports = pseudo_livelock_supports([a, b, c])
+        assert frozenset({a, c}) in supports
+        assert frozenset({b, c}) in supports
+        assert frozenset({a, b, c}) in supports
+        assert len(supports) == 3
+        for support in supports:
+            assert is_pseudo_livelock_support(support)
+
+    def test_support_check_rejects_dangling_arcs(self):
+        space = stabilizing_sum_not_two().space
+        t21 = tr(space, 0, 2, 1)
+        t12 = tr(space, 1, 1, 2)
+        t01 = tr(space, 2, 0, 1)  # 0 -> 1 dangles off the {1,2} cycle
+        assert is_pseudo_livelock_support([t21, t12])
+        assert not is_pseudo_livelock_support([t21, t12, t01])
+        assert not is_pseudo_livelock_support([t01])
+        assert not is_pseudo_livelock_support([])
+
+    def test_stabilizing_agreement_has_no_pseudo_livelock(self):
+        space = stabilizing_agreement().space
+        assert not has_pseudo_livelock(space.transitions)
+        assert pseudo_livelock_supports(space.transitions) == []

@@ -1,0 +1,131 @@
+"""Definition 5.10 / Lemma 5.11 on the Example 5.2 livelock (Figures
+5 and 6)."""
+
+from itertools import permutations
+
+import pytest
+
+from repro.core.precedence import (
+    precedence_preserving_schedules,
+    precedence_relation,
+    replay,
+    schedule_of_cycle,
+)
+from repro.errors import TopologyError, VerificationError
+from repro.protocols import generalizable_matching, livelock_agreement
+
+PAPER_CYCLE = ["1000", "1100", "0100", "0110",
+               "0111", "0011", "1011", "1001"]
+
+
+@pytest.fixture
+def example52():
+    protocol = livelock_agreement()
+    instance = protocol.instantiate(4)
+    cycle = [instance.state_of(*[int(c) for c in s]) for s in PAPER_CYCLE]
+    return instance, cycle
+
+
+class TestSchedule:
+    def test_schedule_processes(self, example52):
+        instance, cycle = example52
+        schedule = schedule_of_cycle(instance, cycle)
+        assert [e.process for e in schedule] == [1, 0, 2, 3, 1, 0, 2, 3]
+
+    def test_schedule_rejects_multi_process_steps(self, example52):
+        instance, cycle = example52
+        broken = [cycle[0], cycle[2]] + cycle[3:]  # skips a step
+        with pytest.raises(VerificationError):
+            schedule_of_cycle(instance, broken)
+
+    def test_schedule_rejects_disabled_moves(self, example52):
+        instance, cycle = example52
+        impossible = [instance.state_of(0, 0, 0, 0),
+                      instance.state_of(0, 0, 0, 1)]
+        with pytest.raises(VerificationError):
+            schedule_of_cycle(instance, impossible)
+
+
+class TestRelation:
+    def test_same_process_steps_are_ordered(self, example52):
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        schedule = relation.schedule
+        for i in range(len(schedule)):
+            for j in range(i + 1, len(schedule)):
+                if schedule[i].process == schedule[j].process:
+                    assert (i, j) in relation.order
+
+    def test_relation_is_transitively_closed(self, example52):
+        instance, cycle = example52
+        order = precedence_relation(instance, cycle).order
+        for (a, b) in order:
+            for (c, d) in order:
+                if b == c:
+                    assert (a, d) in order
+
+    def test_independent_pairs_are_unordered(self, example52):
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        for i, j in relation.independent_pairs:
+            assert (i, j) not in relation.order
+            assert (j, i) not in relation.order
+
+    def test_bidirectional_rings_rejected(self):
+        protocol = generalizable_matching()
+        instance = protocol.instantiate(3)
+        with pytest.raises(TopologyError):
+            precedence_relation(instance, [instance.uniform_state("self")])
+
+
+class TestLemma511:
+    def test_exactly_eight_livelock_permutations(self, example52):
+        """The paper's 2³ = 8 precedence-preserving permutations."""
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        schedules = list(precedence_preserving_schedules(relation))
+        assert len(schedules) == 8
+        assert tuple(range(8)) in schedules  # the original Sch
+
+    def test_enumeration_matches_brute_force_ground_truth(self, example52):
+        """Validated enumeration == all valid cyclic replays (first
+        transition pinned)."""
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        mine = set(precedence_preserving_schedules(relation))
+        truth = {
+            (0,) + perm
+            for perm in permutations(range(1, 8))
+            if replay(instance, cycle[0], relation.schedule,
+                      (0,) + perm) is not None
+        }
+        assert mine == truth
+
+    def test_every_permutation_is_a_livelock_outside_i(self, example52):
+        """Lemma 5.11: each precedence-preserving permutation replays to
+        a cycle whose states all lie outside I (Figure 6)."""
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        for permutation in precedence_preserving_schedules(relation):
+            states = replay(instance, cycle[0], relation.schedule,
+                            permutation)
+            assert states is not None
+            assert all(not instance.invariant_holds(s) for s in states)
+
+    def test_permutations_preserve_the_relation(self, example52):
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        for permutation in precedence_preserving_schedules(relation):
+            assert relation.preserves(permutation)
+
+    def test_figure6_second_livelock_differs_from_first(self, example52):
+        """Figure 6 shows a second, distinct state sequence in the same
+        equivalence class."""
+        instance, cycle = example52
+        relation = precedence_relation(instance, cycle)
+        sequences = set()
+        for permutation in precedence_preserving_schedules(relation):
+            states = replay(instance, cycle[0], relation.schedule,
+                            permutation)
+            sequences.add(tuple(states))
+        assert len(sequences) == 8  # all eight are distinct state cycles

@@ -1,0 +1,72 @@
+"""Right Continuation Graph construction (Definition 4.1, Figure 1)."""
+
+import pytest
+
+from repro.core.rcg import build_rcg, closed_walk_to_global_state
+from repro.protocols import matching_base, stabilizing_agreement
+
+
+class TestBuildRcg:
+    def test_figure1_dimensions(self):
+        """Figure 1: 27 local states; each has exactly 3 right
+        continuations (one per value of the new window's far cell)."""
+        base = matching_base()
+        rcg = build_rcg(base.space)
+        assert len(rcg) == 27
+        for node in rcg.nodes:
+            assert len(list(rcg.successors(node))) == 3
+        assert rcg.edge_count() == 81
+
+    def test_unidirectional_rcg(self):
+        p = stabilizing_agreement()
+        rcg = build_rcg(p.space)
+        assert len(rcg) == 4
+        # s2 continues s1 iff s1.own == s2.cell(-1): 2 continuations each.
+        for node in rcg.nodes:
+            assert len(list(rcg.successors(node))) == 2
+
+    def test_induced_construction(self):
+        p = stabilizing_agreement()
+        space = p.space
+        some = [space.state_of(0, 0), space.state_of(0, 1)]
+        rcg = build_rcg(space, vertices=some)
+        assert set(rcg.nodes) == set(some)
+        assert rcg.has_edge(space.state_of(0, 0), space.state_of(0, 1))
+        assert not rcg.has_edge(space.state_of(0, 1), space.state_of(0, 0))
+
+    def test_all_arcs_are_s_arcs(self):
+        rcg = build_rcg(stabilizing_agreement().space)
+        assert all(key == "s" for _u, _v, key in rcg.edges())
+
+
+class TestClosedWalkToGlobalState:
+    def test_roundtrip_unidirectional(self):
+        p = stabilizing_agreement()
+        space = p.space
+        walk = [space.state_of(0, 1), space.state_of(1, 1),
+                space.state_of(1, 0), space.state_of(0, 0)]
+        state = closed_walk_to_global_state(walk, space)
+        assert state == ((1,), (1,), (0,), (0,))
+        # The walk's windows must reappear as the instance's projections.
+        instance = p.instantiate(4)
+        for r, expected in enumerate(walk):
+            assert instance.local_state(state, r) == expected
+
+    def test_rejects_inconsistent_walk(self):
+        space = stabilizing_agreement().space
+        walk = [space.state_of(0, 1), space.state_of(0, 1)]
+        with pytest.raises(ValueError):
+            closed_walk_to_global_state(walk, space)
+
+    def test_rejects_too_short_walk(self):
+        base = matching_base()
+        walk = [base.space.state_of("left", "left", "left")]
+        with pytest.raises(ValueError):
+            closed_walk_to_global_state(walk, base.space)
+
+    def test_bidirectional_roundtrip(self):
+        base = matching_base()
+        space = base.space
+        lll = space.state_of("left", "left", "left")
+        state = closed_walk_to_global_state([lll, lll, lll], space)
+        assert state == (("left",),) * 3

@@ -1,0 +1,112 @@
+"""Assumption 1/2 checks and the self-disabling transformation."""
+
+import pytest
+
+from repro.core.selfdisabling import (
+    action_for_transition,
+    is_self_disabling,
+    is_self_terminating,
+    make_self_disabling,
+    self_disabling_transitions,
+)
+from repro.errors import AssumptionViolation
+from repro.protocol.dsl import parse_action
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+from repro.protocols import (
+    gouda_acharya_matching,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+)
+
+
+def chain_protocol() -> RingProtocol:
+    """x counts up while below the predecessor: local chains 0->1->2."""
+    x = ranged("x", 3)
+    action = parse_action("x[0] < x[-1] -> x := x[0] + 1", [x],
+                          name="inc")
+    return RingProtocol("chain", ProcessTemplate(variables=(x,),
+                                                 actions=(action,)),
+                        "x[0] == x[-1]")
+
+
+def spinning_protocol() -> RingProtocol:
+    """x toggles forever whenever the predecessor is 1: a local cycle."""
+    x = ranged("x", 2)
+    action = parse_action("x[-1] == 1 -> x := 1 - x[0]", [x], name="spin")
+    return RingProtocol("spin", ProcessTemplate(variables=(x,),
+                                                actions=(action,)),
+                        "x[0] == x[-1]")
+
+
+class TestChecks:
+    def test_paper_solutions_are_self_disabling(self):
+        for protocol in (stabilizing_agreement(),
+                         stabilizing_sum_not_two(),
+                         gouda_acharya_matching()):
+            assert is_self_terminating(protocol.space)
+            assert is_self_disabling(protocol.space)
+
+    def test_chain_is_terminating_but_not_disabling(self):
+        protocol = chain_protocol()
+        assert is_self_terminating(protocol.space)
+        assert not is_self_disabling(protocol.space)
+
+    def test_spinning_is_not_terminating(self):
+        protocol = spinning_protocol()
+        assert not is_self_terminating(protocol.space)
+
+
+class TestTransformation:
+    def test_shortcuts_reach_terminal_deadlocks(self):
+        protocol = chain_protocol()
+        transformed = self_disabling_transitions(protocol.space)
+        # From ⟨2 0⟩ the chain 0 -> 1 -> 2 collapses to the single
+        # shortcut ⟨2 0⟩ -> ⟨2 2⟩ (and 1 -> 2 stays).
+        space = protocol.space
+        by_source = {}
+        for t in transformed:
+            by_source.setdefault(t.source, set()).add(t.target)
+        assert by_source[space.state_of(2, 0)] == {space.state_of(2, 2)}
+        assert by_source[space.state_of(2, 1)] == {space.state_of(2, 2)}
+
+    def test_transformed_set_is_self_disabling(self):
+        protocol = make_self_disabling(chain_protocol())
+        assert is_self_disabling(protocol.space)
+        assert is_self_terminating(protocol.space)
+
+    def test_transformation_preserves_terminal_reachability(self):
+        """Every terminal deadlock reachable by local chains before is
+        directly reachable after, and no new sources appear."""
+        original = chain_protocol()
+        transformed = make_self_disabling(original)
+        old_sources = {t.source for t in original.space.transitions}
+        new_sources = {t.source for t in transformed.space.transitions}
+        assert new_sources == old_sources
+
+    def test_transformation_adds_no_new_deadlocks(self):
+        original = chain_protocol()
+        transformed = make_self_disabling(original)
+        assert set(transformed.space.deadlocks()) == \
+            set(original.space.deadlocks())
+
+    def test_already_disabling_protocol_returned_unchanged(self):
+        protocol = stabilizing_agreement()
+        assert make_self_disabling(protocol) is protocol
+
+    def test_spinning_protocol_raises(self):
+        with pytest.raises(AssumptionViolation):
+            self_disabling_transitions(spinning_protocol().space)
+        with pytest.raises(AssumptionViolation):
+            make_self_disabling(spinning_protocol())
+
+
+class TestActionForTransition:
+    def test_realizes_exactly_one_transition(self):
+        protocol = stabilizing_agreement()
+        space = protocol.space
+        transition = space.transitions[0]
+        action = action_for_transition(transition, name="only")
+        rebuilt = protocol.with_actions((action,))
+        assert rebuilt.space.transitions == (transition,)

@@ -1,0 +1,66 @@
+"""Synthesizer.evaluate_all_combinations — the paper's §6.1 style
+exhaustive enumeration of candidate subsets."""
+
+from repro.core.synthesis import Synthesizer
+from repro.protocols import (
+    agreement,
+    sum_not_two,
+    three_coloring,
+    two_coloring,
+)
+
+
+def accepted(verdicts):
+    return [combo for combo, reason in verdicts if reason is None]
+
+
+def test_three_coloring_all_eight_rejected():
+    verdicts = Synthesizer(three_coloring()).evaluate_all_combinations()
+    assert len(verdicts) == 8  # 2 candidates per deadlock, 3 deadlocks
+    assert accepted(verdicts) == []
+    for _combo, reason in verdicts:
+        assert "contiguous trail" in reason
+
+
+def test_sum_not_two_four_accepted_four_rejected():
+    verdicts = Synthesizer(sum_not_two()).evaluate_all_combinations()
+    assert len(verdicts) == 8
+    assert len(accepted(verdicts)) == 4
+    labelled = {frozenset(t.label for t in combo): reason
+                for combo, reason in verdicts}
+    # the paper's named pair:
+    assert labelled[frozenset({"t21", "t12", "t01"})] is None  # accepted
+    assert labelled[frozenset({"t21", "t10", "t02"})] is not None
+
+
+def test_two_coloring_single_combination():
+    verdicts = Synthesizer(two_coloring()).evaluate_all_combinations()
+    assert len(verdicts) == 1
+    assert accepted(verdicts) == []
+
+
+def test_agreement_single_candidate_accepted():
+    verdicts = Synthesizer(agreement()).evaluate_all_combinations()
+    assert len(verdicts) == 1
+    assert len(accepted(verdicts)) == 1
+    combo = accepted(verdicts)[0]
+    assert len(combo) == 1
+
+
+def test_explicit_resolve_set():
+    from repro.core.deadlock import DeadlockAnalyzer
+
+    protocol = agreement()
+    resolves = DeadlockAnalyzer(protocol).resolve_candidates()
+    assert len(resolves) == 2
+    for resolve in resolves:
+        verdicts = Synthesizer(protocol).evaluate_all_combinations(
+            resolve=resolve)
+        assert len(verdicts) == 1
+        assert accepted(verdicts)
+
+
+def test_combination_budget_respected():
+    synthesizer = Synthesizer(three_coloring(), max_combinations=3)
+    verdicts = synthesizer.evaluate_all_combinations()
+    assert len(verdicts) == 3

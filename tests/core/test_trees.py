@@ -1,0 +1,141 @@
+"""Tree topology: instance semantics and the exact per-shape DP."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trees import TreeDeadlockAnalyzer, certify_tree_termination
+from repro.errors import ProtocolDefinitionError, TopologyError
+from repro.protocol.chain import ChainProtocol
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.tree import TreeInstance, validate_parents
+from repro.protocol.variables import ranged
+from repro.protocols import (
+    chain_broadcast,
+    chain_coloring,
+    stabilizing_chain_coloring,
+)
+
+
+def parent_vectors(max_nodes: int = 5):
+    """Random parent vectors: node i's parent is drawn from 0..i-1
+    (node 0 is the root), then yields a valid rooted tree."""
+    return st.integers(1, max_nodes).flatmap(
+        lambda n: st.tuples(*[st.integers(0, i - 1)
+                              for i in range(1, n)]).map(
+            lambda ps: (None,) + ps))
+
+
+class TestParentVectors:
+    def test_valid_tree(self):
+        assert validate_parents((None, 0, 0, 2)) == 0
+
+    def test_root_not_first(self):
+        assert validate_parents((1, None)) == 1
+
+    def test_no_root_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            validate_parents((0, 0))
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            validate_parents((None, None))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            validate_parents((None, 2, 1))
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(ProtocolDefinitionError):
+            validate_parents((None, 9))
+
+
+class TestTreeInstance:
+    def test_chain_shaped_tree_equals_chain(self):
+        """A path-shaped tree behaves exactly like the chain instance."""
+        protocol = chain_broadcast()
+        parents = (None, 0, 1, 2)
+        tree = TreeInstance(protocol, parents)
+        chain = protocol.instantiate(4)
+        for state in tree.states():
+            assert tree.invariant_holds(state) == \
+                chain.invariant_holds(state)
+            assert sorted(tree.successors(state)) == \
+                sorted(chain.successors(state))
+
+    def test_root_reads_boundary(self):
+        protocol = chain_broadcast(boundary=1)
+        tree = TreeInstance(protocol, (None, 0, 0))
+        state = tree.state_of(0, 0, 1)
+        local = tree.local_state(state, 0)
+        assert local.cell(-1) == (1,)
+
+    def test_children_and_depth(self):
+        tree = TreeInstance(chain_broadcast(), (None, 0, 0, 1))
+        assert tree.children_of(0) == [1, 2]
+        assert tree.children_of(1) == [3]
+        assert tree.depth_of(3) == 2
+        assert tree.depth_of(0) == 0
+
+    def test_bidirectional_template_rejected(self):
+        x = ranged("x", 2)
+        template = ProcessTemplate(variables=(x,), reads_left=1,
+                                   reads_right=1)
+        protocol = ChainProtocol("bi", template, "x[0] == x[-1]",
+                                 left_boundary=0, right_boundary=0)
+        with pytest.raises(TopologyError):
+            TreeInstance(protocol, (None, 0))
+
+    def test_moves_propagate_down_the_tree(self):
+        protocol = chain_broadcast(boundary=1)
+        tree = TreeInstance(protocol, (None, 0, 0))
+        state = tree.state_of(1, 0, 1)  # child 1 disagrees with parent
+        moves = tree.moves(state)
+        assert [m.process for m in moves] == [1]
+        assert tree.invariant_holds(moves[0].target)
+
+
+class TestTreeDeadlocks:
+    def test_all_trees_question_reduces_to_chains(self):
+        assert not TreeDeadlockAnalyzer(
+            chain_coloring(2)).deadlock_free_for_all_trees()
+        assert TreeDeadlockAnalyzer(
+            chain_broadcast()).deadlock_free_for_all_trees()
+
+    def test_witness_is_a_real_tree_deadlock(self):
+        analyzer = TreeDeadlockAnalyzer(chain_coloring(2))
+        parents = (None, 0, 1, 1, 0)
+        state = analyzer.witness_state(parents)
+        assert state is not None
+        tree = TreeInstance(chain_coloring(2), parents)
+        assert tree.is_deadlock(state)
+        assert not tree.invariant_holds(state)
+
+    def test_stabilized_coloring_is_clean_on_shapes(self):
+        analyzer = TreeDeadlockAnalyzer(stabilizing_chain_coloring(2))
+        for parents in [(None,), (None, 0), (None, 0, 0),
+                        (None, 0, 1, 1)]:
+            assert analyzer.analyze_shape(parents).deadlock_free
+
+    @given(parent_vectors(max_nodes=5))
+    @settings(max_examples=40, deadline=None)
+    def test_per_shape_dp_matches_brute_force(self, parents):
+        """The DP verdict equals exhaustive enumeration of the shape's
+        global states, for both a deadlocking and a clean protocol."""
+        for factory in (chain_coloring, chain_broadcast):
+            protocol = factory()
+            analyzer = TreeDeadlockAnalyzer(protocol)
+            report = analyzer.analyze_shape(parents)
+            tree = TreeInstance(protocol, parents)
+            brute = any(
+                tree.is_deadlock(s) and not tree.invariant_holds(s)
+                for s in tree.states())
+            assert report.deadlock_free == (not brute), (
+                factory.__name__, parents)
+            if not report.deadlock_free:
+                witness = analyzer.witness_state(parents)
+                assert tree.is_deadlock(witness)
+                assert not tree.invariant_holds(witness)
+
+    def test_termination_certificate(self):
+        assert certify_tree_termination(chain_broadcast()) == 1

@@ -1,0 +1,99 @@
+"""Bad-path detection and minimal path cuts."""
+
+from itertools import combinations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph
+from repro.graphs.cuts import has_bad_path, minimal_path_cuts
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    max_size=15,
+)
+
+
+def build(edges) -> Digraph:
+    g = Digraph(nodes=range(6))
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+class TestHasBadPath:
+    def test_direct_path(self):
+        g = build([(0, 1), (1, 2)])
+        assert has_bad_path(g, [0], [2], [1])
+
+    def test_bad_vertex_off_path(self):
+        g = build([(0, 1), (1, 2)])
+        assert not has_bad_path(g, [0], [2], [3])
+
+    def test_bad_vertex_as_source_and_target(self):
+        g = build([])
+        assert has_bad_path(g, [0], [0], [0])  # zero-length path
+
+    def test_removed_vertex_blocks(self):
+        g = build([(0, 1), (1, 2)])
+        assert not has_bad_path(g, [0], [2], [1], removed=[1])
+        assert not has_bad_path(g, [0], [2], [1], removed=[0])
+
+    def test_alternative_route_survives(self):
+        g = build([(0, 1), (1, 2), (0, 3), (3, 2)])
+        assert has_bad_path(g, [0], [2], [1, 3], removed=[1])
+
+    def test_bad_before_or_after(self):
+        # bad vertex must be reachable from a source AND reach a target
+        g = build([(0, 1), (2, 3)])
+        assert not has_bad_path(g, [0], [3], [1])  # 1 can't reach 3
+        assert not has_bad_path(g, [0], [3], [2])  # 2 unreachable from 0
+
+
+class TestMinimalPathCuts:
+    def test_single_chokepoint(self):
+        g = build([(0, 1), (1, 2)])
+        cuts = list(minimal_path_cuts(g, [0], [2], [1]))
+        assert frozenset({1}) in cuts
+        assert all(len(c) == 1 for c in cuts)
+
+    def test_no_bad_path_gives_empty_cut(self):
+        g = build([(0, 1)])
+        assert list(minimal_path_cuts(g, [0], [1], [5])) == [frozenset()]
+
+    def test_allowed_restriction(self):
+        g = build([(0, 1), (1, 2)])
+        cuts = list(minimal_path_cuts(g, [0], [2], [1], allowed=[1]))
+        assert cuts == [frozenset({1})]
+        # cutting is impossible when the only chokepoints are forbidden
+        none = list(minimal_path_cuts(g, [0], [2], [0, 1, 2],
+                                      allowed=[4]))
+        assert none == []
+
+    @given(edge_lists, st.sets(st.integers(0, 5)))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_brute_force(self, edges, bad):
+        g = build(edges)
+        sources, targets = {0}, {5}
+        pool = sorted(bad)
+        valid = [
+            frozenset(c)
+            for size in range(len(pool) + 1)
+            for c in combinations(pool, size)
+            if not has_bad_path(g, sources, targets, bad, removed=c)
+        ]
+        expected = {c for c in valid if not any(o < c for o in valid)}
+        mine = set(minimal_path_cuts(g, sources, targets, bad,
+                                     allowed=bad))
+        assert mine == expected
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_cuts_are_minimal(self, edges):
+        g = build(edges)
+        bad = set(g.nodes)
+        for cut in minimal_path_cuts(g, [0], [5], bad):
+            assert not has_bad_path(g, [0], [5], bad, removed=cut)
+            for member in cut:
+                assert has_bad_path(g, [0], [5], bad,
+                                    removed=cut - {member})

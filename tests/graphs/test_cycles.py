@@ -1,0 +1,101 @@
+"""Cycle enumeration vs the networkx oracle."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph, find_cycle_through, has_cycle, simple_cycles
+from repro.graphs.cycles import simple_edge_cycles
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 7)),
+    max_size=25,
+)
+
+
+def canon(cycle) -> tuple:
+    """Rotate a node cycle so its smallest element comes first."""
+    pivot = min(range(len(cycle)), key=lambda i: repr(cycle[i]))
+    return tuple(cycle[pivot:] + cycle[:pivot])
+
+
+def build(edges):
+    ours = Digraph(nodes=range(8))
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(range(8))
+    for u, v in edges:
+        ours.add_edge(u, v)
+        theirs.add_edge(u, v)
+    return ours, theirs
+
+
+@given(edge_lists)
+@settings(max_examples=150, deadline=None)
+def test_simple_cycles_match_networkx(edges):
+    ours, theirs = build(edges)
+    mine = {canon(c) for c in simple_cycles(ours)}
+    ref = {canon(c) for c in nx.simple_cycles(theirs)}
+    assert mine == ref
+
+
+@given(edge_lists)
+@settings(max_examples=150, deadline=None)
+def test_bounded_enumeration_is_a_length_filter(edges):
+    ours, _ = build(edges)
+    unbounded = {canon(c) for c in simple_cycles(ours)}
+    bounded = {canon(c) for c in simple_cycles(ours, max_length=3)}
+    assert bounded == {c for c in unbounded if len(c) <= 3}
+
+
+@given(edge_lists)
+@settings(max_examples=100)
+def test_has_cycle_agrees_with_enumeration(edges):
+    ours, _ = build(edges)
+    assert has_cycle(ours) == (next(iter(simple_cycles(ours)), None)
+                               is not None)
+
+
+@given(edge_lists)
+@settings(max_examples=100)
+def test_find_cycle_through_is_valid_and_minimal(edges):
+    ours, _ = build(edges)
+    for node in ours.nodes:
+        cycle = find_cycle_through(ours, node)
+        on_any = any(node in c for c in simple_cycles(ours))
+        if cycle is None:
+            assert not on_any
+            continue
+        assert node in cycle
+        # Valid cycle: consecutive edges exist, including the closing one.
+        for i, current in enumerate(cycle):
+            assert ours.has_edge(current, cycle[(i + 1) % len(cycle)])
+        # Minimal: no strictly shorter simple cycle through the node.
+        shortest = min(len(c) for c in simple_cycles(ours) if node in c)
+        assert len(cycle) == shortest
+
+
+def test_find_cycle_through_missing_node():
+    assert find_cycle_through(Digraph(), "ghost") is None
+
+
+def test_find_cycle_through_respects_max_length():
+    g = Digraph(edges=[(i, (i + 1) % 5) for i in range(5)])
+    assert find_cycle_through(g, 0, max_length=4) is None
+    assert find_cycle_through(g, 0, max_length=5) == [0, 1, 2, 3, 4]
+
+
+def test_edge_cycles_expand_parallel_edges():
+    g = Digraph()
+    g.add_edge("a", "b", key="t1")
+    g.add_edge("a", "b", key="t2")
+    g.add_edge("b", "a", key="t3")
+    cycles = list(simple_edge_cycles(g))
+    keys = {frozenset(key for _s, _t, key in cycle) for cycle in cycles}
+    assert keys == {frozenset({"t1", "t3"}), frozenset({"t2", "t3"})}
+
+
+def test_edge_cycles_include_self_loops():
+    g = Digraph()
+    g.add_edge("a", "a", key="loop")
+    cycles = list(simple_edge_cycles(g))
+    assert cycles == [[("a", "a", "loop")]]

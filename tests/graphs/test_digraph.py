@@ -1,0 +1,124 @@
+"""Unit tests for the Digraph container."""
+
+import pytest
+
+from repro.graphs import Digraph
+
+
+def test_empty_graph():
+    g = Digraph()
+    assert len(g) == 0
+    assert g.nodes == []
+    assert list(g.edges()) == []
+    assert g.edge_count() == 0
+
+
+def test_add_node_idempotent():
+    g = Digraph()
+    g.add_node("a")
+    g.add_node("a")
+    assert g.nodes == ["a"]
+
+
+def test_add_edge_creates_nodes():
+    g = Digraph()
+    g.add_edge(1, 2)
+    assert 1 in g
+    assert 2 in g
+    assert g.has_edge(1, 2)
+    assert not g.has_edge(2, 1)
+
+
+def test_parallel_edges_distinguished_by_key():
+    g = Digraph()
+    g.add_edge("a", "b", key="t1")
+    g.add_edge("a", "b", key="t2")
+    assert g.edge_count() == 2
+    assert g.edge_keys("a", "b") == {"t1", "t2"}
+    assert g.has_edge("a", "b", key="t1")
+    assert not g.has_edge("a", "b", key="t3")
+
+
+def test_duplicate_edge_same_key_not_doubled():
+    g = Digraph()
+    g.add_edge("a", "b", key="t")
+    g.add_edge("a", "b", key="t")
+    assert g.edge_count() == 1
+
+
+def test_successors_and_predecessors():
+    g = Digraph(edges=[("a", "b"), ("a", "c"), ("b", "c")])
+    assert sorted(g.successors("a")) == ["b", "c"]
+    assert sorted(g.predecessors("c")) == ["a", "b"]
+    assert list(g.successors("c")) == []
+
+
+def test_degrees_count_parallel_edges():
+    g = Digraph()
+    g.add_edge("a", "b", key=1)
+    g.add_edge("a", "b", key=2)
+    g.add_edge("a", "c")
+    assert g.out_degree("a") == 3
+    assert g.in_degree("b") == 2
+
+
+def test_remove_node_drops_incident_edges():
+    g = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "a")])
+    g.remove_node("b")
+    assert "b" not in g
+    assert not g.has_edge("a", "b")
+    assert g.has_edge("c", "a")
+    assert list(g.edges()) == [("c", "a", None)]
+
+
+def test_remove_missing_node_raises():
+    with pytest.raises(KeyError):
+        Digraph().remove_node("ghost")
+
+
+def test_remove_node_with_self_loop():
+    g = Digraph(edges=[("a", "a"), ("a", "b")])
+    g.remove_node("a")
+    assert g.nodes == ["b"]
+    assert g.edge_count() == 0
+
+
+def test_induced_subgraph_is_maximal_edge_subset():
+    g = Digraph(edges=[("a", "b"), ("b", "c"), ("c", "a"), ("a", "a")])
+    sub = g.induced_subgraph({"a", "b"})
+    assert set(sub.nodes) == {"a", "b"}
+    assert sub.has_edge("a", "b")
+    assert sub.has_edge("a", "a")
+    assert not sub.has_edge("b", "c")
+    assert sub.edge_count() == 2
+
+
+def test_induced_subgraph_keeps_isolated_nodes():
+    g = Digraph(nodes=["x", "y"], edges=[("x", "x")])
+    sub = g.induced_subgraph({"y"})
+    assert sub.nodes == ["y"]
+    assert sub.edge_count() == 0
+
+
+def test_reversed_flips_every_edge():
+    g = Digraph(edges=[("a", "b", "k"), ("b", "c", None)])
+    rev = g.reversed()
+    assert rev.has_edge("b", "a", key="k")
+    assert rev.has_edge("c", "b")
+    assert rev.edge_count() == g.edge_count()
+    assert set(rev.nodes) == set(g.nodes)
+
+
+def test_copy_is_independent():
+    g = Digraph(edges=[("a", "b")])
+    dup = g.copy()
+    dup.add_edge("b", "a")
+    assert not g.has_edge("b", "a")
+    assert dup.has_edge("b", "a")
+
+
+def test_iteration_and_contains():
+    g = Digraph(nodes=[3, 1, 2])
+    assert list(g) == [3, 1, 2]  # insertion order
+    assert 3 in g
+    assert 7 not in g

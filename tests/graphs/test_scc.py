@@ -1,0 +1,86 @@
+"""Tarjan SCC vs the networkx oracle, plus condensation properties."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph, condensation, strongly_connected_components
+from repro.graphs.scc import cyclic_components
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    max_size=40,
+)
+
+
+def build(edges) -> tuple[Digraph, nx.DiGraph]:
+    ours = Digraph(nodes=range(10))
+    theirs = nx.DiGraph()
+    theirs.add_nodes_from(range(10))
+    for u, v in edges:
+        ours.add_edge(u, v)
+        theirs.add_edge(u, v)
+    return ours, theirs
+
+
+@given(edge_lists)
+@settings(max_examples=200)
+def test_scc_matches_networkx(edges):
+    ours, theirs = build(edges)
+    mine = {frozenset(c) for c in strongly_connected_components(ours)}
+    ref = {frozenset(c) for c in nx.strongly_connected_components(theirs)}
+    assert mine == ref
+
+
+@given(edge_lists)
+@settings(max_examples=100)
+def test_components_partition_nodes(edges):
+    ours, _ = build(edges)
+    components = strongly_connected_components(ours)
+    flat = [n for c in components for n in c]
+    assert sorted(flat) == sorted(ours.nodes)
+
+
+@given(edge_lists)
+@settings(max_examples=100)
+def test_tarjan_order_is_reverse_topological(edges):
+    ours, _ = build(edges)
+    components = strongly_connected_components(ours)
+    position = {n: i for i, c in enumerate(components) for n in c}
+    # Every inter-component edge must point to an earlier-emitted component.
+    for u, v, _key in ours.edges():
+        if position[u] != position[v]:
+            assert position[v] < position[u]
+
+
+@given(edge_lists)
+@settings(max_examples=100)
+def test_condensation_is_acyclic(edges):
+    ours, _ = build(edges)
+    dag, membership = condensation(ours)
+    assert set(membership) == set(ours.nodes)
+    # No cycles in the condensation: every SCC of it is a singleton
+    # without self-loop.
+    for component in strongly_connected_components(dag):
+        assert len(component) == 1
+        assert not dag.has_edge(component[0], component[0])
+
+
+def test_cyclic_components_identifies_self_loops():
+    g = Digraph(edges=[("a", "a"), ("b", "c"), ("c", "b"), ("d", "e")])
+    cyclic = {frozenset(c) for c in cyclic_components(g)}
+    assert cyclic == {frozenset({"a"}), frozenset({"b", "c"})}
+
+
+def test_single_node_no_loop_not_cyclic():
+    g = Digraph(nodes=["solo"])
+    assert cyclic_components(g) == []
+
+
+def test_long_chain_does_not_recurse():
+    # 5000-node chain: the iterative Tarjan must not hit recursion limits.
+    g = Digraph()
+    for i in range(5000):
+        g.add_edge(i, i + 1)
+    components = strongly_connected_components(g)
+    assert len(components) == 5001

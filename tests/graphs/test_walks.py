@@ -1,0 +1,69 @@
+"""Closed-walk length computation vs a numpy matrix-power oracle."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Digraph, closed_walk_lengths, shortest_closed_walk
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 5), st.integers(0, 5)),
+    max_size=18,
+)
+
+
+def build(edges) -> Digraph:
+    g = Digraph(nodes=range(6))
+    for u, v in edges:
+        g.add_edge(u, v)
+    return g
+
+
+def oracle(edges, anchors, upto) -> set[int]:
+    adjacency = np.zeros((6, 6), dtype=bool)
+    for u, v in edges:
+        adjacency[u, v] = True
+    power = np.eye(6, dtype=bool)
+    lengths = set()
+    for length in range(1, upto + 1):
+        power = power @ adjacency
+        if any(power[a, a] for a in anchors):
+            lengths.add(length)
+    return lengths
+
+
+@given(edge_lists, st.sets(st.integers(0, 5), min_size=1))
+@settings(max_examples=120, deadline=None)
+def test_matches_matrix_power_oracle(edges, anchors):
+    g = build(edges)
+    assert closed_walk_lengths(g, anchors, 12) == oracle(edges, anchors, 12)
+
+
+def test_single_cycle_lengths_are_multiples():
+    g = build([(0, 1), (1, 2), (2, 0)])
+    assert closed_walk_lengths(g, [0], 12) == {3, 6, 9, 12}
+
+
+def test_two_anchored_cycles_combine():
+    # Cycles of lengths 2 and 3 sharing vertex 0: walk lengths are every
+    # non-negative combination 2a + 3b >= 2 -> {2,3,4,5,...}.
+    g = build([(0, 1), (1, 0), (0, 2), (2, 3), (3, 0)])
+    assert closed_walk_lengths(g, [0], 10) == {2, 3, 4, 5, 6, 7, 8, 9, 10}
+
+
+def test_anchor_missing_from_graph():
+    g = build([(0, 1)])
+    assert closed_walk_lengths(g, [99], 5) == set()
+
+
+def test_shortest_closed_walk_on_cycle():
+    g = build([(0, 1), (1, 2), (2, 0)])
+    walk = shortest_closed_walk(g, 1)
+    assert walk is not None
+    assert len(walk) == 3
+    assert walk[0] == 1
+
+
+def test_shortest_closed_walk_none_off_cycle():
+    g = build([(0, 1), (1, 2)])
+    assert shortest_closed_walk(g, 0) is None

@@ -1,0 +1,83 @@
+"""The command-line interface end to end."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "matching-ex4.2" in out
+    assert "sum-not-two" in out
+
+
+def test_show(capsys):
+    assert main(["show", "agreement-ss"]) == 0
+    out = capsys.readouterr().out
+    assert "protocol agreement-ss" in out
+    assert "t01" in out
+
+
+def test_verify_converging_protocol(capsys):
+    assert main(["verify", "agreement-ss"]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: converges" in out
+
+
+def test_verify_diverging_protocol_reports_sizes(capsys):
+    assert main(["verify", "matching-ex4.3", "--max-sizes", "8"]) == 1
+    out = capsys.readouterr().out
+    assert "verdict: diverges" in out
+    assert "deadlocked ring sizes" in out
+    assert "4" in out and "6" in out
+
+
+def test_check(capsys):
+    assert main(["check", "agreement-ss", "-K", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "K=5" in out
+    assert "strong convergence: True" in out
+
+
+def test_check_failing_instance(capsys):
+    assert main(["check", "matching-gouda-acharya", "-K", "5"]) == 1
+
+
+def test_synthesize_success(capsys):
+    assert main(["synthesize", "sum-not-two"]) == 0
+    out = capsys.readouterr().out
+    assert "success" in out
+    assert "protocol sum-not-two_ss" in out
+
+
+def test_synthesize_failure(capsys):
+    assert main(["synthesize", "3-coloring"]) == 1
+    out = capsys.readouterr().out
+    assert "failure" in out
+
+
+def test_simulate(capsys):
+    assert main(["simulate", "agreement-ss", "-K", "6",
+                 "--samples", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "20/20 converged" in out
+
+
+def test_figures(tmp_path, capsys):
+    assert main(["figures", "--out", str(tmp_path)]) == 0
+    written = {p.name for p in tmp_path.iterdir()}
+    assert "fig01_rcg_matching.dot" in written
+    assert "fig04_ltg_ex42.dot" in written
+    for path in tmp_path.iterdir():
+        assert path.read_text().startswith("digraph")
+
+
+def test_unknown_protocol_exit_code(capsys):
+    assert main(["verify", "no-such-protocol"]) == 2
+    assert "unknown protocol" in capsys.readouterr().err
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

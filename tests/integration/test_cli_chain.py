@@ -1,0 +1,35 @@
+"""The ``repro chain`` subcommand."""
+
+from repro.cli import main
+
+
+def test_chain_list(capsys):
+    assert main(["chain", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "broadcast-chain" in out
+    assert "2-coloring-chain" in out
+
+
+def test_chain_verify_converging(capsys):
+    assert main(["chain", "broadcast-chain"]) == 0
+    out = capsys.readouterr().out
+    assert "converges (exact for every chain size)" in out
+
+
+def test_chain_verify_diverging(capsys):
+    assert main(["chain", "2-coloring-chain"]) == 1
+    out = capsys.readouterr().out
+    assert "diverges" in out
+    assert "witness walk" in out
+
+
+def test_chain_synthesize(capsys):
+    assert main(["chain", "2-coloring-chain", "--synthesize"]) == 0
+    out = capsys.readouterr().out
+    assert "chain synthesis succeeded" in out
+    assert "unidirectional chain" in out
+
+
+def test_chain_unknown_protocol(capsys):
+    assert main(["chain", "no-such-chain"]) == 2
+    assert "unknown chain protocol" in capsys.readouterr().err

@@ -1,0 +1,49 @@
+"""CLI subcommands added beyond the core paper workflow."""
+
+from repro.cli import main
+
+
+def test_hybrid_converging(capsys):
+    assert main(["hybrid", "agreement-ss"]) == 0
+    out = capsys.readouterr().out
+    assert "hybrid verdict: converges" in out
+
+
+def test_hybrid_finds_real_livelock(capsys):
+    assert main(["hybrid", "agreement-livelock",
+                 "--check-up-to", "5"]) == 1
+    out = capsys.readouterr().out
+    assert "diverges-livelock" in out
+    assert "REAL at K=" in out
+    assert "counterexample livelock" in out
+
+
+def test_hybrid_deadlock_passthrough(capsys):
+    assert main(["hybrid", "matching-ex4.3"]) == 1
+    assert "diverges-deadlock" in capsys.readouterr().out
+
+
+def test_sweep_reports_failing_sizes(capsys):
+    assert main(["sweep", "matching-ex4.3", "--up-to", "6"]) == 1
+    out = capsys.readouterr().out
+    assert "fails at K = [4, 6]" in out
+
+
+def test_sweep_clean(capsys):
+    assert main(["sweep", "agreement-ss", "--up-to", "5"]) == 0
+    assert "self-stabilizing throughout" in capsys.readouterr().out
+
+
+def test_sweep_stop_on_failure(capsys):
+    assert main(["sweep", "matching-ex4.3", "--up-to", "8",
+                 "--stop-on-failure"]) == 1
+    out = capsys.readouterr().out
+    assert "K=4" in out
+    assert "K=5" not in out
+
+
+def test_fuzz_clean(capsys):
+    assert main(["fuzz", "--samples", "8", "--max-ring-size", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "CLEAN" in out
+    assert "8 random protocols" in out

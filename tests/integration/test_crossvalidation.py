@@ -1,0 +1,68 @@
+"""Cross-validation of the local analyses against global model checking
+for every bundled protocol (benchmark X1's testable core)."""
+
+import pytest
+
+from repro.checker import check_instance
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.core.livelock import LivelockCertifier, LivelockVerdict
+from repro.core.convergence import check_local_closure
+from repro.checker import StateGraph, is_closed
+from repro.errors import AssumptionViolation
+from repro.protocols.registry import REGISTRY, get_protocol
+
+SIZES = (3, 4, 5, 6)
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_deadlock_prediction_matches_global(name):
+    protocol = get_protocol(name)
+    analyzer = DeadlockAnalyzer(protocol)
+    predicted = analyzer.deadlocked_ring_sizes(max(SIZES))
+    for size in SIZES:
+        if size < protocol.process.window_width:
+            continue
+        report = check_instance(protocol.instantiate(size))
+        assert (size in predicted) == bool(report.deadlocks_outside), (
+            f"{name} at K={size}")
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_closure_check_matches_global(name):
+    protocol = get_protocol(name)
+    local = check_local_closure(protocol)
+    for size in SIZES:
+        if size < protocol.process.window_width:
+            continue
+        graph = StateGraph(protocol.instantiate(size))
+        if local:
+            assert is_closed(graph), f"{name} at K={size}"
+    # the bundled protocols are all closed, so local must agree
+    assert local
+
+
+@pytest.mark.parametrize("name", sorted(REGISTRY))
+def test_livelock_certificate_is_sound(name):
+    protocol = get_protocol(name)
+    try:
+        report = LivelockCertifier(protocol).analyze()
+    except AssumptionViolation:
+        pytest.skip("protocol breaks Assumption 1/2; certificate N/A")
+    if report.verdict is not LivelockVerdict.CERTIFIED_FREE:
+        pytest.skip("no certificate issued; soundness untestable")
+    if report.contiguous_only:
+        pytest.skip("bidirectional: certificate covers contiguous only")
+    for size in SIZES:
+        global_report = check_instance(protocol.instantiate(size))
+        assert global_report.livelock_cycles == (), (
+            f"{name} certified but livelocks at K={size}")
+
+
+def test_ex42_model_checked_5_to_8_as_in_the_paper():
+    """The paper model-checked Example 4.2 for 5..8 processes."""
+    from repro.protocols import generalizable_matching
+
+    protocol = generalizable_matching()
+    for size in (5, 6, 7, 8):
+        report = check_instance(protocol.instantiate(size))
+        assert report.self_stabilizing, f"K={size}"

@@ -1,0 +1,121 @@
+"""Section 5's lemmas validated on *real* livelocks.
+
+The trail machinery rests on structural lemmas about livelocks of
+unidirectional rings; these tests check each lemma against concrete
+livelock cycles found by the global checker:
+
+* Lemma 5.5 — enablement conservation;
+* Corollary 5.6 — absence of collisions;
+* Lemma 5.8 — some process is always in an illegitimate local state;
+* Lemma 5.9 — somewhere along the livelock a *corruption* (enabled and
+  illegitimate) occurs;
+* Lemma 5.12 (|E| = 1) — the livelock projects onto the LTG as an
+  alternating t-arc / s-arc trail.
+"""
+
+import pytest
+
+from repro.checker import StateGraph
+from repro.checker.livelock import livelock_cycles
+from repro.core.precedence import (
+    precedence_preserving_schedules,
+    precedence_relation,
+    replay,
+)
+from repro.protocols import gouda_acharya_matching, livelock_agreement
+
+PAPER_CYCLE = ("1000", "1100", "0100", "0110",
+               "0111", "0011", "1011", "1001")
+
+
+def actor_of(instance, state, nxt) -> int:
+    return next(r for r in range(instance.size) if state[r] != nxt[r])
+
+
+@pytest.fixture(scope="module")
+def agreement_livelocks():
+    """All eight equivalent livelocks of Example 5.2 (K=4)."""
+    protocol = livelock_agreement()
+    instance = protocol.instantiate(4)
+    cycle = [instance.state_of(*map(int, s)) for s in PAPER_CYCLE]
+    relation = precedence_relation(instance, cycle)
+    cycles = []
+    for permutation in precedence_preserving_schedules(relation):
+        cycles.append(replay(instance, cycle[0], relation.schedule,
+                             permutation))
+    return instance, cycles
+
+
+def test_lemma_5_5_enablement_conservation(agreement_livelocks):
+    instance, cycles = agreement_livelocks
+    for cycle in cycles:
+        counts = {len(instance.enabled_processes(s)) for s in cycle}
+        assert len(counts) == 1  # |E| constant along the livelock
+        assert counts == {2}     # Example 5.2 circulates two enablements
+
+
+def test_corollary_5_6_no_collisions(agreement_livelocks):
+    """No step executes a process whose successor is enabled."""
+    instance, cycles = agreement_livelocks
+    for cycle in cycles:
+        for i, state in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            actor = actor_of(instance, state, nxt)
+            successor = (actor + 1) % instance.size
+            assert successor not in instance.enabled_processes(state), (
+                f"collision: {actor} fired while {successor} enabled")
+
+
+def test_corollary_5_7_no_continuously_enabled_process(
+        agreement_livelocks):
+    """Every process is disabled somewhere along the livelock."""
+    instance, cycles = agreement_livelocks
+    for cycle in cycles:
+        for process in range(instance.size):
+            assert any(process not in instance.enabled_processes(s)
+                       for s in cycle)
+
+
+def test_lemma_5_8_local_illegitimacy(agreement_livelocks):
+    instance, cycles = agreement_livelocks
+    for cycle in cycles:
+        for state in cycle:
+            assert instance.corrupted_processes(state)
+
+
+def test_lemma_5_9_a_corruption_occurs(agreement_livelocks):
+    """Some global state has a process both enabled and illegitimate."""
+    instance, cycles = agreement_livelocks
+    for cycle in cycles:
+        assert any(
+            set(instance.enabled_processes(state))
+            & set(instance.corrupted_processes(state))
+            for state in cycle)
+
+
+def test_lemma_5_12_e1_livelock_is_an_alternating_trail():
+    """The Gouda–Acharya K=5 livelock (|E| = 1, right propagation)
+    projects onto the LTG as t-arc, s-arc, t-arc, s-arc, …"""
+    protocol = gouda_acharya_matching()
+    instance = protocol.instantiate(5)
+    space = protocol.space
+    graph = StateGraph(instance)
+    cycle = livelock_cycles(graph, max_cycles=1)[0]
+    transitions = set(space.transitions)
+
+    n = len(cycle)
+    for i, state in enumerate(cycle):
+        nxt = cycle[(i + 1) % n]
+        actor = actor_of(instance, state, nxt)
+        # the executed step is a t-arc of δ_r
+        pre = instance.local_state(state, actor)
+        post = instance.local_state(nxt, actor)
+        assert any(t.source == pre and t.target.own == post.own
+                   for t in transitions)
+        # the handover to the next actor is an s-arc (right continuation)
+        after = cycle[(i + 1) % n]
+        next_actor = actor_of(instance, after, cycle[(i + 2) % n])
+        assert next_actor == (actor + 1) % instance.size  # |E| = 1 flow
+        handover_source = instance.local_state(after, actor)
+        handover_target = instance.local_state(after, next_actor)
+        assert space.continues(handover_source, handover_target)

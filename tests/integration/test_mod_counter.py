@@ -1,0 +1,64 @@
+"""A pure-livelock stress case: the mod-3 counter ring.
+
+``LC_r = (c_r = c_{r-1} + 1 mod 3)`` with the self-disabling repair
+``c_r := c_{r-1} + 1``.  The protocol never deadlocks, yet livelocks at
+*every* size (and ``I(K)`` is empty unless 3 | K, so convergence is
+outright impossible there).  A sound analysis must therefore answer
+deadlock-free + livelock-UNKNOWN, and the hybrid verifier must produce a
+concrete livelock counterexample.
+"""
+
+import pytest
+
+from repro.checker import check_instance
+from repro.core import verify_convergence
+from repro.core.hybrid import HybridVerdict, hybrid_verify
+from repro.protocol.dsl import parse_actions
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+
+
+@pytest.fixture(scope="module")
+def mod3_counter() -> RingProtocol:
+    c = ranged("c", 3)
+    actions = parse_actions(
+        [("inc", "c[0] != (c[-1] + 1) % 3 -> c := (c[-1] + 1) % 3")],
+        [c])
+    return RingProtocol(
+        "mod3-counter",
+        ProcessTemplate(variables=(c,), actions=actions),
+        "c[0] == (c[-1] + 1) % 3")
+
+
+def test_invariant_empty_unless_size_divisible_by_three(mod3_counter):
+    for size in (3, 4, 5, 6):
+        instance = mod3_counter.instantiate(size)
+        count = sum(1 for _ in instance.invariant_states())
+        assert (count > 0) == (size % 3 == 0)
+        if count:
+            assert count == 3  # the three rotations of (0,1,2,...)
+
+
+def test_local_analysis_is_sound_not_misled(mod3_counter):
+    """Deadlock-freedom is exact (there are none); the livelock side
+    must answer UNKNOWN — certifying this protocol would be unsound."""
+    report = verify_convergence(mod3_counter)
+    assert report.deadlock.deadlock_free
+    assert report.verdict.value == "unknown"
+    assert report.livelock.trail_witnesses  # plenty of real trails
+
+
+@pytest.mark.parametrize("size", [3, 4, 5])
+def test_livelocks_at_every_size(mod3_counter, size):
+    report = check_instance(mod3_counter.instantiate(size))
+    assert not report.deadlocks_outside
+    assert report.livelock_cycles
+
+
+def test_hybrid_finds_the_counterexample(mod3_counter):
+    report = hybrid_verify(mod3_counter, check_up_to=5)
+    assert report.verdict is HybridVerdict.DIVERGES_LIVELOCK
+    assert report.counterexample is not None
+    # at least one witness classified real
+    assert any(not c.spurious for c in report.classifications)

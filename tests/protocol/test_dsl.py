@@ -1,0 +1,124 @@
+"""The guarded-command DSL parser."""
+
+import pytest
+
+from repro.errors import DslNameError, DslSyntaxError
+from repro.protocol.dsl import (
+    parse_action,
+    parse_actions,
+    parse_predicate,
+    split_top_level,
+)
+from repro.protocol.localstate import LocalStateSpace
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.variables import Variable, ranged
+
+
+def space_for(*variables, reads_left=1, reads_right=0,
+              actions=()) -> LocalStateSpace:
+    return ProcessTemplate(variables=tuple(variables), actions=actions,
+                           reads_left=reads_left,
+                           reads_right=reads_right).local_space()
+
+
+class TestSplitTopLevel:
+    def test_plain_split(self):
+        assert split_top_level("a | b | c", "|") == ["a ", " b ", " c"]
+
+    def test_brackets_protect(self):
+        assert split_top_level("f[1, 2], b", ",") == ["f[1, 2]", " b"]
+
+    def test_quotes_protect(self):
+        assert split_top_level("'a,b', c", ",") == ["'a,b'", " c"]
+
+    def test_multichar_separator(self):
+        assert split_top_level("g -> s", "->") == ["g ", " s"]
+
+    def test_unterminated_quote(self):
+        with pytest.raises(DslSyntaxError):
+            split_top_level("'oops", ",")
+
+    def test_unbalanced_brackets(self):
+        with pytest.raises(DslSyntaxError):
+            split_top_level("(a, b", ",")
+
+
+class TestParseAction:
+    def test_simple_action(self):
+        x = ranged("x", 2)
+        action = parse_action("x[-1] == 1 and x[0] == 0 -> x := 1", [x],
+                              name="t01")
+        space = space_for(x, actions=(action,))
+        enabled = space.state_of(1, 0)
+        disabled = space.state_of(0, 0)
+        assert space.enabled_actions(enabled) == [action]
+        assert space.enabled_actions(disabled) == []
+        targets = space.targets(enabled, action)
+        assert targets == [space.state_of(1, 1)]
+
+    def test_nondeterministic_choice(self):
+        m = Variable("m", ("left", "right", "self"))
+        action = parse_action(
+            "m[0] == 'self' -> m := 'right' | 'left'", [m])
+        space = space_for(m, actions=(action,))
+        state = space.state_of("self", "self")
+        targets = set(space.targets(state, action))
+        assert targets == {space.state_of("self", "right"),
+                           space.state_of("self", "left")}
+
+    def test_multi_variable_atomic_assignment(self):
+        a, b = ranged("a", 2), ranged("b", 2)
+        # Atomic swap: right-hand sides read the pre-state.
+        action = parse_action("a[0] != b[0] -> a := b[0], b := a[0]",
+                              [a, b])
+        space = space_for(a, b, actions=(action,))
+        state = space.state_of((0, 0), (0, 1))
+        targets = space.targets(state, action)
+        assert targets == [space.state_of((0, 0), (1, 0))]
+
+    def test_noop_writes_are_dropped(self):
+        x = ranged("x", 2)
+        action = parse_action("x[0] == 0 -> x := 0", [x])
+        space = space_for(x, actions=(action,))
+        assert space.targets(space.state_of(0, 0), action) == []
+        assert space.transitions == ()
+
+    def test_missing_arrow(self):
+        with pytest.raises(DslSyntaxError):
+            parse_action("x[0] == 0", [ranged("x", 2)])
+
+    def test_assignment_to_unknown_variable(self):
+        with pytest.raises(DslNameError):
+            parse_action("x[0] == 0 -> y := 1", [ranged("x", 2)])
+
+    def test_assignment_without_walrus(self):
+        with pytest.raises(DslSyntaxError):
+            parse_action("x[0] == 0 -> x = 1", [ranged("x", 2)])
+
+    def test_source_text_recorded(self):
+        x = ranged("x", 2)
+        text = "x[0] == 0 -> x := 1"
+        assert parse_action(text, [x]).source_text == text
+
+
+class TestParseActions:
+    def test_auto_naming(self):
+        x = ranged("x", 2)
+        actions = parse_actions(
+            ["x[0] == 0 -> x := 1", "x[0] == 1 -> x := 0"], [x])
+        assert [a.name for a in actions] == ["A1", "A2"]
+
+    def test_explicit_names(self):
+        x = ranged("x", 2)
+        actions = parse_actions(
+            [("up", "x[0] == 0 -> x := 1")], [x])
+        assert actions[0].name == "up"
+
+
+class TestParsePredicate:
+    def test_truthiness(self):
+        x = ranged("x", 3)
+        predicate = parse_predicate("x[0] + x[-1] != 2", [x])
+        space = space_for(x)
+        assert predicate(space.view(space.state_of(0, 0)))
+        assert not predicate(space.view(space.state_of(2, 0)))

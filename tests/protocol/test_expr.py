@@ -1,0 +1,106 @@
+"""The safe expression compiler: semantics and sandboxing."""
+
+import pytest
+
+from repro.errors import DslNameError, DslSyntaxError
+from repro.protocol.expr import compile_expression, compile_predicate
+from repro.protocol.localstate import LocalState, LocalView
+from repro.protocol.variables import Variable, ranged
+
+
+def view_for(values: dict[int, object], var: Variable,
+             left: int = 1) -> LocalView:
+    width = len(values)
+    cells = tuple((values[o],) for o in sorted(values))
+    state = LocalState(cells, left)
+    return LocalView(state, {var.name: 0})
+
+
+X = ranged("x", 3)
+
+
+def test_arithmetic_and_offsets():
+    f = compile_expression("(x[0] + x[-1]) % 3", [X])
+    assert f(view_for({-1: 2, 0: 2}, X)) == 1
+
+
+def test_comparisons_and_booleans():
+    p = compile_predicate("x[-1] == 1 and not x[0] != 0", [X])
+    assert p(view_for({-1: 1, 0: 0}, X)) is True
+    assert p(view_for({-1: 1, 0: 2}, X)) is False
+
+
+def test_string_literals():
+    m = Variable("m", ("left", "right", "self"))
+    p = compile_predicate("m[0] == 'left' or m[0] == 'self'", [m])
+    assert p(view_for({-1: "right", 0: "left"}, m))
+    assert not p(view_for({-1: "right", 0: "right"}, m))
+
+
+def test_conditional_expression():
+    f = compile_expression("1 if x[0] == 0 else 2", [X])
+    assert f(view_for({-1: 0, 0: 0}, X)) == 1
+    assert f(view_for({-1: 0, 0: 1}, X)) == 2
+
+
+def test_unary_minus_and_subtraction():
+    f = compile_expression("x[0] - x[-1]", [X])
+    assert f(view_for({-1: 2, 0: 0}, X)) == -2
+
+
+def test_unknown_variable_rejected_at_compile_time():
+    with pytest.raises(DslNameError):
+        compile_expression("y[0] + 1", [X])
+
+
+def test_unsubscripted_variable_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("x + 1", [X])
+
+
+def test_function_calls_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("abs(x[0])", [X])
+
+
+def test_attribute_access_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("x[0].__class__", [X])
+
+
+def test_import_like_tricks_rejected():
+    with pytest.raises(DslNameError):
+        compile_expression("__import__", [X])
+    with pytest.raises(DslSyntaxError):
+        compile_expression("[c for c in x]", [X])
+
+
+def test_float_literals_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("x[0] + 1.5", [X])
+
+
+def test_empty_expression_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("   ", [X])
+
+
+def test_unparsable_expression_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("x[0] ===", [X])
+
+
+def test_non_integer_offset_rejected_at_runtime():
+    f = compile_expression("x['a']", [X])
+    with pytest.raises(DslSyntaxError):
+        f(view_for({-1: 0, 0: 0}, X))
+
+
+def test_source_text_preserved():
+    f = compile_expression("  x[0] + 1 ", [X])
+    assert f.source_text == "x[0] + 1"
+
+
+def test_power_operator_rejected():
+    with pytest.raises(DslSyntaxError):
+        compile_expression("x[0] ** 2", [X])

@@ -1,0 +1,133 @@
+"""Concrete ring instances: projections, moves, invariant."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.dsl import parse_action
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+from repro.protocols import generalizable_matching, stabilizing_agreement
+
+
+def agreement_ss():
+    return stabilizing_agreement()
+
+
+class TestProjections:
+    def test_local_state_wraps_around(self):
+        p = agreement_ss()
+        instance = p.instantiate(4)
+        state = instance.state_of(0, 1, 0, 1)
+        assert instance.local_state(state, 0) == p.space.state_of(1, 0)
+        assert instance.local_state(state, 3) == p.space.state_of(0, 1)
+
+    def test_bidirectional_projection(self):
+        p = generalizable_matching()
+        instance = p.instantiate(3)
+        state = instance.state_of("left", "right", "self")
+        local = instance.local_state(state, 0)
+        assert local == p.space.state_of("self", "left", "right")
+
+    def test_local_states_cover_all_positions(self):
+        p = agreement_ss()
+        instance = p.instantiate(5)
+        state = instance.state_of(0, 0, 1, 1, 0)
+        locals_ = instance.local_states(state)
+        assert len(locals_) == 5
+        assert locals_[2] == p.space.state_of(0, 1)
+
+
+class TestMoves:
+    def test_enabled_moves_match_local_transitions(self):
+        p = agreement_ss()
+        instance = p.instantiate(4)
+        state = instance.state_of(1, 0, 0, 0)
+        moves = instance.moves(state)
+        # Only process 1 sees x[-1]=1, x[0]=0.
+        assert [m.process for m in moves] == [1]
+        assert moves[0].target == instance.state_of(1, 1, 0, 0)
+
+    def test_moves_of_single_process(self):
+        p = agreement_ss()
+        instance = p.instantiate(4)
+        state = instance.state_of(1, 0, 1, 0)
+        assert len(instance.moves_of(state, 1)) == 1
+        assert instance.moves_of(state, 0) == []
+
+    def test_deadlock_detection(self):
+        p = agreement_ss()
+        instance = p.instantiate(3)
+        assert instance.is_deadlock(instance.uniform_state(0))
+        assert not instance.is_deadlock(instance.state_of(1, 0, 1))
+
+    def test_successors_deduplicate(self):
+        x = ranged("x", 2)
+        # Two actions with the same effect from the same states.
+        a = parse_action("x[0] == 0 -> x := 1", [x], name="a")
+        b = parse_action("x[0] == 0 -> x := 1", [x], name="b")
+        p = RingProtocol("dup", ProcessTemplate(variables=(x,),
+                                                actions=(a, b)),
+                         "x[0] == x[-1]")
+        instance = p.instantiate(2)
+        succ = instance.successors(instance.state_of(0, 1))
+        assert len(succ) == len(set(succ))
+
+
+class TestInvariant:
+    def test_invariant_holds(self):
+        p = agreement_ss()
+        instance = p.instantiate(4)
+        assert instance.invariant_holds(instance.uniform_state(1))
+        assert not instance.invariant_holds(instance.state_of(1, 0, 1, 0))
+
+    def test_corrupted_processes(self):
+        p = agreement_ss()
+        instance = p.instantiate(4)
+        state = instance.state_of(0, 0, 1, 0)
+        assert instance.corrupted_processes(state) == [2, 3]
+
+    def test_invariant_states_of_agreement(self):
+        instance = agreement_ss().instantiate(5)
+        assert sorted(instance.invariant_states()) == [
+            instance.uniform_state(0), instance.uniform_state(1)]
+
+
+class TestValidation:
+    def test_state_of_wrong_arity(self):
+        instance = agreement_ss().instantiate(3)
+        with pytest.raises(ProtocolDefinitionError):
+            instance.state_of(0, 1)
+
+    def test_state_count(self):
+        assert agreement_ss().instantiate(6).state_count == 64
+        assert generalizable_matching().instantiate(4).state_count == 81
+
+    def test_format_state(self):
+        instance = generalizable_matching().instantiate(3)
+        text = instance.format_state(
+            instance.state_of("left", "right", "self"))
+        assert text == "(l r s)"
+
+
+@given(st.integers(2, 6), st.data())
+@settings(max_examples=50, deadline=None)
+def test_property_moves_agree_with_local_semantics(size, data):
+    """Every global move corresponds to an enabled local transition and
+    vice versa — the grouping g(δ_r) of Section 2.1."""
+    p = agreement_ss()
+    instance = p.instantiate(size)
+    cells = p.space.cells
+    state = tuple(
+        data.draw(st.sampled_from(cells), label=f"cell{i}")
+        for i in range(size))
+    moves = instance.moves(state)
+    for r in range(size):
+        local = instance.local_state(state, r)
+        local_targets = {
+            t.target.own
+            for t in p.space.transitions if t.source == local}
+        move_targets = {m.target[r] for m in moves if m.process == r}
+        assert move_targets == local_targets

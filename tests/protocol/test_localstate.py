@@ -1,0 +1,153 @@
+"""Local states, views, spaces and the continuation relation."""
+
+import pytest
+
+from repro.errors import DomainError, ProtocolDefinitionError
+from repro.protocol.dsl import parse_action
+from repro.protocol.localstate import LocalState, LocalStateSpace
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.variables import Variable, ranged
+
+
+def unidirectional_space(domain=2, actions=()) -> LocalStateSpace:
+    x = ranged("x", domain)
+    return ProcessTemplate(variables=(x,), actions=actions).local_space()
+
+
+def bidirectional_space(actions=()) -> LocalStateSpace:
+    m = Variable("m", ("left", "right", "self"))
+    return ProcessTemplate(variables=(m,), actions=actions,
+                           reads_left=1, reads_right=1).local_space()
+
+
+class TestLocalState:
+    def test_cell_access_by_offset(self):
+        s = LocalState(((0,), (1,), (2,)), left=1)
+        assert s.cell(-1) == (0,)
+        assert s.cell(0) == (1,)
+        assert s.cell(1) == (2,)
+        assert s.own == (1,)
+
+    def test_out_of_window_offset_raises(self):
+        s = LocalState(((0,), (1,)), left=1)
+        with pytest.raises(ProtocolDefinitionError):
+            s.cell(1)
+        with pytest.raises(ProtocolDefinitionError):
+            s.cell(-2)
+
+    def test_replace_own(self):
+        s = LocalState(((0,), (1,)), left=1)
+        t = s.replace_own((9,))
+        assert t.cell(0) == (9,)
+        assert t.cell(-1) == (0,)
+        assert s.cell(0) == (1,)  # original untouched
+
+    def test_hashable_and_ordered(self):
+        a = LocalState(((0,), (1,)), left=1)
+        b = LocalState(((0,), (1,)), left=1)
+        c = LocalState(((1,), (0,)), left=1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a < c
+
+    def test_str_rendering(self):
+        s = LocalState((("left",), ("self",)), left=1)
+        assert str(s) == "⟨left self⟩"
+
+
+class TestSpaceEnumeration:
+    def test_state_count_unidirectional(self):
+        assert len(unidirectional_space(domain=3)) == 9
+
+    def test_state_count_bidirectional(self):
+        assert len(bidirectional_space()) == 27  # Figure 1's 27 vertices
+
+    def test_index_roundtrip(self):
+        space = unidirectional_space(domain=3)
+        for i, state in enumerate(space.states):
+            assert space.index(state) == i
+
+    def test_state_of_validates_width(self):
+        space = unidirectional_space()
+        with pytest.raises(ProtocolDefinitionError):
+            space.state_of(0)
+
+    def test_state_of_validates_domain(self):
+        space = unidirectional_space()
+        with pytest.raises(DomainError):
+            space.state_of(0, 7)
+
+    def test_multi_variable_cells(self):
+        a, b = ranged("a", 2), ranged("b", 3)
+        space = ProcessTemplate(variables=(a, b)).local_space()
+        assert len(space.cells) == 6
+        assert len(space) == 36
+
+
+class TestContinuation:
+    def test_unidirectional_rule(self):
+        space = unidirectional_space()
+        # candidate continues state iff state.own == candidate.cell(-1)
+        assert space.continues(space.state_of(0, 1), space.state_of(1, 0))
+        assert space.continues(space.state_of(0, 1), space.state_of(1, 1))
+        assert not space.continues(space.state_of(0, 1),
+                                   space.state_of(0, 1))
+
+    def test_bidirectional_rule(self):
+        space = bidirectional_space()
+        s = space.state_of("left", "self", "right")
+        # continuation must carry (own, right) -> (left', own').
+        good = space.state_of("self", "right", "left")
+        bad = space.state_of("self", "left", "left")
+        assert space.continues(s, good)
+        assert not space.continues(s, bad)
+
+    def test_right_continuation_counts(self):
+        # Unidirectional binary: each state has |domain| continuations.
+        space = unidirectional_space()
+        for state in space:
+            assert len(space.right_continuations(state)) == 2
+
+    def test_bidirectional_continuation_counts(self):
+        space = bidirectional_space()
+        for state in space:
+            assert len(space.right_continuations(state)) == 3
+
+
+class TestTransitions:
+    def test_deadlocks_without_actions(self):
+        space = unidirectional_space()
+        assert space.deadlocks() == space.states
+        assert space.transitions == ()
+
+    def test_transitions_only_write_own_cell(self):
+        x = ranged("x", 2)
+        action = parse_action("x[0] == 0 -> x := 1", [x])
+        space = unidirectional_space(actions=(action,))
+        for t in space.transitions:
+            assert t.source.cell(-1) == t.target.cell(-1)
+            assert t.source.own != t.target.own
+
+    def test_duplicate_state_changes_merge_labels(self):
+        x = ranged("x", 2)
+        a1 = parse_action("x[0] == 0 -> x := 1", [x], name="first")
+        a2 = parse_action("x[-1] == x[-1] and x[0] == 0 -> x := 1", [x],
+                          name="second")
+        space = unidirectional_space(actions=(a1, a2))
+        # Same state change from both actions: merged, labels joined.
+        assert len(space.transitions) == 2  # sources 00 and 10
+        for t in space.transitions:
+            assert t.label == "first+second"
+
+    def test_enablement_queries(self):
+        x = ranged("x", 2)
+        action = parse_action("x[-1] == 1 and x[0] == 0 -> x := 1", [x])
+        space = unidirectional_space(actions=(action,))
+        assert space.is_enabled(space.state_of(1, 0))
+        assert space.is_deadlock(space.state_of(0, 0))
+
+    def test_partition(self):
+        space = unidirectional_space()
+        good, bad = space.partition(lambda v: v[0] == v[-1])
+        assert {str(s) for s in good} == {"⟨0 0⟩", "⟨1 1⟩"}
+        assert len(bad) == 2

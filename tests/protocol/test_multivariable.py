@@ -1,0 +1,88 @@
+"""Multi-variable processes: the model beyond single-variable examples.
+
+The paper's formalism allows several owned variables per process; these
+tests exercise that path end-to-end — local states over composite cells,
+DSL actions reading/writing both variables, continuation, deadlock
+analysis and global instantiation.
+"""
+
+import pytest
+
+from repro.core import analyze_deadlocks, verify_convergence
+from repro.checker import check_instance
+from repro.protocol.dsl import parse_actions
+from repro.protocol.localstate import LocalView
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import boolean, ranged
+
+
+@pytest.fixture
+def two_var_protocol() -> RingProtocol:
+    """Each process owns a value ``v`` and a done-flag ``f``; legitimacy
+    asks the value to copy the predecessor *and* the flag to be set.
+    Recovery: copy upward (a single direction, like the §6.2 agreement
+    solution — copying both ways would livelock), then raise the flag."""
+    v, f = ranged("v", 2), boolean("f")
+    actions = parse_actions([
+        ("copy", "v[0] < v[-1] -> v := v[-1], f := 0"),
+        ("raise", "v[0] == v[-1] and f[0] == 0 -> f := 1"),
+    ], [v, f])
+    process = ProcessTemplate(variables=(v, f), actions=actions)
+    return RingProtocol(
+        "copy-flag", process, "v[0] == v[-1] and f[0] == 1")
+
+
+def test_cells_are_composite(two_var_protocol):
+    space = two_var_protocol.space
+    assert len(space.cells) == 4
+    assert len(space) == 16
+
+
+def test_view_access_by_name(two_var_protocol):
+    space = two_var_protocol.space
+    state = space.state_of((0, 1), (1, 0))
+    view = space.view(state)
+    assert view.get("v", -1) == 0
+    assert view.get("f", -1) == 1
+    assert view.get("v") == 1
+    assert view.get("f", 0) == 0
+    with pytest.raises(Exception):
+        view[0]  # single-var shorthand is invalid here
+
+
+def test_atomic_multi_assignment(two_var_protocol):
+    space = two_var_protocol.space
+    # copy fires when the value lags the predecessor and clears the flag
+    # in the same atomic step
+    state = space.state_of((1, 1), (0, 1))
+    targets = {t.target for t in space.transitions if t.source == state}
+    assert space.state_of((1, 1), (1, 0)) in targets
+
+
+def test_deadlock_analysis_handles_composite_cells(two_var_protocol):
+    report = analyze_deadlocks(two_var_protocol)
+    # deadlocks: value equal and flag set (legitimate) only
+    assert report.deadlock_free, [str(s) for s in
+                                  report.illegitimate_deadlocks]
+
+
+def test_not_self_disabling_but_deadlock_exact(two_var_protocol):
+    """copy leads into raise-enabled states, so Assumption 2 fails;
+    the deadlock side is exact regardless, and the self-disabling
+    transformation repairs the protocol for the livelock side."""
+    from repro.core import make_self_disabling, is_self_disabling
+
+    assert not is_self_disabling(two_var_protocol.space)
+    repaired = make_self_disabling(two_var_protocol)
+    assert is_self_disabling(repaired.space)
+    report = verify_convergence(repaired)
+    assert report.verdict.value == "converges"
+
+
+@pytest.mark.parametrize("size", [3, 5])
+def test_global_stabilization(two_var_protocol, size):
+    """Even without Assumption 2 the instance stabilizes (check
+    globally) — and the transformed variant too."""
+    report = check_instance(two_var_protocol.instantiate(size))
+    assert report.self_stabilizing

@@ -1,0 +1,109 @@
+"""Process templates and ring protocols."""
+
+import pytest
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.dsl import parse_action
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import ranged
+
+
+X = ranged("x", 2)
+
+
+class TestProcessTemplate:
+    def test_defaults_are_unidirectional(self):
+        p = ProcessTemplate(variables=(X,))
+        assert p.unidirectional
+        assert list(p.window_offsets) == [-1, 0]
+        assert p.window_width == 2
+
+    def test_bidirectional_window(self):
+        p = ProcessTemplate(variables=(X,), reads_left=1, reads_right=1)
+        assert not p.unidirectional
+        assert list(p.window_offsets) == [-1, 0, 1]
+
+    def test_wider_windows_supported(self):
+        p = ProcessTemplate(variables=(X,), reads_left=2, reads_right=0)
+        assert p.window_width == 3
+
+    def test_requires_a_variable(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessTemplate(variables=())
+
+    def test_rejects_duplicate_variable_names(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessTemplate(variables=(X, ranged("x", 3)))
+
+    def test_rejects_isolated_process(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessTemplate(variables=(X,), reads_left=0, reads_right=0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ProtocolDefinitionError):
+            ProcessTemplate(variables=(X,), reads_left=-1)
+
+    def test_with_actions_replaces(self):
+        a = parse_action("x[0] == 0 -> x := 1", [X], name="a")
+        b = parse_action("x[0] == 1 -> x := 0", [X], name="b")
+        p = ProcessTemplate(variables=(X,), actions=(a,))
+        q = p.with_actions((b,))
+        assert [ac.name for ac in q.actions] == ["b"]
+        assert [ac.name for ac in p.actions] == ["a"]
+
+    def test_extended_with_appends(self):
+        a = parse_action("x[0] == 0 -> x := 1", [X], name="a")
+        b = parse_action("x[0] == 1 -> x := 0", [X], name="b")
+        p = ProcessTemplate(variables=(X,), actions=(a,))
+        q = p.extended_with((b,))
+        assert [ac.name for ac in q.actions] == ["a", "b"]
+
+
+class TestRingProtocol:
+    def test_legitimacy_from_dsl(self):
+        p = RingProtocol("t", ProcessTemplate(variables=(X,)),
+                         "x[0] == x[-1]")
+        space = p.space
+        assert p.is_legitimate(space.state_of(0, 0))
+        assert not p.is_legitimate(space.state_of(0, 1))
+        assert len(p.legitimate_states()) == 2
+        assert len(p.illegitimate_states()) == 2
+
+    def test_legitimacy_from_callable(self):
+        p = RingProtocol("t", ProcessTemplate(variables=(X,)),
+                         lambda view: view[0] == 1)
+        assert sum(p.is_legitimate(s) for s in p.space) == 2
+
+    def test_invalid_legitimacy_type(self):
+        with pytest.raises(ProtocolDefinitionError):
+            RingProtocol("t", ProcessTemplate(variables=(X,)), 42)
+
+    def test_space_is_cached(self):
+        p = RingProtocol("t", ProcessTemplate(variables=(X,)),
+                         "x[0] == x[-1]")
+        assert p.space is p.space
+
+    def test_instantiate_rejects_degenerate_sizes(self):
+        p = RingProtocol("t", ProcessTemplate(variables=(X,)),
+                         "x[0] == x[-1]")
+        with pytest.raises(ProtocolDefinitionError):
+            p.instantiate(1)
+        assert p.instantiate(2).size == 2
+
+    def test_extended_with_preserves_legitimacy(self):
+        p = RingProtocol("t", ProcessTemplate(variables=(X,)),
+                         "x[0] == x[-1]")
+        extra = parse_action("x[0] != x[-1] -> x := x[-1]", [X], name="fix")
+        q = p.extended_with((extra,))
+        assert q.name == "t_ss"
+        assert len(q.process.actions) == 1
+        assert q.is_legitimate(q.space.state_of(1, 1))
+
+    def test_pretty_listing(self):
+        p = RingProtocol("t", ProcessTemplate(variables=(X,)),
+                         "x[0] == x[-1]")
+        text = p.pretty()
+        assert "protocol t" in text
+        assert "unidirectional" in text
+        assert "x[0] == x[-1]" in text

@@ -1,0 +1,61 @@
+"""Variable declaration and validation."""
+
+import pytest
+
+from repro.errors import ProtocolDefinitionError
+from repro.protocol.variables import Variable, boolean, ranged
+
+
+def test_basic_variable():
+    m = Variable("m", ("left", "right", "self"))
+    assert m.name == "m"
+    assert m.domain == ("left", "right", "self")
+    assert "left" in m
+    assert "up" not in m
+    assert m.index("right") == 1
+
+
+def test_domain_coerced_to_tuple():
+    v = Variable("v", [0, 1, 2])
+    assert isinstance(v.domain, tuple)
+
+
+def test_invalid_identifier_rejected():
+    with pytest.raises(ProtocolDefinitionError):
+        Variable("not a name", (0, 1))
+
+
+def test_empty_domain_rejected():
+    with pytest.raises(ProtocolDefinitionError):
+        Variable("x", ())
+
+
+def test_duplicate_domain_values_rejected():
+    with pytest.raises(ProtocolDefinitionError):
+        Variable("x", (0, 0, 1))
+
+
+def test_index_of_missing_value_raises():
+    with pytest.raises(ProtocolDefinitionError):
+        Variable("x", (0, 1)).index(7)
+
+
+def test_boolean_shorthand():
+    b = boolean("flag")
+    assert b.domain == (0, 1)
+
+
+def test_ranged_shorthand():
+    r = ranged("x", 4)
+    assert r.domain == (0, 1, 2, 3)
+
+
+def test_ranged_requires_positive_size():
+    with pytest.raises(ProtocolDefinitionError):
+        ranged("x", 0)
+
+
+def test_variables_are_hashable_and_equal_by_value():
+    assert Variable("x", (0, 1)) == Variable("x", (0, 1))
+    assert hash(Variable("x", (0, 1))) == hash(Variable("x", (0, 1)))
+    assert Variable("x", (0, 1)) != Variable("x", (0, 1, 2))

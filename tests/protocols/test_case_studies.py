@@ -1,0 +1,181 @@
+"""Structure and basic semantics of the bundled case studies."""
+
+import pytest
+
+from repro.protocols import (
+    DijkstraTokenRing,
+    MATCHING_LEGITIMACY,
+    agreement,
+    coloring,
+    generalizable_matching,
+    gouda_acharya_matching,
+    livelock_agreement,
+    matching_base,
+    nongeneralizable_matching,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+    sum_not_two,
+    three_coloring,
+    two_coloring,
+)
+from repro.protocols.registry import REGISTRY, get_protocol
+from repro.viz import state_label
+
+
+class TestMatchingFamily:
+    def test_invariant_example41(self):
+        """Example 4.1's legitimate local states."""
+        base = matching_base()
+        space = base.space
+        assert base.is_legitimate(space.state_of("right", "left", "self"))
+        assert base.is_legitimate(space.state_of("left", "self", "right"))
+        assert base.is_legitimate(space.state_of("self", "right", "left"))
+        assert not base.is_legitimate(space.state_of("left", "left",
+                                                     "self"))
+        assert not base.is_legitimate(space.state_of("self", "self",
+                                                     "self"))
+
+    def test_base_has_no_actions(self):
+        assert matching_base().process.actions == ()
+
+    def test_example42_action_structure(self):
+        p = generalizable_matching()
+        assert len(p.process.actions) == 8  # A1, A2, A3a/b, A4a/b, A5a/b
+        assert not p.unidirectional
+        # A2 is nondeterministic: ⟨s,s,s⟩ has two successors.
+        space = p.space
+        sss = space.state_of("self", "self", "self")
+        targets = {t.target for t in space.transitions if t.source == sss}
+        assert targets == {space.state_of("self", "right", "self"),
+                           space.state_of("self", "left", "self")}
+
+    def test_example43_action_structure(self):
+        p = nongeneralizable_matching()
+        assert len(p.process.actions) == 7  # B1, B2a/b, B3a/b, B4a/b
+
+    def test_gouda_acharya_fragment(self):
+        p = gouda_acharya_matching()
+        assert len(p.process.actions) == 2
+        space = p.space
+        # t_ls: ⟨l,l,*⟩ -> self; t_sl: ⟨r|s, s, *⟩ -> left
+        lls = space.state_of("left", "left", "self")
+        assert any(t.source == lls and t.target.own == ("self",)
+                   for t in space.transitions)
+
+    def test_matching_actions_fire_only_outside_lc(self):
+        for factory in (generalizable_matching, gouda_acharya_matching):
+            p = factory()
+            for t in p.space.transitions:
+                assert not p.is_legitimate(t.source), (p.name, str(t))
+
+    def test_example43_legit_sourced_action_is_unreachable_in_i(self):
+        """B3a fires from ⟨r,r,l⟩, which satisfies LC_r locally — but no
+        global I-state contains that window (its predecessor's window
+        ⟨?,r,r⟩ cannot be legitimate), so closure still holds (the
+        check_local_closure tests confirm this)."""
+        p = nongeneralizable_matching()
+        space = p.space
+        rrl = space.state_of("right", "right", "left")
+        assert p.is_legitimate(rrl)
+        assert any(t.source == rrl for t in space.transitions)
+        # no legitimate predecessor window continues into ⟨r,r,l⟩
+        predecessors = [s for s in space.states
+                        if space.continues(s, rrl)
+                        and p.is_legitimate(s)]
+        assert predecessors == []
+
+
+class TestAgreementFamily:
+    def test_empty_input(self):
+        assert agreement().process.actions == ()
+        assert agreement(values=5).space.cells == tuple(
+            (v,) for v in range(5))
+
+    def test_livelock_variant_copies_both_ways(self):
+        p = livelock_agreement()
+        labels = {t.label for t in p.space.transitions}
+        assert labels == {"t10", "t01"}
+
+    def test_stabilizing_variants(self):
+        up = stabilizing_agreement(resolve_up=True)
+        down = stabilizing_agreement(resolve_up=False)
+        up_sources = {state_label(t.source)
+                      for t in up.space.transitions}
+        down_sources = {state_label(t.source)
+                        for t in down.space.transitions}
+        assert up_sources == {"10"}
+        assert down_sources == {"01"}
+
+    def test_mary_stabilizing_agreement(self):
+        p = stabilizing_agreement(values=4)
+        assert len(p.space) == 16
+        # copies the larger predecessor: sources are x[0] < x[-1]
+        for t in p.space.transitions:
+            assert t.source.cell(0) < t.source.cell(-1)
+            assert t.target.own == t.source.cell(-1)
+
+
+class TestColoringAndSumNotTwo:
+    def test_coloring_requires_two_colors(self):
+        with pytest.raises(ValueError):
+            coloring(1)
+
+    def test_coloring_names(self):
+        assert two_coloring().name == "2-coloring"
+        assert three_coloring().name == "3-coloring"
+
+    def test_sum_not_two_legitimacy(self):
+        p = sum_not_two()
+        space = p.space
+        for state in space:
+            expected = (state.cell(-1)[0] + state.cell(0)[0]) != 2
+            assert p.is_legitimate(state) == expected
+
+    def test_stabilizing_sum_not_two_picks_paper_transitions(self):
+        """{t21, t12, t01}: 02→01, 11→12, 20→21."""
+        p = stabilizing_sum_not_two()
+        moves = {(state_label(t.source), state_label(t.target))
+                 for t in p.space.transitions}
+        assert moves == {("02", "01"), ("11", "12"), ("20", "21")}
+
+
+class TestTokenRing:
+    def test_privileges(self):
+        ring = DijkstraTokenRing(4)
+        assert ring.privileged((0, 0, 0, 0)) == [0]
+        assert ring.privileged((1, 0, 0, 0)) == [1]
+        assert ring.privileged((2, 0, 1, 0)) == [1, 2, 3]
+
+    def test_root_move_increments_mod_m(self):
+        ring = DijkstraTokenRing(3, values=3)
+        moves = ring.moves((2, 2, 2))
+        assert [m.process for m in moves] == [0]
+        assert moves[0].target == (0, 2, 2)
+
+    def test_non_root_copies_predecessor(self):
+        ring = DijkstraTokenRing(3)
+        moves = ring.moves((1, 0, 0))
+        assert [m.process for m in moves] == [1]
+        assert moves[0].target == (1, 1, 0)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            DijkstraTokenRing(1)
+        with pytest.raises(Exception):
+            DijkstraTokenRing(3).state_of(0, 1)
+        with pytest.raises(Exception):
+            DijkstraTokenRing(3).state_of(0, 1, 9)
+
+
+class TestRegistry:
+    def test_all_entries_buildable(self):
+        for name in REGISTRY:
+            protocol = get_protocol(name)
+            assert protocol.name
+
+    def test_unknown_name_lists_alternatives(self):
+        with pytest.raises(KeyError, match="agreement"):
+            get_protocol("nope")
+
+    def test_legitimacy_constant_exported(self):
+        assert "right" in MATCHING_LEGITIMACY

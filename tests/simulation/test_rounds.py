@@ -1,0 +1,80 @@
+"""The asynchronous-rounds time measure."""
+
+import pytest
+
+from repro.protocols import chain_broadcast, stabilizing_agreement
+from repro.simulation import RandomScheduler, RoundRobinScheduler, run
+from repro.simulation.rounds import (
+    _actor,
+    round_boundaries,
+    rounds_to_convergence,
+)
+
+
+def test_actor_detection():
+    p = stabilizing_agreement()
+    instance = p.instantiate(3)
+    a = instance.state_of(1, 0, 0)
+    b = instance.state_of(1, 1, 0)
+    assert _actor(instance, a, b) == 1
+    with pytest.raises(ValueError):
+        _actor(instance, a, a)
+
+
+def test_round_boundaries_round_robin():
+    """Under round-robin on a single corruption wave, each round makes
+    progress and rounds partition the trace."""
+    p = stabilizing_agreement()
+    instance = p.instantiate(6)
+    start = instance.state_of(1, 0, 0, 0, 0, 0)
+    trace = run(instance, start, RoundRobinScheduler(6))
+    boundaries = round_boundaries(instance, trace)
+    assert boundaries == sorted(boundaries)
+    assert all(0 < b <= trace.steps for b in boundaries)
+
+
+def test_rounds_zero_when_starting_converged():
+    p = stabilizing_agreement()
+    instance = p.instantiate(4)
+    trace = run(instance, instance.uniform_state(1), RandomScheduler())
+    assert rounds_to_convergence(instance, trace) == 0
+
+
+def test_rounds_none_without_convergence():
+    from repro.protocols import livelock_agreement
+    from repro.simulation import AdversarialScheduler
+
+    p = livelock_agreement()
+    instance = p.instantiate(4)
+    start = instance.state_of(1, 0, 0, 0)
+    trace = run(instance, start, AdversarialScheduler(instance, seed=0),
+                max_steps=40)
+    assert not trace.converged
+    assert rounds_to_convergence(instance, trace) is None
+
+
+def test_broadcast_converges_within_k_rounds():
+    """The chain broadcast repairs one position per round in the worst
+    case: rounds-to-convergence never exceeds K."""
+    protocol = chain_broadcast()
+    for size in (3, 5, 7):
+        instance = protocol.instantiate(size)
+        for seed in range(6):
+            start = tuple(((seed >> i) & 1,) for i in range(size))
+            trace = run(instance, start, RandomScheduler(seed=seed),
+                        max_steps=200)
+            if not trace.converged:
+                continue
+            rounds = rounds_to_convergence(instance, trace)
+            assert rounds is not None
+            assert rounds <= size
+
+
+def test_rounds_never_exceed_steps():
+    p = stabilizing_agreement()
+    instance = p.instantiate(5)
+    start = instance.state_of(1, 0, 1, 0, 0)
+    trace = run(instance, start, RandomScheduler(seed=3))
+    rounds = rounds_to_convergence(instance, trace)
+    assert rounds is not None
+    assert rounds <= trace.recovery_steps

@@ -1,0 +1,180 @@
+"""Schedulers, engine, fault injection and metrics."""
+
+import random
+
+import pytest
+
+from repro.protocols import (
+    DijkstraTokenRing,
+    livelock_agreement,
+    stabilizing_agreement,
+)
+from repro.simulation import (
+    AdversarialScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Trace,
+    convergence_study,
+    perturb,
+    random_state,
+    run,
+    run_until_convergence,
+)
+
+
+class TestSchedulers:
+    def test_random_scheduler_is_seed_deterministic(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(6)
+        start = instance.state_of(1, 0, 1, 0, 1, 0)
+        t1 = run(instance, start, RandomScheduler(seed=5))
+        t2 = run(instance, start, RandomScheduler(seed=5))
+        assert t1.states == t2.states
+
+    def test_round_robin_rotates_priority(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(4)
+        scheduler = RoundRobinScheduler(4)
+        start = instance.state_of(1, 0, 1, 0)
+        moves = instance.moves(start)
+        first = scheduler.choose(start, moves)
+        # next choice must prefer the process after the first one
+        second = scheduler.choose(first.target,
+                                  instance.moves(first.target))
+        assert second.process != first.process
+
+    def test_round_robin_validates_size(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(0)
+
+    def test_adversary_prefers_staying_outside_i(self):
+        p = livelock_agreement()
+        instance = p.instantiate(4)
+        scheduler = AdversarialScheduler(instance, seed=0)
+        # from 1110 a collision (p0 or p3 depending) may converge; the
+        # adversary must pick a move staying outside I when one exists.
+        state = instance.state_of(1, 1, 1, 0)
+        move = scheduler.choose(state, instance.moves(state))
+        assert not instance.invariant_holds(move.target)
+
+
+class TestEngine:
+    def test_trace_from_invariant_state_is_trivial(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(4)
+        trace = run(instance, instance.uniform_state(1),
+                    RandomScheduler())
+        assert trace.converged_at == 0
+        assert trace.steps == 0
+
+    def test_convergence_recorded(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(5)
+        start = instance.state_of(1, 0, 0, 0, 0)
+        trace = run(instance, start, RandomScheduler(seed=1))
+        assert trace.converged
+        assert trace.recovery_steps >= 1
+        assert instance.invariant_holds(trace.states[-1])
+        assert all(not instance.invariant_holds(s)
+                   for s in trace.states[:trace.converged_at])
+
+    def test_deadlock_outside_invariant_detected(self):
+        from repro.protocols import nongeneralizable_matching
+
+        p = nongeneralizable_matching()
+        instance = p.instantiate(4)
+        stuck = instance.state_of("left", "self", "right", "left")
+        trace = run(instance, stuck, RandomScheduler())
+        assert trace.deadlocked
+        assert not trace.converged
+
+    def test_budget_exhaustion(self):
+        p = livelock_agreement()
+        instance = p.instantiate(4)
+        adversary = AdversarialScheduler(instance, seed=0)
+        start = instance.state_of(1, 0, 0, 0)
+        trace = run(instance, start, adversary, max_steps=50)
+        assert not trace.converged
+        assert trace.steps == 50
+        with pytest.raises(RuntimeError):
+            run_until_convergence(instance, start,
+                                  AdversarialScheduler(instance, seed=0),
+                                  max_steps=50)
+
+    def test_run_past_convergence(self):
+        ring = DijkstraTokenRing(3)
+        trace = run(ring, (0, 1, 0), RandomScheduler(seed=2),
+                    max_steps=20, stop_on_convergence=False)
+        assert trace.steps == 20  # token ring never deadlocks
+        assert trace.converged
+        # closure: once inside I it stays inside I
+        inside = trace.states[trace.converged_at:]
+        assert all(ring.invariant_holds(s) for s in inside)
+
+
+class TestFaults:
+    def test_random_state_is_valid(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(6)
+        rng = random.Random(0)
+        state = random_state(instance, rng)
+        assert len(state) == 6
+        assert all(cell in p.space.cells for cell in state)
+
+    def test_perturb_changes_exactly_n_processes(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(6)
+        rng = random.Random(0)
+        state = instance.uniform_state(0)
+        for faults in range(7):
+            corrupted = perturb(instance, state, rng, faults=faults)
+            changed = sum(a != b for a, b in zip(state, corrupted))
+            assert changed == faults
+
+    def test_perturb_validates_fault_count(self):
+        p = stabilizing_agreement()
+        instance = p.instantiate(3)
+        with pytest.raises(ValueError):
+            perturb(instance, instance.uniform_state(0),
+                    random.Random(0), faults=4)
+
+    def test_token_ring_fault_helpers(self):
+        ring = DijkstraTokenRing(4)
+        rng = random.Random(1)
+        state = random_state(ring, rng)
+        assert all(0 <= v < ring.values for v in state)
+        corrupted = perturb(ring, state, rng, faults=2)
+        assert sum(a != b for a, b in zip(state, corrupted)) == 2
+
+
+class TestMetrics:
+    def test_study_of_convergent_protocol(self):
+        p = stabilizing_agreement()
+        stats = convergence_study(p.instantiate(5), samples=40, seed=0)
+        assert stats.converged == 40
+        assert stats.deadlocked == 0
+        assert stats.convergence_rate == 1.0
+        assert stats.mean_steps is not None
+        assert stats.max_steps >= stats.mean_steps
+
+    def test_study_counts_deadlocks(self):
+        from repro.protocols import nongeneralizable_matching
+
+        stats = convergence_study(
+            nongeneralizable_matching().instantiate(4),
+            samples=60, seed=0)
+        assert stats.deadlocked > 0
+        assert stats.converged + stats.deadlocked == 60
+
+    def test_summary_renders(self):
+        p = stabilizing_agreement()
+        stats = convergence_study(p.instantiate(4), samples=10, seed=0)
+        assert "K=4" in stats.summary()
+
+
+def test_trace_dataclass_properties():
+    trace = Trace(states=((0,), (1,)), converged_at=None,
+                  deadlocked=True)
+    assert trace.steps == 1
+    assert not trace.converged
+    assert trace.recovery_steps is None

@@ -1,0 +1,72 @@
+"""DOT / ASCII rendering."""
+
+from repro.core import build_ltg, build_rcg
+from repro.protocols import matching_base, stabilizing_agreement
+from repro.viz import (
+    adjacency_listing,
+    ltg_to_dot,
+    rcg_to_dot,
+    render_table,
+    state_label,
+)
+
+
+class TestStateLabel:
+    def test_string_values_abbreviate(self):
+        space = matching_base().space
+        assert state_label(space.state_of("left", "left", "self")) == "lls"
+
+    def test_numeric_values_verbatim(self):
+        space = stabilizing_agreement().space
+        assert state_label(space.state_of(0, 1)) == "01"
+
+
+class TestDot:
+    def test_rcg_dot_structure(self):
+        protocol = matching_base()
+        dot = rcg_to_dot(build_rcg(protocol.space),
+                         protocol.legitimate_states(), title="Fig1")
+        assert dot.startswith('digraph "Fig1"')
+        assert dot.count("->") == 81
+        assert '"lls"' in dot
+        assert "palegreen" in dot  # legitimate states highlighted
+        assert dot.rstrip().endswith("}")
+
+    def test_ltg_dot_distinguishes_arc_kinds(self):
+        protocol = stabilizing_agreement()
+        dot = ltg_to_dot(build_ltg(protocol.space),
+                         protocol.legitimate_states())
+        assert "style=dashed" in dot   # s-arcs
+        assert "style=bold" in dot     # t-arcs
+        assert 'label="t01"' in dot
+
+    def test_dot_output_is_deterministic(self):
+        protocol = matching_base()
+        first = rcg_to_dot(build_rcg(protocol.space))
+        second = rcg_to_dot(build_rcg(protocol.space))
+        assert first == second
+
+
+class TestAscii:
+    def test_adjacency_listing_marks_illegitimate(self):
+        protocol = stabilizing_agreement()
+        listing = adjacency_listing(build_ltg(protocol.space),
+                                    protocol.legitimate_states())
+        assert "01!" in listing
+        assert "=t01=>" in listing
+        assert "->" in listing
+
+    def test_adjacency_listing_isolated_node(self):
+        from repro.graphs import Digraph
+
+        assert adjacency_listing(Digraph(nodes=["x"])) == "x: -"
+
+    def test_render_table_alignment(self):
+        table = render_table(["name", "K"], [("agreement", 4),
+                                             ("matching", 12)])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+        assert "agreement" in lines[2]
+        # all rows align on the separator
+        assert lines[1].count("-+-") == 1
