@@ -11,8 +11,11 @@ Example 4.3:
   exponential cost, while the local verdict covers all K.
 """
 
+import time
+
 from repro.checker.sweep import sweep_verify
 from repro.core.deadlock import DeadlockAnalyzer
+from repro.engine import ResultCache
 from repro.protocols import (
     generalizable_matching,
     nongeneralizable_matching,
@@ -49,9 +52,35 @@ def run_comparison():
     return rows
 
 
-def test_a2_sweep_vs_local(benchmark, write_artifact):
+def engine_comparison(tmp_dir):
+    """Serial vs parallel vs cached timings of the same wide sweep."""
+    protocol = generalizable_matching()
+
+    def timed(**kwargs):
+        began = time.perf_counter()
+        result = sweep_verify(protocol, up_to=7, start=3, **kwargs)
+        return result, time.perf_counter() - began
+
+    serial, serial_s = timed(jobs=1)
+    parallel, parallel_s = timed(jobs=2)
+    assert parallel.reports == serial.reports
+    cache = ResultCache(tmp_dir)
+    warm, _ = timed(cache=cache)
+    cached, cached_s = timed(cache=cache)
+    assert cached.reports == serial.reports
+    assert cached.stats.cache_hits == len(serial.reports)
+    assert warm.reports == serial.reports
+    return [("serial (jobs=1)", f"{serial_s * 1e3:.1f} ms"),
+            ("parallel (jobs=2)", f"{parallel_s * 1e3:.1f} ms"),
+            ("cached re-run", f"{cached_s * 1e3:.1f} ms")]
+
+
+def test_a2_sweep_vs_local(benchmark, write_artifact, tmp_path):
     rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    engine_rows = engine_comparison(tmp_path / "cache")
     write_artifact(
         "a2_sweep_vs_local.txt",
         render_table(["protocol", "sweep (fixed-K view)",
-                      "sweep (wider)", "local verdict"], rows))
+                      "sweep (wider)", "local verdict"], rows)
+        + "\n\nsweep engine modes (matching-ex4.2, K=3..7):\n"
+        + render_table(["mode", "wall time"], engine_rows))

@@ -2,8 +2,11 @@
 
 Random protocols, local verdicts vs brute force (Theorem 4.2 exactness,
 Theorem 5.14 soundness).  The audit must come back clean; the benchmark
-reports its throughput.
+reports its throughput, serial and parallel (per-protocol audits are
+independent work items for the ``repro.engine`` pool).
 """
+
+import time
 
 from repro.randomgen import audit_theorems
 from repro.viz import render_table
@@ -15,6 +18,18 @@ def test_a3_fuzz_audit_clean(benchmark, write_artifact):
         rounds=1, iterations=1)
     assert report.clean
     assert report.samples == 40
+
+    serial_s = report.stats.total_seconds
+    began = time.perf_counter()
+    parallel = audit_theorems(samples=40, max_ring_size=4, seed=123,
+                              jobs=2)
+    parallel_s = time.perf_counter() - began
+    assert parallel.clean
+    assert (parallel.samples, parallel.certificates_issued,
+            parallel.deadlock_checks, parallel.discrepancies) == (
+        report.samples, report.certificates_issued,
+        report.deadlock_checks, report.discrepancies)
+
     write_artifact(
         "a3_fuzzing.txt",
         report.summary() + "\n\n"
@@ -24,4 +39,7 @@ def test_a3_fuzz_audit_clean(benchmark, write_artifact):
              ("per-size deadlock comparisons", report.deadlock_checks),
              ("livelock certificates confirmed",
               report.certificates_issued),
-             ("discrepancies", len(report.discrepancies))]))
+             ("discrepancies", len(report.discrepancies)),
+             ("serial audit wall time", f"{serial_s * 1e3:.1f} ms"),
+             ("parallel audit wall time (jobs=2)",
+              f"{parallel_s * 1e3:.1f} ms")]))

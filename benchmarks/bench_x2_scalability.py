@@ -16,8 +16,10 @@ local cost is constant by construction.
 import time
 
 from repro.checker import check_instance
+from repro.checker.sweep import sweep_verify
 from repro.core.deadlock import DeadlockAnalyzer
 from repro.core.livelock import LivelockCertifier
+from repro.engine import ResultCache
 from repro.protocols import generalizable_matching
 from repro.viz import render_table
 
@@ -60,3 +62,43 @@ def test_x2_local_reasoning_vs_global_checking(benchmark,
         f"local analysis (all K at once): {local_elapsed * 1e3:.1f} ms\n\n"
         + render_table(["K", "global states", "model-checking time"],
                        rows))
+
+
+def test_x2_sweep_engine_modes(benchmark, write_artifact, tmp_path):
+    """The per-K baseline at hardware speed: serial vs parallel vs
+    cached sweeps over the same range, identical verdicts throughout."""
+    protocol = generalizable_matching()
+    first, last = SIZES[0], SIZES[-1]
+
+    def timed(**kwargs):
+        began = time.perf_counter()
+        result = sweep_verify(protocol, up_to=last, start=first, **kwargs)
+        return result, time.perf_counter() - began
+
+    serial, serial_s = benchmark.pedantic(
+        lambda: timed(jobs=1), rounds=1, iterations=1)
+    parallel, parallel_s = timed(jobs=2)
+    assert parallel.reports == serial.reports
+
+    cache = ResultCache(tmp_path / "cache")
+    warm, warm_s = timed(cache=cache)
+    assert warm.reports == serial.reports
+    cached, cached_s = timed(cache=cache)
+    assert cached.reports == serial.reports
+    assert cached.stats.cache_hits == len(serial.reports)
+    assert cached_s < serial_s  # the whole point of the cache
+
+    write_artifact(
+        "x2_sweep_engine_modes.txt",
+        f"sweep K={first}..{last} of matching-ex4.2, "
+        f"{serial.total_states_explored} global states:\n"
+        + render_table(
+            ["mode", "wall time", "cache hits"],
+            [("serial (jobs=1)", f"{serial_s * 1e3:.1f} ms",
+              0),
+             ("parallel (jobs=2)", f"{parallel_s * 1e3:.1f} ms",
+              0),
+             ("cold cached run", f"{warm_s * 1e3:.1f} ms",
+              warm.stats.cache_hits),
+             ("warm cached run", f"{cached_s * 1e3:.1f} ms",
+              cached.stats.cache_hits)]))

@@ -7,6 +7,12 @@ than or equal to the cutoff"; this module implements that baseline —
 verify ``p(K)`` for each ``K`` in a range — so the comparison can be
 made concretely (benchmark X2 and the ablation benches use it).
 
+Each ``p(K)`` is an independent work item, so the sweep fans out over
+:func:`repro.engine.run_work_items` when ``jobs > 1`` and reuses prior
+per-K reports through a :class:`repro.engine.ResultCache`; verdicts are
+identical to the serial, uncached run by construction (deterministic
+result ordering, whole-report caching).
+
 No general cutoff theorem applies to arbitrary convergence properties,
 so a sweep result is evidence for the checked range only; contrast with
 :func:`repro.core.verify_convergence`, whose verdicts quantify over all
@@ -16,10 +22,12 @@ ring sizes.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.checker.convergence import GlobalReport, check_instance
+from repro.engine import EngineStats, ResultCache, analysis_key, \
+    run_work_items
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocol.ring import RingProtocol
@@ -31,6 +39,7 @@ class SweepResult:
 
     reports: tuple[GlobalReport, ...]
     elapsed_seconds: tuple[float, ...]
+    stats: EngineStats | None = field(default=None, compare=False)
 
     @property
     def sizes(self) -> tuple[int, ...]:
@@ -61,29 +70,124 @@ class SweepResult:
                 f"({elapsed * 1e3:.1f} ms)")
         lines.append(f"total states explored: "
                      f"{self.total_states_explored}")
+        if self.stats is not None:
+            lines.append(self.stats.summary())
         return "\n".join(lines)
+
+
+def _sweep_key(protocol: "RingProtocol", size: int) -> str:
+    return analysis_key("check-instance", protocol, ring_size=size)
+
+
+def _check_size(protocol: "RingProtocol",
+                size: int) -> tuple[GlobalReport, float]:
+    began = time.perf_counter()
+    report = check_instance(protocol.instantiate(size))
+    return report, time.perf_counter() - began
 
 
 def sweep_verify(protocol: "RingProtocol", up_to: int,
                  start: int | None = None,
-                 stop_on_failure: bool = False) -> SweepResult:
+                 stop_on_failure: bool = False,
+                 jobs: int = 1,
+                 cache: ResultCache | None = None) -> SweepResult:
     """Model-check every ring size from *start* (default: the read-window
     width) through *up_to*.
 
     With ``stop_on_failure`` the sweep aborts at the first
-    non-stabilizing size — the typical bug-hunting mode.
+    non-stabilizing size — the typical bug-hunting mode.  ``jobs > 1``
+    fans the per-K checks out over worker processes (a parallel
+    ``stop_on_failure`` sweep still checks every size speculatively and
+    truncates afterwards, so its result equals the serial one); *cache*
+    reuses per-K reports across runs, keyed on the protocol fingerprint
+    and the ring size.
     """
     first = protocol.process.window_width if start is None else start
     if first > up_to:
         raise ValueError(f"empty sweep range {first}..{up_to}")
-    reports = []
-    timings = []
-    for size in range(first, up_to + 1):
-        began = time.perf_counter()
-        report = check_instance(protocol.instantiate(size))
-        timings.append(time.perf_counter() - began)
-        reports.append(report)
-        if stop_on_failure and not report.self_stabilizing:
+    sizes = list(range(first, up_to + 1))
+    stats = EngineStats(jobs=jobs)
+
+    if jobs <= 1:
+        # Serial: check sizes in order so stop_on_failure exits early.
+        kept_reports: list[GlobalReport] = []
+        kept_timings: list[float] = []
+        with stats.stage("sweep"):
+            for size in sizes:
+                report, elapsed = _checked_size(protocol, size, cache,
+                                                stats)
+                kept_reports.append(report)
+                kept_timings.append(elapsed)
+                if stop_on_failure and not report.self_stabilizing:
+                    break
+        return SweepResult(reports=tuple(kept_reports),
+                           elapsed_seconds=tuple(kept_timings),
+                           stats=stats)
+
+    # Parallel: probe the cache up front, fan the misses out, truncate
+    # afterwards (speculative checking keeps the result equal to serial).
+    reports: dict[int, GlobalReport] = {}
+    timings: dict[int, float] = {}
+    with stats.stage("sweep"):
+        pending = []
+        for size in sizes:
+            if cache is not None:
+                probe_began = time.perf_counter()
+                cached = cache.get(_sweep_key(protocol, size))
+                if cached is not None:
+                    stats.cache_hits += 1
+                    reports[size] = cached
+                    timings[size] = time.perf_counter() - probe_began
+                    continue
+                stats.cache_misses += 1
+            pending.append(size)
+
+        if len(pending) > 1:
+            outcomes = run_work_items(_sweep_worker, pending,
+                                      jobs=jobs, context=protocol)
+            stats.parallel = True
+        else:
+            outcomes = [_check_size(protocol, size) for size in pending]
+        for size, (report, elapsed) in zip(pending, outcomes):
+            stats.work_items += 1
+            stats.states_explored += report.state_count
+            reports[size] = report
+            timings[size] = elapsed
+            if cache is not None:
+                cache.put(_sweep_key(protocol, size), report)
+
+    kept_reports = []
+    kept_timings = []
+    for size in sizes:
+        kept_reports.append(reports[size])
+        kept_timings.append(timings[size])
+        if stop_on_failure and not reports[size].self_stabilizing:
             break
-    return SweepResult(reports=tuple(reports),
-                       elapsed_seconds=tuple(timings))
+    return SweepResult(reports=tuple(kept_reports),
+                       elapsed_seconds=tuple(kept_timings),
+                       stats=stats)
+
+
+def _checked_size(protocol: "RingProtocol", size: int,
+                  cache: ResultCache | None,
+                  stats: EngineStats) -> tuple[GlobalReport, float]:
+    """One serial work item: cache probe, compute on miss, store."""
+    if cache is not None:
+        probe_began = time.perf_counter()
+        cached = cache.get(_sweep_key(protocol, size))
+        if cached is not None:
+            stats.cache_hits += 1
+            return cached, time.perf_counter() - probe_began
+        stats.cache_misses += 1
+    report, elapsed = _check_size(protocol, size)
+    stats.work_items += 1
+    stats.states_explored += report.state_count
+    if cache is not None:
+        cache.put(_sweep_key(protocol, size), report)
+    return report, elapsed
+
+
+def _sweep_worker(protocol: "RingProtocol",
+                  size: int) -> tuple[GlobalReport, float]:
+    """Module-level worker for :func:`repro.engine.run_work_items`."""
+    return _check_size(protocol, size)

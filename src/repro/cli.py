@@ -41,6 +41,43 @@ def _resolve_protocol(name: str):
     return get_protocol(name)
 
 
+def _add_engine_options(parser: argparse.ArgumentParser,
+                        jobs: bool = True) -> None:
+    """The shared ``repro.engine`` flags (``--jobs``, ``--cache``)."""
+    if jobs:
+        parser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent work items "
+                 "(default: 1 = serial)")
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=None,
+        help="reuse results across runs via the on-disk result cache")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: .repro-cache/; implies --cache "
+             "unless --no-cache is given)")
+
+
+def _engine_cache(args: argparse.Namespace):
+    """The :class:`ResultCache` requested by the flags, or ``None``.
+
+    An explicit ``--no-cache`` always wins; otherwise ``--cache-dir``
+    implies ``--cache``.
+    """
+    if args.cache is False or (args.cache is None and args.cache_dir is None):
+        return None
+    from repro.engine import DEFAULT_CACHE_DIR, ResultCache
+
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+
+
+def _print_stats(stats, cache) -> None:
+    if stats is not None:
+        print(stats.summary())
+    if cache is not None:
+        print(cache.stats.summary())
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.serialization import save_protocol
 
@@ -66,8 +103,10 @@ def _cmd_show(args: argparse.Namespace) -> int:
 
 def _cmd_verify(args: argparse.Namespace) -> int:
     protocol = _resolve_protocol(args.protocol)
+    cache = _engine_cache(args)
     report = verify_convergence(protocol,
-                                max_ring_size=args.max_ring_size)
+                                max_ring_size=args.max_ring_size,
+                                jobs=args.jobs, cache=cache)
     if args.json:
         import json
 
@@ -81,6 +120,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         analyzer = DeadlockAnalyzer(protocol)
         sizes = sorted(analyzer.deadlocked_ring_sizes(args.max_sizes))
         print(f"deadlocked ring sizes <= {args.max_sizes}: {sizes}")
+    _print_stats(report.stats, cache)
     return 0 if report.verdict.value == "converges" else 1
 
 
@@ -126,21 +166,28 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.checker.sweep import sweep_verify
 
-    protocol = get_protocol(args.protocol)
+    protocol = _resolve_protocol(args.protocol)
+    cache = _engine_cache(args)
     result = sweep_verify(protocol, up_to=args.up_to,
-                          stop_on_failure=args.stop_on_failure)
+                          stop_on_failure=args.stop_on_failure,
+                          jobs=args.jobs, cache=cache)
     print(f"== per-size sweep of {protocol.name} ==")
     print(result.summary())
+    if cache is not None:
+        print(cache.stats.summary())
     return 0 if result.all_self_stabilizing else 1
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.randomgen import audit_theorems
 
+    cache = _engine_cache(args)
     report = audit_theorems(samples=args.samples,
                             max_ring_size=args.max_ring_size,
-                            seed=args.seed)
+                            seed=args.seed,
+                            jobs=args.jobs, cache=cache)
     print(report.summary())
+    _print_stats(report.stats, cache)
     for discrepancy in report.discrepancies:
         print(f"  {discrepancy.kind} at K={discrepancy.ring_size}:")
         print("    " + discrepancy.protocol_listing.replace("\n",
@@ -150,8 +197,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
 def _cmd_check(args: argparse.Namespace) -> int:
     protocol = _resolve_protocol(args.protocol)
-    instance = protocol.instantiate(args.ring_size)
-    report = check_instance(instance)
+    cache = _engine_cache(args)
+    report = None
+    if cache is not None:
+        from repro.engine import analysis_key
+
+        key = analysis_key("check-instance", protocol,
+                           ring_size=args.ring_size)
+        report = cache.get(key)
+    if report is None:
+        report = check_instance(protocol.instantiate(args.ring_size))
+        if cache is not None:
+            cache.put(key, report)
     if args.json:
         import json
 
@@ -161,6 +218,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if report.self_stabilizing else 1
     print(f"== global model checking of {protocol.name} ==")
     print(report.summary())
+    if cache is not None:
+        print(cache.stats.summary())
     return 0 if report.self_stabilizing else 1
 
 
@@ -257,6 +316,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="horizon for deadlocked-size prediction")
     verify.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    _add_engine_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
     chain = sub.add_parser("chain", help="exact chain-topology "
@@ -279,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("protocol")
     sweep.add_argument("--up-to", type=int, default=7)
     sweep.add_argument("--stop-on-failure", action="store_true")
+    _add_engine_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser("fuzz", help="random-protocol audit of the "
@@ -286,6 +347,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--samples", type=int, default=50)
     fuzz.add_argument("--max-ring-size", type=int, default=5)
     fuzz.add_argument("--seed", type=int, default=0)
+    _add_engine_options(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
     check = sub.add_parser("check", help="global model checking at one K")
@@ -293,6 +355,10 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("-K", "--ring-size", type=int, required=True)
     check.add_argument("--json", action="store_true",
                        help="emit the report as JSON")
+    check.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="accepted for symmetry with sweep/fuzz; a "
+                            "single instance is a single work item")
+    _add_engine_options(check, jobs=False)
     check.set_defaults(func=_cmd_check)
 
     export = sub.add_parser("export", help="save a bundled protocol as "

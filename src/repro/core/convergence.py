@@ -10,7 +10,7 @@ the problem statement's precondition that ``I`` be closed in ``p``.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import product
 from typing import TYPE_CHECKING
 
@@ -20,6 +20,7 @@ from repro.core.livelock import (
     LivelockReport,
 )
 from repro.core.rcg import build_rcg
+from repro.engine import EngineStats, ResultCache, analysis_key
 from repro.protocol.localstate import LocalState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -49,6 +50,7 @@ class ConvergenceReport:
     deadlock: DeadlockReport
     livelock: LivelockReport | None
     closure_ok: bool
+    stats: EngineStats | None = field(default=None, compare=False)
 
     def summary(self) -> str:
         """A short multi-line human-readable summary."""
@@ -170,16 +172,39 @@ def _reachability(graph) -> dict:
 
 def verify_convergence(protocol: "RingProtocol",
                        max_ring_size: int = 9,
-                       check_livelocks: bool = True) -> ConvergenceReport:
+                       check_livelocks: bool = True,
+                       jobs: int = 1,
+                       cache: ResultCache | None = None,
+                       ) -> ConvergenceReport:
     """The full parameterized analysis of *protocol*.
 
     ``max_ring_size`` bounds the ``(K, |E|)`` sweep of the
     contiguous-trail search.  With ``check_livelocks=False`` only the
     (exact) deadlock analysis runs and the verdict is ``UNKNOWN`` unless a
-    deadlock witness makes it ``DIVERGES``.
+    deadlock witness makes it ``DIVERGES``.  ``jobs > 1`` parallelises
+    the per-support trail searches; *cache* reuses whole convergence
+    reports across runs (keyed on the protocol fingerprint plus
+    ``max_ring_size`` / ``check_livelocks``).
     """
-    closure_ok = check_local_closure(protocol)
-    deadlock = DeadlockAnalyzer(protocol).analyze()
+    stats = EngineStats(jobs=jobs)
+    key = None
+    if cache is not None:
+        key = analysis_key("verify-convergence", protocol,
+                           max_ring_size=max_ring_size,
+                           check_livelocks=check_livelocks)
+        cached = cache.get(key)
+        if cached is not None:
+            stats.cache_hits += 1
+            return ConvergenceReport(
+                verdict=cached.verdict, deadlock=cached.deadlock,
+                livelock=cached.livelock, closure_ok=cached.closure_ok,
+                stats=stats)
+        stats.cache_misses += 1
+
+    with stats.stage("closure"):
+        closure_ok = check_local_closure(protocol)
+    with stats.stage("deadlock"):
+        deadlock = DeadlockAnalyzer(protocol).analyze()
     livelock: LivelockReport | None = None
 
     if not deadlock.deadlock_free:
@@ -190,17 +215,28 @@ def verify_convergence(protocol: "RingProtocol",
         from repro.errors import AssumptionViolation
 
         try:
-            livelock = LivelockCertifier(
-                protocol, max_ring_size=max_ring_size).analyze()
+            with stats.stage("livelock"):
+                livelock = LivelockCertifier(
+                    protocol, max_ring_size=max_ring_size,
+                    jobs=jobs).analyze()
         except AssumptionViolation:
             # Theorem 5.14 does not apply (Assumptions 1/2 broken);
             # the deadlock half still stands, livelocks stay open.
             livelock = None
             verdict = ConvergenceVerdict.UNKNOWN
         else:
+            if livelock.stats is not None:
+                stats.parallel = stats.parallel or livelock.stats.parallel
+                stats.work_items += livelock.stats.work_items
             if livelock.certified and closure_ok:
                 verdict = ConvergenceVerdict.CONVERGES
             else:
                 verdict = ConvergenceVerdict.UNKNOWN
-    return ConvergenceReport(verdict=verdict, deadlock=deadlock,
-                             livelock=livelock, closure_ok=closure_ok)
+    report = ConvergenceReport(verdict=verdict, deadlock=deadlock,
+                               livelock=livelock, closure_ok=closure_ok,
+                               stats=stats)
+    if cache is not None and key is not None:
+        cache.put(key, ConvergenceReport(
+            verdict=verdict, deadlock=deadlock, livelock=livelock,
+            closure_ok=closure_ok))
+    return report

@@ -20,7 +20,7 @@ so explicitly.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.core.pseudolivelock import (
@@ -29,6 +29,8 @@ from repro.core.pseudolivelock import (
 )
 from repro.core.selfdisabling import is_self_disabling, is_self_terminating
 from repro.core.trail import ContiguousTrailSearcher, TrailWitness
+from repro.engine import EngineStats, ResultCache, analysis_key, \
+    run_work_items
 from repro.errors import AssumptionViolation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -62,6 +64,8 @@ class LivelockReport:
     note: str = ""
     """Human-readable caveat, e.g. when support enumeration was cut off
     and the verdict degraded to a conservative UNKNOWN."""
+    stats: EngineStats | None = field(default=None, compare=False)
+    """Engine instrumentation for this run (excluded from equality)."""
 
     @property
     def certified(self) -> bool:
@@ -70,20 +74,71 @@ class LivelockReport:
                 and not self.contiguous_only)
 
 
+def _find_trail_worker(searcher: ContiguousTrailSearcher,
+                       support) -> TrailWitness | None:
+    """Module-level worker for :func:`repro.engine.run_work_items`."""
+    return searcher.find_trail(support)
+
+
 class LivelockCertifier:
-    """Runs the Theorem 5.14 sufficient condition on a protocol."""
+    """Runs the Theorem 5.14 sufficient condition on a protocol.
+
+    Each candidate t-arc support is an independent contiguous-trail
+    search, so ``jobs > 1`` fans the supports out over worker processes
+    (witnesses keep the serial support order); *cache* reuses whole
+    reports across runs, keyed on the protocol fingerprint and the
+    analysis parameters.
+    """
 
     def __init__(self, protocol: "RingProtocol",
                  max_ring_size: int = 9,
-                 require_self_disabling: bool = True) -> None:
+                 require_self_disabling: bool = True,
+                 jobs: int = 1,
+                 cache: ResultCache | None = None) -> None:
         self.protocol = protocol
         self.max_ring_size = max_ring_size
         self.require_self_disabling = require_self_disabling
+        self.jobs = jobs
+        self.cache = cache
+
+    def _cache_key(self) -> str:
+        return analysis_key(
+            "livelock-certificate", self.protocol,
+            max_ring_size=self.max_ring_size,
+            require_self_disabling=self.require_self_disabling)
 
     def analyze(self) -> LivelockReport:
         """Run the analysis; raises :class:`AssumptionViolation` when the
         protocol breaks Assumption 1/2 (use
         :func:`repro.core.selfdisabling.make_self_disabling` first)."""
+        stats = EngineStats(jobs=self.jobs)
+        if self.cache is not None:
+            cached = self.cache.get(self._cache_key())
+            if cached is not None:
+                stats.cache_hits += 1
+                return LivelockReport(
+                    verdict=cached.verdict,
+                    supports_checked=cached.supports_checked,
+                    trail_witnesses=cached.trail_witnesses,
+                    contiguous_only=cached.contiguous_only,
+                    note=cached.note,
+                    stats=stats,
+                )
+            stats.cache_misses += 1
+
+        report = self._analyze(stats)
+        if self.cache is not None:
+            # Store without run-local stats: a later hit gets its own.
+            self.cache.put(self._cache_key(), LivelockReport(
+                verdict=report.verdict,
+                supports_checked=report.supports_checked,
+                trail_witnesses=report.trail_witnesses,
+                contiguous_only=report.contiguous_only,
+                note=report.note,
+            ))
+        return report
+
+    def _analyze(self, stats: EngineStats) -> LivelockReport:
         space = self.protocol.space
         if self.require_self_disabling:
             if not is_self_terminating(space):
@@ -96,25 +151,31 @@ class LivelockCertifier:
                     f"local transitions (Assumption 2); apply "
                     f"make_self_disabling() first")
 
-        try:
-            supports = pseudo_livelock_supports(space.transitions)
-        except SupportExplosion as explosion:
-            # Too many candidate supports to examine: degrade to the
-            # (sound) conservative answer.
-            return LivelockReport(
-                verdict=LivelockVerdict.UNKNOWN,
-                supports_checked=0,
-                trail_witnesses=(),
-                contiguous_only=not self.protocol.unidirectional,
-                note=str(explosion),
-            )
+        with stats.stage("supports"):
+            try:
+                supports = pseudo_livelock_supports(space.transitions)
+            except SupportExplosion as explosion:
+                # Too many candidate supports to examine: degrade to the
+                # (sound) conservative answer.
+                return LivelockReport(
+                    verdict=LivelockVerdict.UNKNOWN,
+                    supports_checked=0,
+                    trail_witnesses=(),
+                    contiguous_only=not self.protocol.unidirectional,
+                    note=str(explosion),
+                    stats=stats,
+                )
         searcher = ContiguousTrailSearcher(
             self.protocol, max_ring_size=self.max_ring_size)
-        witnesses = []
-        for support in supports:
-            witness = searcher.find_trail(support)
-            if witness is not None:
-                witnesses.append(witness)
+        with stats.stage("trail-search"):
+            if self.jobs > 1 and len(supports) > 1:
+                found = run_work_items(_find_trail_worker, supports,
+                                       jobs=self.jobs, context=searcher)
+                stats.parallel = True
+            else:
+                found = [searcher.find_trail(s) for s in supports]
+        stats.work_items += len(supports)
+        witnesses = [w for w in found if w is not None]
 
         verdict = (LivelockVerdict.CERTIFIED_FREE if not witnesses
                    else LivelockVerdict.UNKNOWN)
@@ -123,11 +184,15 @@ class LivelockCertifier:
             supports_checked=len(supports),
             trail_witnesses=tuple(witnesses),
             contiguous_only=not self.protocol.unidirectional,
+            stats=stats,
         )
 
 
 def certify_livelock_freedom(protocol: "RingProtocol",
-                             max_ring_size: int = 9) -> LivelockReport:
+                             max_ring_size: int = 9,
+                             jobs: int = 1,
+                             cache: ResultCache | None = None,
+                             ) -> LivelockReport:
     """Convenience wrapper around :class:`LivelockCertifier`."""
-    return LivelockCertifier(protocol,
-                             max_ring_size=max_ring_size).analyze()
+    return LivelockCertifier(protocol, max_ring_size=max_ring_size,
+                             jobs=jobs, cache=cache).analyze()

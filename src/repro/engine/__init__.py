@@ -1,0 +1,40 @@
+"""Parallel, cached execution engine for independent analysis work items.
+
+The paper's cost comparison (local reasoning vs. per-K model checking,
+Section 7 / benchmark X2) is only honest when the per-K baseline runs as
+fast as the hardware allows.  Per-K sweep instances, per-support
+contiguous-trail searches and per-protocol fuzzing audits are all
+embarrassingly parallel, and repeated CLI/benchmark invocations redo
+identical work.  This package supplies the three missing pieces:
+
+* :func:`run_work_items` — a process-pool fan-out with deterministic
+  result ordering and a transparent serial fallback (``jobs=1``, no
+  ``fork``, or unpicklable results);
+* :class:`ResultCache` — a content-addressed result cache keyed on a
+  canonical protocol fingerprint plus analysis parameters, with an
+  in-memory layer and an optional on-disk layer under ``.repro-cache/``;
+* :class:`EngineStats` — lightweight instrumentation (per-stage wall
+  time, states explored, cache hit/miss counters) threaded into the
+  sweep / livelock / convergence / fuzzing reports and surfaced by the
+  CLI's ``--jobs`` and ``--cache`` flags.
+"""
+
+from repro.engine.cache import (
+    DEFAULT_CACHE_DIR,
+    CacheStats,
+    ResultCache,
+)
+from repro.engine.fingerprint import analysis_key, protocol_fingerprint
+from repro.engine.pool import parallelism_available, run_work_items
+from repro.engine.stats import EngineStats
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "CacheStats",
+    "EngineStats",
+    "ResultCache",
+    "analysis_key",
+    "parallelism_available",
+    "protocol_fingerprint",
+    "run_work_items",
+]

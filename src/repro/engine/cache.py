@@ -1,0 +1,126 @@
+"""Content-addressed result cache: in-memory layer + optional disk layer.
+
+Keys are the hex digests produced by :func:`repro.engine.fingerprint
+.analysis_key`; values are whole analysis reports (picklable frozen
+dataclasses).  The in-memory layer serves repeats within one process;
+the disk layer (``.repro-cache/`` by default) serves repeated CLI and
+benchmark invocations.
+
+Disk entries are self-verifying: the file stores the SHA-256 of the
+pickled payload ahead of the payload itself, so a truncated, bit-rotted
+or hand-edited entry is detected, counted, deleted and treated as a
+plain miss — corruption never raises out of :meth:`ResultCache.get`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+_MISS = object()
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    disk_hits: int = 0
+    corrupt_entries: int = 0
+
+    def summary(self) -> str:
+        return (f"cache: {self.hits} hits ({self.disk_hits} from disk), "
+                f"{self.misses} misses, {self.stores} stores, "
+                f"{self.corrupt_entries} corrupt entries discarded")
+
+
+class ResultCache:
+    """A two-layer (memory, optional disk) content-addressed cache.
+
+    Parameters
+    ----------
+    directory:
+        Root of the on-disk layer; ``None`` keeps the cache purely
+        in-memory.  The directory is created lazily on the first store.
+    """
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        self._memory: dict[str, Any] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        """The cached value for *key*, or *default* on a miss."""
+        value = self._memory.get(key, _MISS)
+        if value is _MISS and self.directory is not None:
+            value = self._read_disk(key)
+            if value is not _MISS:
+                self._memory[key] = value
+                self.stats.disk_hits += 1
+        if value is _MISS:
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        return (key in self._memory
+                or (self.directory is not None
+                    and self._entry_path(key).exists()))
+
+    def put(self, key: str, value: Any) -> None:
+        """Store *value* in both layers (disk failures are non-fatal)."""
+        self._memory[key] = value
+        self.stats.stores += 1
+        if self.directory is None:
+            return
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            return  # memory-only for unpicklable values
+        digest = hashlib.sha256(payload).hexdigest()
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temporary = path.with_suffix(".tmp")
+            temporary.write_bytes(digest.encode("ascii") + b"\n" + payload)
+            temporary.replace(path)  # atomic within a filesystem
+        except OSError:
+            pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the disk layer stays intact)."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def _read_disk(self, key: str) -> Any:
+        path = self._entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return _MISS
+        try:
+            digest, _, payload = raw.partition(b"\n")
+            if digest.decode("ascii") != hashlib.sha256(payload).hexdigest():
+                raise ValueError("checksum mismatch")
+            return pickle.loads(payload)
+        except Exception:
+            # Corrupted entry: count it, drop it, report a miss.
+            self.stats.corrupt_entries += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return _MISS

@@ -1,0 +1,49 @@
+"""Content-addressed protocol and analysis fingerprints.
+
+A fingerprint must identify a protocol by *what it computes*, not by how
+it was written down: two protocols with the same local state space,
+transition set and legitimacy predicate are interchangeable for every
+analysis in this repository.  :func:`repro.serialization
+.protocol_structure_dict` provides exactly that canonical structural
+description (it enumerates the local state space, so callable-based
+protocols fingerprint just as well as DSL ones); this module hashes it.
+
+:func:`analysis_key` extends the protocol fingerprint with the analysis
+kind and its parameters, yielding the cache key used by
+:class:`repro.engine.cache.ResultCache` — mutating an action, the
+invariant, or any analysis parameter changes the key and forces a miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.serialization import protocol_structure_dict
+
+
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(payload, sort_keys=True,
+                           separators=(",", ":"), default=repr)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def protocol_fingerprint(protocol) -> str:
+    """A stable hex digest of the protocol's canonical structure."""
+    return _digest(protocol_structure_dict(protocol))
+
+
+def analysis_key(kind: str, protocol, **params: Any) -> str:
+    """The cache key for running analysis *kind* on *protocol*.
+
+    *params* must be the complete set of verdict-affecting parameters;
+    anything omitted here could alias two different results under one
+    key.  Values only need a stable ``repr`` (plain ints/bools/strings
+    in practice).
+    """
+    return _digest({
+        "kind": kind,
+        "protocol": protocol_fingerprint(protocol),
+        "params": params,
+    })

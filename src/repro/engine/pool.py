@@ -1,0 +1,81 @@
+"""Process-pool fan-out with deterministic ordering and serial fallback.
+
+The analyses parallelised here (per-K sweep instances, per-support trail
+searches, per-protocol fuzzing audits) share one obstacle: protocols may
+carry arbitrary Python callables as legitimacy predicates, which do not
+pickle.  :func:`run_work_items` therefore relies on the ``fork`` start
+method — the worker payload (*worker*, *context*, *items*) is published
+in module globals **before** the pool starts and inherited by the forked
+children for free; only compact item indices cross the pipe going in,
+and only the (picklable) analysis reports come back.
+
+Guarantees:
+
+* results are returned in item order regardless of completion order, so
+  a parallel run is indistinguishable from a serial one;
+* ``jobs=1``, a single work item, a platform without ``fork``, or any
+  pool-level failure (result pickling, broken pool) falls back to the
+  plain serial loop — parallelism is an optimisation, never a
+  requirement;
+* worker exceptions surface with their original traceback (the serial
+  fallback re-raises them synchronously).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+# Inherited by forked workers; never meaningful in the parent between
+# run_work_items calls.
+_WORKER: Callable[[Any, Any], Any] | None = None
+_CONTEXT: Any = None
+_ITEMS: Sequence[Any] = ()
+
+
+def parallelism_available() -> bool:
+    """Whether the fork-based pool can run on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_indexed(index: int) -> Any:
+    assert _WORKER is not None
+    return _WORKER(_CONTEXT, _ITEMS[index])
+
+
+def run_work_items(worker: Callable[[Any, Item], Result],
+                   items: Iterable[Item],
+                   jobs: int = 1,
+                   context: Any = None) -> list[Result]:
+    """Apply ``worker(context, item)`` to every item, results in order.
+
+    *worker* must be a module-level function (it is looked up by
+    qualified name in the children); *context* and *items* may hold
+    unpicklable objects, but each **result** must pickle — an
+    unpicklable result silently degrades the whole batch to serial.
+    Workers must not call :func:`run_work_items` with ``jobs > 1``
+    themselves (pool children are daemonic and cannot fork again).
+    """
+    work = list(items)
+    if jobs <= 1 or len(work) <= 1 or not parallelism_available():
+        return [worker(context, item) for item in work]
+
+    global _WORKER, _CONTEXT, _ITEMS
+    _WORKER, _CONTEXT, _ITEMS = worker, context, work
+    try:
+        pool_context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=min(jobs, len(work)),
+                                 mp_context=pool_context) as pool:
+            return list(pool.map(_run_indexed, range(len(work))))
+    except Exception:
+        # A worker exception aborts the pool without a usable traceback
+        # across some failure modes (and result-pickling errors look the
+        # same); recomputing serially either produces the results or
+        # re-raises the real error in the parent.
+        return [worker(context, item) for item in work]
+    finally:
+        _WORKER, _CONTEXT, _ITEMS = None, None, ()

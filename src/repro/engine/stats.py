@@ -1,0 +1,75 @@
+"""Engine instrumentation: stage timings, work counts, cache counters.
+
+An :class:`EngineStats` travels inside analysis reports (always as a
+``compare=False`` field, so two runs with different timings still compare
+equal on their verdicts) and is rendered by ``summary()`` for the CLI and
+the benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineStats:
+    """Counters for one engine-backed analysis run.
+
+    Attributes
+    ----------
+    jobs:
+        The requested degree of parallelism (1 = serial).
+    parallel:
+        Whether the process pool actually ran (``jobs > 1`` and more than
+        one uncached work item on a platform with ``fork``).
+    work_items:
+        Independent work items executed this run (cache hits excluded).
+    states_explored:
+        Global states enumerated by freshly computed work items.
+    cache_hits, cache_misses:
+        Cache lookups answered / not answered during this run.
+    stage_seconds:
+        Wall time per named stage, e.g. ``{"sweep": 0.12}``.
+    """
+
+    jobs: int = 1
+    parallel: bool = False
+    work_items: int = 0
+    states_explored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time a ``with``-block and accumulate it under *name*."""
+        began = time.perf_counter()
+        try:
+            yield self
+        finally:
+            elapsed = time.perf_counter() - began
+            self.stage_seconds[name] = (
+                self.stage_seconds.get(name, 0.0) + elapsed)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def summary(self) -> str:
+        """A one-line human-readable rendering for the CLI."""
+        mode = (f"{self.jobs} jobs" if self.parallel
+                else "serial" + (f" (jobs={self.jobs} requested)"
+                                 if self.jobs > 1 else ""))
+        parts = [f"engine: {mode}",
+                 f"{self.work_items} work items",
+                 f"{self.states_explored} states explored",
+                 f"cache {self.cache_hits} hits / "
+                 f"{self.cache_misses} misses"]
+        if self.stage_seconds:
+            stages = ", ".join(f"{name} {seconds * 1e3:.1f} ms"
+                               for name, seconds
+                               in self.stage_seconds.items())
+            parts.append(stages)
+        return "; ".join(parts)

@@ -23,6 +23,8 @@ from repro.checker.statespace import StateGraph
 from repro.core.deadlock import DeadlockAnalyzer
 from repro.core.livelock import LivelockCertifier, LivelockVerdict
 from repro.core.selfdisabling import action_for_transition
+from repro.engine import EngineStats, ResultCache, analysis_key, \
+    run_work_items
 from repro.protocol.actions import LocalTransition
 from repro.protocol.localstate import LocalState
 from repro.protocol.process import ProcessTemplate
@@ -123,6 +125,7 @@ class AuditReport:
     certificates_issued: int
     deadlock_checks: int
     discrepancies: list[Discrepancy] = field(default_factory=list)
+    stats: EngineStats | None = field(default=None, compare=False)
 
     @property
     def clean(self) -> bool:
@@ -137,9 +140,55 @@ class AuditReport:
                 f"verified — {status}")
 
 
+@dataclass(frozen=True)
+class _SampleOutcome:
+    """The audit of one sampled protocol (picklable work-item result)."""
+
+    certified: bool
+    deadlock_checks: int
+    states_explored: int
+    discrepancies: tuple[Discrepancy, ...]
+
+
+def _audit_one(max_ring_size: int, protocol: RingProtocol,
+               ) -> _SampleOutcome:
+    """Audit a single protocol against brute force (one work item)."""
+    analyzer = DeadlockAnalyzer(protocol)
+    predicted = analyzer.deadlocked_ring_sizes(max_ring_size)
+    certificate = LivelockCertifier(
+        protocol, max_ring_size=max_ring_size + 1).analyze()
+    certified = certificate.verdict is LivelockVerdict.CERTIFIED_FREE
+    deadlock_checks = 0
+    states_explored = 0
+    discrepancies: list[Discrepancy] = []
+    for size in range(2, max_ring_size + 1):
+        deadlock_checks += 1
+        instance = protocol.instantiate(size)
+        states = list(instance.states())
+        states_explored += len(states)
+        has_deadlock = any(
+            instance.is_deadlock(s)
+            and not instance.invariant_holds(s)
+            for s in states)
+        if has_deadlock != (size in predicted):
+            discrepancies.append(Discrepancy(
+                "theorem-4.2-mismatch", size, protocol.pretty()))
+        if certified:
+            graph = StateGraph(instance)
+            if has_livelock(graph):
+                discrepancies.append(Discrepancy(
+                    "theorem-5.14-unsound", size, protocol.pretty()))
+    return _SampleOutcome(certified=certified,
+                          deadlock_checks=deadlock_checks,
+                          states_explored=states_explored,
+                          discrepancies=tuple(discrepancies))
+
+
 def audit_theorems(samples: int = 50, max_ring_size: int = 5,
                    seed: int = 0,
-                   sampler: ProtocolSampler | None = None) -> AuditReport:
+                   sampler: ProtocolSampler | None = None,
+                   jobs: int = 1,
+                   cache: ResultCache | None = None) -> AuditReport:
     """Fuzz Theorem 4.2 (exactness) and Theorem 5.14 (soundness).
 
     For each sampled protocol, compares the local per-size deadlock
@@ -148,33 +197,61 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
     is issued — confirms no instance livelocks.  Any disagreement is
     recorded as a :class:`Discrepancy`; a correct implementation always
     returns a clean report.
+
+    Sampling is always serial (the RNG stream fixes the protocols), but
+    the per-protocol audits are independent work items: ``jobs > 1``
+    fans them out over worker processes, and *cache* reuses per-sample
+    outcomes keyed on each protocol's structural fingerprint — both with
+    aggregate reports identical to the serial, uncached run.
     """
     if sampler is None:
         sampler = ProtocolSampler(seed=seed)
+    stats = EngineStats(jobs=jobs)
+    protocols = [sampler.sample() for _ in range(samples)]
+
+    outcomes: dict[int, _SampleOutcome] = {}
+    with stats.stage("audit"):
+        pending: list[int] = []
+        keys: dict[int, str] = {}
+        for index, protocol in enumerate(protocols):
+            if cache is not None:
+                keys[index] = analysis_key("audit-sample", protocol,
+                                           max_ring_size=max_ring_size)
+                cached = cache.get(keys[index])
+                if cached is not None:
+                    stats.cache_hits += 1
+                    outcomes[index] = cached
+                    continue
+                stats.cache_misses += 1
+            pending.append(index)
+
+        if jobs > 1 and len(pending) > 1:
+            fresh = run_work_items(_audit_indexed_worker, pending,
+                                   jobs=jobs,
+                                   context=(max_ring_size, protocols))
+            stats.parallel = True
+        else:
+            fresh = [_audit_one(max_ring_size, protocols[index])
+                     for index in pending]
+        for index, outcome in zip(pending, fresh):
+            stats.work_items += 1
+            stats.states_explored += outcome.states_explored
+            outcomes[index] = outcome
+            if cache is not None:
+                cache.put(keys[index], outcome)
+
     report = AuditReport(samples=samples, certificates_issued=0,
-                         deadlock_checks=0)
-    for _ in range(samples):
-        protocol = sampler.sample()
-        analyzer = DeadlockAnalyzer(protocol)
-        predicted = analyzer.deadlocked_ring_sizes(max_ring_size)
-        certificate = LivelockCertifier(
-            protocol, max_ring_size=max_ring_size + 1).analyze()
-        certified = certificate.verdict is LivelockVerdict.CERTIFIED_FREE
-        if certified:
+                         deadlock_checks=0, stats=stats)
+    for index in range(samples):
+        outcome = outcomes[index]
+        if outcome.certified:
             report.certificates_issued += 1
-        for size in range(2, max_ring_size + 1):
-            report.deadlock_checks += 1
-            instance = protocol.instantiate(size)
-            has_deadlock = any(
-                instance.is_deadlock(s)
-                and not instance.invariant_holds(s)
-                for s in instance.states())
-            if has_deadlock != (size in predicted):
-                report.discrepancies.append(Discrepancy(
-                    "theorem-4.2-mismatch", size, protocol.pretty()))
-            if certified:
-                graph = StateGraph(instance)
-                if has_livelock(graph):
-                    report.discrepancies.append(Discrepancy(
-                        "theorem-5.14-unsound", size, protocol.pretty()))
+        report.deadlock_checks += outcome.deadlock_checks
+        report.discrepancies.extend(outcome.discrepancies)
     return report
+
+
+def _audit_indexed_worker(context, index: int) -> _SampleOutcome:
+    """Module-level worker for :func:`repro.engine.run_work_items`."""
+    max_ring_size, protocols = context
+    return _audit_one(max_ring_size, protocols[index])

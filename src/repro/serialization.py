@@ -117,6 +117,43 @@ def load_protocol(path):
 
 
 # ----------------------------------------------------------------------
+# Canonical structure (fingerprint substrate)
+# ----------------------------------------------------------------------
+def protocol_structure_dict(protocol) -> dict[str, Any]:
+    """A canonical, content-addressed description of a protocol.
+
+    Unlike :func:`protocol_to_dict` this never needs DSL source text: it
+    enumerates the local state space, so callable-based and synthesized
+    protocols are covered too.  Two protocols with equal structure dicts
+    are interchangeable for every analysis in this repository — the
+    description captures exactly the verdict-relevant content (variables,
+    read window, transition set, legitimate local states, topology) and
+    deliberately omits presentation details such as the protocol name,
+    its description, and action labels.  ``repro.engine`` hashes this
+    dict into cache keys.
+    """
+    process = protocol.process
+    space = protocol.space
+    data: dict[str, Any] = {
+        "variables": [[v.name, list(v.domain)]
+                      for v in process.variables],
+        "reads_left": process.reads_left,
+        "reads_right": process.reads_right,
+        "legitimate": sorted(repr(s.cells)
+                             for s in protocol.legitimate_states()),
+        "transitions": sorted(repr((t.source.cells, t.target.cells))
+                              for t in space.transitions),
+    }
+    if isinstance(protocol, ChainProtocol):
+        data["topology"] = "chain"
+        data["left_boundary"] = repr(protocol.left_boundary)
+        data["right_boundary"] = repr(protocol.right_boundary)
+    else:
+        data["topology"] = "ring"
+    return data
+
+
+# ----------------------------------------------------------------------
 # Reports (one-way export)
 # ----------------------------------------------------------------------
 def _state_str(state: LocalState) -> str:
