@@ -61,7 +61,9 @@ def engine_comparison(tmp_dir):
         result = sweep_verify(protocol, up_to=7, start=3, **kwargs)
         return result, time.perf_counter() - began
 
+    naive, naive_s = timed(jobs=1, backend="naive")
     serial, serial_s = timed(jobs=1)
+    assert naive.reports == serial.reports  # backends report identically
     parallel, parallel_s = timed(jobs=2)
     assert parallel.reports == serial.reports
     cache = ResultCache(tmp_dir)
@@ -70,17 +72,22 @@ def engine_comparison(tmp_dir):
     assert cached.reports == serial.reports
     assert cached.stats.cache_hits == len(serial.reports)
     assert warm.reports == serial.reports
-    return [("serial (jobs=1)", f"{serial_s * 1e3:.1f} ms"),
+    # The kernel counters ride the sweep stats into the artifact.
+    assert serial.stats.states_encoded == serial.total_states_explored
+    rows = [("serial, naive backend", f"{naive_s * 1e3:.1f} ms"),
+            ("serial (jobs=1)", f"{serial_s * 1e3:.1f} ms"),
             ("parallel (jobs=2)", f"{parallel_s * 1e3:.1f} ms"),
             ("cached re-run", f"{cached_s * 1e3:.1f} ms")]
+    return rows, serial.stats.summary()
 
 
 def test_a2_sweep_vs_local(benchmark, write_artifact, tmp_path):
     rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-    engine_rows = engine_comparison(tmp_path / "cache")
+    engine_rows, kernel_line = engine_comparison(tmp_path / "cache")
     write_artifact(
         "a2_sweep_vs_local.txt",
         render_table(["protocol", "sweep (fixed-K view)",
                       "sweep (wider)", "local verdict"], rows)
         + "\n\nsweep engine modes (matching-ex4.2, K=3..7):\n"
-        + render_table(["mode", "wall time"], engine_rows))
+        + render_table(["mode", "wall time"], engine_rows)
+        + f"\n{kernel_line}")

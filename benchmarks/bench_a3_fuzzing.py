@@ -30,6 +30,11 @@ def test_a3_fuzz_audit_clean(benchmark, write_artifact):
         report.samples, report.certificates_issued,
         report.deadlock_checks, report.discrepancies)
 
+    # Brute force rides the compiled kernel: every explored state was
+    # kernel-encoded, and the counters travel on the report stats.
+    stats = report.stats
+    assert stats.states_encoded == stats.states_explored > 0
+
     write_artifact(
         "a3_fuzzing.txt",
         report.summary() + "\n\n"
@@ -42,4 +47,9 @@ def test_a3_fuzz_audit_clean(benchmark, write_artifact):
              ("discrepancies", len(report.discrepancies)),
              ("serial audit wall time", f"{serial_s * 1e3:.1f} ms"),
              ("parallel audit wall time (jobs=2)",
-              f"{parallel_s * 1e3:.1f} ms")]))
+              f"{parallel_s * 1e3:.1f} ms"),
+             ("kernel-encoded states", stats.states_encoded),
+             ("kernel encode rate",
+              f"{stats.encode_rate / 1e3:.0f}k states/s"),
+             ("kernel compile time",
+              f"{stats.compile_seconds * 1e3:.1f} ms")]))

@@ -7,11 +7,13 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 from repro.checker.deadlock import illegitimate_deadlocks
 from repro.checker.livelock import has_livelock, livelock_cycles
 from repro.checker.statespace import StateGraph
+from repro.engine.stats import EngineStats
 
 
 def is_closed(graph: StateGraph) -> bool:
@@ -57,6 +59,11 @@ class GlobalReport:
     """Longest shortest path from any state into ``I(K)``; ``None`` when
     some state cannot reach the invariant at all."""
 
+    stats: EngineStats | None = field(default=None, compare=False,
+                                      repr=False)
+    """Backend instrumentation (kernel compile/encode counters, wall
+    time); excluded from equality so verdict comparisons stay exact."""
+
     @property
     def self_stabilizing(self) -> bool:
         return self.closed and self.strongly_converging
@@ -76,9 +83,20 @@ class GlobalReport:
         return "\n".join(lines)
 
 
-def check_instance(instance, max_witnesses: int = 8) -> GlobalReport:
-    """Run the full global analysis on one protocol instance."""
-    graph = StateGraph(instance)
+def check_instance(instance, max_witnesses: int = 8,
+                   backend: str = "auto",
+                   symmetry: bool = False) -> GlobalReport:
+    """Run the full global analysis on one protocol instance.
+
+    *backend* selects the state-space engine (``"auto"`` picks the
+    compiled kernel for symmetric ring instances); ``symmetry`` runs
+    on the rotation quotient — every verdict field and
+    ``worst_case_recovery_steps`` are preserved, while state/witness
+    counts then refer to rotation orbits (and a livelock cycle
+    witnesses repetition up to rotation).
+    """
+    began = time.perf_counter()
+    graph = StateGraph(instance, backend=backend, symmetry=symmetry)
     deadlocks = tuple(illegitimate_deadlocks(graph))
     cycles = tuple(tuple(c) for c in livelock_cycles(
         graph, max_cycles=max_witnesses))
@@ -86,6 +104,9 @@ def check_instance(instance, max_witnesses: int = 8) -> GlobalReport:
     reachable = [d for d in distances if d is not None]
     worst = (max(reachable)
              if len(reachable) == len(distances) and reachable else None)
+    stats = EngineStats(work_items=1, states_explored=len(graph))
+    stats.absorb_kernel(graph.kernel_stats)
+    stats.stage_seconds["check"] = time.perf_counter() - began
     return GlobalReport(
         ring_size=getattr(instance, "size", -1),
         state_count=len(graph),
@@ -96,4 +117,5 @@ def check_instance(instance, max_witnesses: int = 8) -> GlobalReport:
         strongly_converging=not deadlocks and not cycles,
         weakly_converging=all(d is not None for d in distances),
         worst_case_recovery_steps=worst,
+        stats=stats,
     )

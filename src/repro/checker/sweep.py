@@ -75,14 +75,23 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _sweep_key(protocol: "RingProtocol", size: int) -> str:
+def _sweep_key(protocol: "RingProtocol", size: int,
+               symmetry: bool = False) -> str:
+    # Backend choice never perturbs the report (the kernel reproduces
+    # the naive graph state for state) so it stays out of the key;
+    # the quotient changes state/witness counts and gets its own keys.
+    if symmetry:
+        return analysis_key("check-instance", protocol, ring_size=size,
+                            symmetry=True)
     return analysis_key("check-instance", protocol, ring_size=size)
 
 
-def _check_size(protocol: "RingProtocol",
-                size: int) -> tuple[GlobalReport, float]:
+def _check_size(protocol: "RingProtocol", size: int,
+                backend: str = "auto",
+                symmetry: bool = False) -> tuple[GlobalReport, float]:
     began = time.perf_counter()
-    report = check_instance(protocol.instantiate(size))
+    report = check_instance(protocol.instantiate(size),
+                            backend=backend, symmetry=symmetry)
     return report, time.perf_counter() - began
 
 
@@ -90,7 +99,9 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
                  start: int | None = None,
                  stop_on_failure: bool = False,
                  jobs: int = 1,
-                 cache: ResultCache | None = None) -> SweepResult:
+                 cache: ResultCache | None = None,
+                 backend: str = "auto",
+                 symmetry: bool = False) -> SweepResult:
     """Model-check every ring size from *start* (default: the read-window
     width) through *up_to*.
 
@@ -100,7 +111,10 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
     ``stop_on_failure`` sweep still checks every size speculatively and
     truncates afterwards, so its result equals the serial one); *cache*
     reuses per-K reports across runs, keyed on the protocol fingerprint
-    and the ring size.
+    and the ring size.  *backend* and *symmetry* are forwarded to
+    :func:`repro.checker.convergence.check_instance` — the compiled
+    kernel (and, opt-in, its rotation quotient) replaces the naive
+    per-state interpretation with identical verdicts.
     """
     first = protocol.process.window_width if start is None else start
     if first > up_to:
@@ -115,7 +129,7 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
         with stats.stage("sweep"):
             for size in sizes:
                 report, elapsed = _checked_size(protocol, size, cache,
-                                                stats)
+                                                stats, backend, symmetry)
                 kept_reports.append(report)
                 kept_timings.append(elapsed)
                 if stop_on_failure and not report.self_stabilizing:
@@ -133,7 +147,7 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
         for size in sizes:
             if cache is not None:
                 probe_began = time.perf_counter()
-                cached = cache.get(_sweep_key(protocol, size))
+                cached = cache.get(_sweep_key(protocol, size, symmetry))
                 if cached is not None:
                     stats.cache_hits += 1
                     reports[size] = cached
@@ -143,18 +157,21 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
             pending.append(size)
 
         if len(pending) > 1:
-            outcomes = run_work_items(_sweep_worker, pending,
-                                      jobs=jobs, context=protocol)
+            outcomes = run_work_items(_sweep_worker, pending, jobs=jobs,
+                                      context=(protocol, backend,
+                                               symmetry))
             stats.parallel = True
         else:
-            outcomes = [_check_size(protocol, size) for size in pending]
+            outcomes = [_check_size(protocol, size, backend, symmetry)
+                        for size in pending]
         for size, (report, elapsed) in zip(pending, outcomes):
             stats.work_items += 1
             stats.states_explored += report.state_count
+            stats.merge_kernel_counters(getattr(report, "stats", None))
             reports[size] = report
             timings[size] = elapsed
             if cache is not None:
-                cache.put(_sweep_key(protocol, size), report)
+                cache.put(_sweep_key(protocol, size, symmetry), report)
 
     kept_reports = []
     kept_timings = []
@@ -169,25 +186,27 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
 
 
 def _checked_size(protocol: "RingProtocol", size: int,
-                  cache: ResultCache | None,
-                  stats: EngineStats) -> tuple[GlobalReport, float]:
+                  cache: ResultCache | None, stats: EngineStats,
+                  backend: str = "auto",
+                  symmetry: bool = False) -> tuple[GlobalReport, float]:
     """One serial work item: cache probe, compute on miss, store."""
     if cache is not None:
         probe_began = time.perf_counter()
-        cached = cache.get(_sweep_key(protocol, size))
+        cached = cache.get(_sweep_key(protocol, size, symmetry))
         if cached is not None:
             stats.cache_hits += 1
             return cached, time.perf_counter() - probe_began
         stats.cache_misses += 1
-    report, elapsed = _check_size(protocol, size)
+    report, elapsed = _check_size(protocol, size, backend, symmetry)
     stats.work_items += 1
     stats.states_explored += report.state_count
+    stats.merge_kernel_counters(getattr(report, "stats", None))
     if cache is not None:
-        cache.put(_sweep_key(protocol, size), report)
+        cache.put(_sweep_key(protocol, size, symmetry), report)
     return report, elapsed
 
 
-def _sweep_worker(protocol: "RingProtocol",
-                  size: int) -> tuple[GlobalReport, float]:
+def _sweep_worker(context, size: int) -> tuple[GlobalReport, float]:
     """Module-level worker for :func:`repro.engine.run_work_items`."""
-    return _check_size(protocol, size)
+    protocol, backend, symmetry = context
+    return _check_size(protocol, size, backend, symmetry)

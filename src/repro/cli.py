@@ -58,6 +58,20 @@ def _add_engine_options(parser: argparse.ArgumentParser,
              "unless --no-cache is given)")
 
 
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    """The state-space backend flags (``--backend``, ``--symmetry``)."""
+    parser.add_argument(
+        "--backend", choices=("auto", "kernel", "naive"), default="auto",
+        help="global state-space engine: the compiled bit-packed kernel "
+             "(auto-selected for symmetric rings) or the naive "
+             "pure-Python reference interpreter")
+    parser.add_argument(
+        "--symmetry", action="store_true",
+        help="quotient the global space by ring rotations (kernel only; "
+             "~K-fold smaller, all verdicts preserved, state counts "
+             "refer to rotation orbits)")
+
+
 def _engine_cache(args: argparse.Namespace):
     """The :class:`ResultCache` requested by the flags, or ``None``.
 
@@ -156,7 +170,9 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
     protocol = get_protocol(args.protocol)
     report = hybrid_verify(protocol,
                            max_ring_size=args.max_ring_size,
-                           check_up_to=args.check_up_to)
+                           check_up_to=args.check_up_to,
+                           backend=args.backend,
+                           symmetry=args.symmetry)
     print(f"== hybrid verification of {protocol.name} ==")
     print(report.summary())
     return 0 if report.verdict in (HybridVerdict.CONVERGES,
@@ -170,7 +186,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     cache = _engine_cache(args)
     result = sweep_verify(protocol, up_to=args.up_to,
                           stop_on_failure=args.stop_on_failure,
-                          jobs=args.jobs, cache=cache)
+                          jobs=args.jobs, cache=cache,
+                          backend=args.backend, symmetry=args.symmetry)
     print(f"== per-size sweep of {protocol.name} ==")
     print(result.summary())
     if cache is not None:
@@ -200,13 +217,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
     cache = _engine_cache(args)
     report = None
     if cache is not None:
-        from repro.engine import analysis_key
+        from repro.checker.sweep import _sweep_key
 
-        key = analysis_key("check-instance", protocol,
-                           ring_size=args.ring_size)
+        key = _sweep_key(protocol, args.ring_size,
+                         symmetry=args.symmetry)
         report = cache.get(key)
     if report is None:
-        report = check_instance(protocol.instantiate(args.ring_size))
+        report = check_instance(protocol.instantiate(args.ring_size),
+                                backend=args.backend,
+                                symmetry=args.symmetry)
         if cache is not None:
             cache.put(key, report)
     if args.json:
@@ -218,8 +237,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
         return 0 if report.self_stabilizing else 1
     print(f"== global model checking of {protocol.name} ==")
     print(report.summary())
-    if cache is not None:
-        print(cache.stats.summary())
+    _print_stats(getattr(report, "stats", None), cache)
     return 0 if report.self_stabilizing else 1
 
 
@@ -332,6 +350,7 @@ def build_parser() -> argparse.ArgumentParser:
     hybrid.add_argument("--max-ring-size", type=int, default=9)
     hybrid.add_argument("--check-up-to", type=int, default=7,
                         help="largest ring size to model-check")
+    _add_backend_options(hybrid)
     hybrid.set_defaults(func=_cmd_hybrid)
 
     sweep = sub.add_parser("sweep", help="cutoff-style per-size "
@@ -340,6 +359,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--up-to", type=int, default=7)
     sweep.add_argument("--stop-on-failure", action="store_true")
     _add_engine_options(sweep)
+    _add_backend_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser("fuzz", help="random-protocol audit of the "
@@ -359,6 +379,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="accepted for symmetry with sweep/fuzz; a "
                             "single instance is a single work item")
     _add_engine_options(check, jobs=False)
+    _add_backend_options(check)
     check.set_defaults(func=_cmd_check)
 
     export = sub.add_parser("export", help="save a bundled protocol as "

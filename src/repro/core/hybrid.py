@@ -118,13 +118,19 @@ def _witness_sizes(witness: TrailWitness, bound: int,
 
 def hybrid_verify(protocol: "RingProtocol",
                   max_ring_size: int = 9,
-                  check_up_to: int = 7) -> HybridReport:
+                  check_up_to: int = 7,
+                  backend: str = "auto",
+                  symmetry: bool = False) -> HybridReport:
     """Run the local analyses, then refine UNKNOWN livelock verdicts by
     explicit-state checking up to ``check_up_to`` processes.
 
     The per-size global checks are also used to *find* real livelocks
     that the trail parameters suggest, returning a concrete
-    counterexample cycle when one exists.
+    counterexample cycle when one exists.  The bounded checks ride the
+    compiled kernel by default (*backend*); with *symmetry* they run on
+    the rotation quotient — verdicts and witness classifications are
+    unchanged, but a returned counterexample cycle then repeats only up
+    to rotation (its states are still genuine global states).
     """
     base = verify_convergence(protocol, max_ring_size=max_ring_size)
 
@@ -138,7 +144,8 @@ def hybrid_verify(protocol: "RingProtocol",
     all_sizes = list(range(max(2, minimum), check_up_to + 1))
     cycles_by_size: dict[int, list] = {}
     for size in all_sizes:
-        graph = StateGraph(protocol.instantiate(size))
+        graph = StateGraph(protocol.instantiate(size),
+                           backend=backend, symmetry=symmetry)
         cycles_by_size[size] = livelock_cycles(graph, max_cycles=1)
 
     witnesses = (base.livelock.trail_witnesses

@@ -117,6 +117,10 @@ class ContiguousTrailSearcher:
             for state in self.space.states
         }
         self._illegitimate = frozenset(protocol.illegitimate_states())
+        # Per-(K, |E|) s-arc phase layers, built on first use and
+        # reused across every support queried on this searcher (the
+        # livelock certifier fans one find_trail out per support).
+        self._layers: dict[tuple[int, int], tuple] = {}
 
     # ------------------------------------------------------------------
     def find_trail(self, t_arc_support: Iterable[LocalTransition],
@@ -143,30 +147,60 @@ class ContiguousTrailSearcher:
         return self.find_trail(t_arc_support) is not None
 
     # ------------------------------------------------------------------
-    def _search(self, support: frozenset[LocalTransition],
-                ring_size: int, enablements: int) -> TrailWitness | None:
+    def _phase_layers(self, ring_size: int, enablements: int) -> tuple:
+        """The product-graph layers of one ``(K, |E|)`` round pattern.
+
+        The s-arc layers do not depend on the queried support, so their
+        edges — product-graph node pairs included — are materialized
+        once per ``(K, |E|)`` and cached; ``_search`` then only filters
+        trailing-segment edges by the support's t-sources and inserts.
+        Each layer is ``(kind, phase, next_phase, edges)`` with
+        ``edges = ((source_node, target_node, target_state), ...)``
+        (empty for T layers, whose edges are support-dependent).
+        """
+        key = (ring_size, enablements)
+        cached = self._layers.get(key)
+        if cached is not None:
+            return cached
         pattern = round_pattern(ring_size, enablements)
         period = len(pattern)
+        layers = []
+        for phase, kind in enumerate(pattern):
+            next_phase = (phase + 1) % period
+            if kind == T_PHASE:
+                layers.append((kind, phase, next_phase, ()))
+                continue
+            edges = tuple(
+                ((source, phase), (target, next_phase), target)
+                for source, targets in self._s_succ.items()
+                for target in targets)
+            layers.append((kind, phase, next_phase, edges))
+        cached = tuple(layers)
+        self._layers[key] = cached
+        return cached
+
+    def _search(self, support: frozenset[LocalTransition],
+                ring_size: int, enablements: int) -> TrailWitness | None:
         t_by_source: dict[LocalState, list[LocalTransition]] = {}
         for transition in support:
             t_by_source.setdefault(transition.source, []).append(transition)
 
         product = Digraph()
-        for phase, kind in enumerate(pattern):
-            next_phase = (phase + 1) % period
+        for kind, phase, next_phase, edges in \
+                self._phase_layers(ring_size, enablements):
             if kind == T_PHASE:
                 for transition in support:
                     product.add_edge((transition.source, phase),
                                      (transition.target, next_phase),
                                      key=transition)
+            elif kind == S_PHASE:
+                for source_node, target_node, _target in edges:
+                    product.add_edge(source_node, target_node, key=S_ARC)
             else:
-                segment = kind == S_SEGMENT_PHASE
-                for source, targets in self._s_succ.items():
-                    for target in targets:
-                        if segment and target not in t_by_source:
-                            continue
-                        product.add_edge((source, phase),
-                                         (target, next_phase), key=S_ARC)
+                for source_node, target_node, target in edges:
+                    if target in t_by_source:
+                        product.add_edge(source_node, target_node,
+                                         key=S_ARC)
 
         for component in strongly_connected_components(product):
             members = set(component)

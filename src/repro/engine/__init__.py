@@ -14,9 +14,15 @@ identical work.  This package supplies the three missing pieces:
   canonical protocol fingerprint plus analysis parameters, with an
   in-memory layer and an optional on-disk layer under ``.repro-cache/``;
 * :class:`EngineStats` — lightweight instrumentation (per-stage wall
-  time, states explored, cache hit/miss counters) threaded into the
-  sweep / livelock / convergence / fuzzing reports and surfaced by the
-  CLI's ``--jobs`` and ``--cache`` flags.
+  time, states explored, cache hit/miss counters, kernel compile /
+  encode-rate / quotient counters) threaded into the sweep / livelock /
+  convergence / fuzzing reports and surfaced by the CLI's ``--jobs``
+  and ``--cache`` flags;
+* :mod:`repro.engine.kernel` — the compiled bit-packed state-space
+  backend behind :class:`repro.checker.StateGraph`: per-protocol guard
+  compilation, base-``|C|`` packed global states in flat arrays, and
+  an opt-in ring-rotation symmetry quotient (CLI ``--backend`` /
+  ``--symmetry``).
 """
 
 from repro.engine.cache import (
@@ -25,16 +31,30 @@ from repro.engine.cache import (
     ResultCache,
 )
 from repro.engine.fingerprint import analysis_key, protocol_fingerprint
+from repro.engine.kernel import (
+    CompiledProtocol,
+    KernelStats,
+    PackedSpace,
+    build_space,
+    compile_protocol,
+    supports_kernel,
+)
 from repro.engine.pool import parallelism_available, run_work_items
 from repro.engine.stats import EngineStats
 
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "CacheStats",
+    "CompiledProtocol",
     "EngineStats",
+    "KernelStats",
+    "PackedSpace",
     "ResultCache",
     "analysis_key",
+    "build_space",
+    "compile_protocol",
     "parallelism_available",
     "protocol_fingerprint",
     "run_work_items",
+    "supports_kernel",
 ]

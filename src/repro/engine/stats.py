@@ -32,6 +32,13 @@ class EngineStats:
         Cache lookups answered / not answered during this run.
     stage_seconds:
         Wall time per named stage, e.g. ``{"sweep": 0.12}``.
+    compile_seconds, encode_seconds, states_encoded:
+        Kernel-backend counters: guard-compilation wall time, packed
+        state-space build wall time, and states whose successor rows
+        the kernel emitted (see :mod:`repro.engine.kernel`).
+    quotient_states, quotient_full_states:
+        When the rotation-symmetry quotient ran: orbit representatives
+        kept vs. the full space they stand for.
     """
 
     jobs: int = 1
@@ -41,6 +48,11 @@ class EngineStats:
     cache_hits: int = 0
     cache_misses: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    compile_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    states_encoded: int = 0
+    quotient_states: int = 0
+    quotient_full_states: int = 0
 
     @contextmanager
     def stage(self, name: str):
@@ -57,6 +69,43 @@ class EngineStats:
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
 
+    @property
+    def encode_rate(self) -> float:
+        """Kernel states-per-second (0 when the kernel never ran)."""
+        if self.encode_seconds <= 0.0:
+            return 0.0
+        return self.states_encoded / self.encode_seconds
+
+    @property
+    def quotient_ratio(self) -> float:
+        """Full states per kept orbit (0 when no quotient ran)."""
+        if not self.quotient_states:
+            return 0.0
+        return self.quotient_full_states / self.quotient_states
+
+    def absorb_kernel(self, kernel_stats) -> None:
+        """Accumulate a :class:`repro.engine.kernel.KernelStats` (or
+        ``None``, for naive-backend runs) into these counters."""
+        if kernel_stats is None:
+            return
+        self.compile_seconds += kernel_stats.compile_seconds
+        self.encode_seconds += kernel_stats.encode_seconds
+        self.states_encoded += kernel_stats.states_encoded
+        if kernel_stats.quotient_states:
+            self.quotient_states += kernel_stats.quotient_states
+            self.quotient_full_states += kernel_stats.full_states
+
+    def merge_kernel_counters(self, other: "EngineStats | None") -> None:
+        """Accumulate another run's kernel counters (e.g. a per-K
+        report's stats into the enclosing sweep's)."""
+        if other is None:
+            return
+        self.compile_seconds += other.compile_seconds
+        self.encode_seconds += other.encode_seconds
+        self.states_encoded += other.states_encoded
+        self.quotient_states += other.quotient_states
+        self.quotient_full_states += other.quotient_full_states
+
     def summary(self) -> str:
         """A one-line human-readable rendering for the CLI."""
         mode = (f"{self.jobs} jobs" if self.parallel
@@ -67,6 +116,15 @@ class EngineStats:
                  f"{self.states_explored} states explored",
                  f"cache {self.cache_hits} hits / "
                  f"{self.cache_misses} misses"]
+        if self.states_encoded:
+            kernel = (f"kernel compile {self.compile_seconds * 1e3:.1f} ms"
+                      f", {self.states_encoded} states @ "
+                      f"{self.encode_rate / 1e3:.0f}k states/s")
+            if self.quotient_states:
+                kernel += (f", quotient {self.quotient_states}/"
+                           f"{self.quotient_full_states} "
+                           f"({self.quotient_ratio:.1f}x)")
+            parts.append(kernel)
         if self.stage_seconds:
             stages = ", ".join(f"{name} {seconds * 1e3:.1f} ms"
                                for name, seconds

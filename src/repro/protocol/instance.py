@@ -104,12 +104,14 @@ class RingInstance:
         return result
 
     def successors(self, state: GlobalState) -> list[GlobalState]:
-        """Distinct successor states of *state*."""
-        seen = []
+        """Distinct successor states of *state*, first-seen order."""
+        seen: set[GlobalState] = set()
+        ordered = []
         for move in self.moves(state):
             if move.target not in seen:
-                seen.append(move.target)
-        return seen
+                seen.add(move.target)
+                ordered.append(move.target)
+        return ordered
 
     def enabled_processes(self, state: GlobalState) -> list[int]:
         """Ring positions whose process has an enabled action."""

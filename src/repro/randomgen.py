@@ -148,11 +148,19 @@ class _SampleOutcome:
     deadlock_checks: int
     states_explored: int
     discrepancies: tuple[Discrepancy, ...]
+    compile_seconds: float = 0.0
+    encode_seconds: float = 0.0
+    states_encoded: int = 0
 
 
 def _audit_one(max_ring_size: int, protocol: RingProtocol,
                ) -> _SampleOutcome:
-    """Audit a single protocol against brute force (one work item)."""
+    """Audit a single protocol against brute force (one work item).
+
+    The brute-force side rides the compiled kernel backend through
+    :class:`StateGraph` — one packed enumeration per size answers both
+    the deadlock and (under a certificate) the livelock comparison.
+    """
     analyzer = DeadlockAnalyzer(protocol)
     predicted = analyzer.deadlocked_ring_sizes(max_ring_size)
     certificate = LivelockCertifier(
@@ -160,28 +168,28 @@ def _audit_one(max_ring_size: int, protocol: RingProtocol,
     certified = certificate.verdict is LivelockVerdict.CERTIFIED_FREE
     deadlock_checks = 0
     states_explored = 0
+    kernel = EngineStats()
     discrepancies: list[Discrepancy] = []
     for size in range(2, max_ring_size + 1):
         deadlock_checks += 1
-        instance = protocol.instantiate(size)
-        states = list(instance.states())
-        states_explored += len(states)
-        has_deadlock = any(
-            instance.is_deadlock(s)
-            and not instance.invariant_holds(s)
-            for s in states)
+        graph = StateGraph(protocol.instantiate(size))
+        states_explored += len(graph)
+        kernel.absorb_kernel(graph.kernel_stats)
+        has_deadlock = any(not graph.in_invariant[i]
+                           for i in graph.deadlock_indices())
         if has_deadlock != (size in predicted):
             discrepancies.append(Discrepancy(
                 "theorem-4.2-mismatch", size, protocol.pretty()))
-        if certified:
-            graph = StateGraph(instance)
-            if has_livelock(graph):
-                discrepancies.append(Discrepancy(
-                    "theorem-5.14-unsound", size, protocol.pretty()))
+        if certified and has_livelock(graph):
+            discrepancies.append(Discrepancy(
+                "theorem-5.14-unsound", size, protocol.pretty()))
     return _SampleOutcome(certified=certified,
                           deadlock_checks=deadlock_checks,
                           states_explored=states_explored,
-                          discrepancies=tuple(discrepancies))
+                          discrepancies=tuple(discrepancies),
+                          compile_seconds=kernel.compile_seconds,
+                          encode_seconds=kernel.encode_seconds,
+                          states_encoded=kernel.states_encoded)
 
 
 def audit_theorems(samples: int = 50, max_ring_size: int = 5,
@@ -236,6 +244,14 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
         for index, outcome in zip(pending, fresh):
             stats.work_items += 1
             stats.states_explored += outcome.states_explored
+            # getattr: outcomes unpickled from pre-kernel cache entries
+            # lack the counter fields.
+            stats.compile_seconds += getattr(
+                outcome, "compile_seconds", 0.0)
+            stats.encode_seconds += getattr(
+                outcome, "encode_seconds", 0.0)
+            stats.states_encoded += getattr(
+                outcome, "states_encoded", 0)
             outcomes[index] = outcome
             if cache is not None:
                 cache.put(keys[index], outcome)

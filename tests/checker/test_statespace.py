@@ -1,46 +1,53 @@
-"""The explicit global state graph."""
+"""The explicit global state graph (both backends)."""
+
+import pytest
 
 from repro.checker import StateGraph
 from repro.protocols import stabilizing_agreement, livelock_agreement
 
+pytestmark = pytest.mark.parametrize("backend", ["kernel", "naive"])
 
-def test_state_interning_and_counts():
+
+def test_state_interning_and_counts(backend):
     instance = stabilizing_agreement().instantiate(3)
-    graph = StateGraph(instance)
+    graph = StateGraph(instance, backend=backend)
+    assert graph.backend == backend
     assert len(graph) == 8
     assert len(graph.invariant_indices) == 2
     for state, index in graph.index.items():
         assert graph.states[index] == state
 
 
-def test_successor_lists_match_instance():
+def test_successor_lists_match_instance(backend):
     instance = stabilizing_agreement().instantiate(3)
-    graph = StateGraph(instance)
+    graph = StateGraph(instance, backend=backend)
     for i, state in enumerate(graph.states):
         expected = {graph.index[t] for t in instance.successors(state)}
         assert set(graph.successors[i]) == expected
 
 
-def test_deadlock_indices():
+def test_deadlock_indices(backend):
     instance = stabilizing_agreement().instantiate(3)
-    graph = StateGraph(instance)
+    graph = StateGraph(instance, backend=backend)
     deadlocks = {graph.states[i] for i in graph.deadlock_indices()}
     assert deadlocks == {instance.uniform_state(0),
                          instance.uniform_state(1)}
 
 
-def test_predecessors_map_inverts_successors():
+def test_predecessors_map_inverts_successors(backend):
     instance = livelock_agreement().instantiate(3)
-    graph = StateGraph(instance)
+    graph = StateGraph(instance, backend=backend)
     reverse = graph.predecessors_map()
     for source, targets in enumerate(graph.successors):
         for target in targets:
             assert source in reverse[target]
+    # The reverse adjacency is computed once and cached.
+    assert graph.predecessors_map() is reverse
 
 
-def test_restricted_digraph_drops_outside_edges():
+def test_restricted_digraph_drops_outside_edges(backend):
     instance = livelock_agreement().instantiate(3)
-    graph = StateGraph(instance)
+    graph = StateGraph(instance, backend=backend)
     outside = [i for i, inside in enumerate(graph.in_invariant)
                if not inside]
     sub = graph.restricted_digraph(outside)
@@ -49,9 +56,9 @@ def test_restricted_digraph_drops_outside_edges():
         assert u in outside and v in outside
 
 
-def test_distances_to_invariant():
+def test_distances_to_invariant(backend):
     instance = stabilizing_agreement().instantiate(3)
-    graph = StateGraph(instance)
+    graph = StateGraph(instance, backend=backend)
     distances = graph.distances_to_invariant()
     for i, distance in enumerate(distances):
         if graph.in_invariant[i]:

@@ -1,0 +1,173 @@
+"""Rotation-symmetry quotient: every claimed verdict is preserved.
+
+Ring rotations are automorphisms of symmetric ring instances, so the
+quotient by rotation orbits preserves closure, deadlock existence,
+livelock existence, strong/weak convergence, self-stabilization, and
+BFS distances into the invariant (hence the worst-case recovery bound).
+State and witness *counts* refer to orbits — those are the only fields
+allowed to differ from the full space.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker.convergence import check_instance
+from repro.checker.statespace import StateGraph
+from repro.engine.kernel import canonical_rotation
+from repro.protocols import (
+    DijkstraTokenRing,
+    agreement,
+    generalizable_matching,
+    gouda_acharya_matching,
+    livelock_agreement,
+    matching_base,
+    nongeneralizable_matching,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+    sum_not_two,
+    three_coloring,
+    two_coloring,
+)
+from repro.randomgen import ProtocolSampler
+
+BUNDLED = (
+    matching_base,
+    generalizable_matching,
+    nongeneralizable_matching,
+    gouda_acharya_matching,
+    agreement,
+    livelock_agreement,
+    stabilizing_agreement,
+    two_coloring,
+    three_coloring,
+    sum_not_two,
+    stabilizing_sum_not_two,
+)
+MAX_STATES = 1200
+
+# Every field of GlobalReport the quotient claims to preserve exactly.
+PRESERVED_FIELDS = (
+    "ring_size",
+    "closed",
+    "strongly_converging",
+    "weakly_converging",
+    "worst_case_recovery_steps",
+)
+
+
+def assert_verdicts_preserved(instance) -> None:
+    full = check_instance(instance, backend="kernel")
+    quotient = check_instance(instance, backend="kernel", symmetry=True)
+    for name in PRESERVED_FIELDS:
+        assert getattr(quotient, name) == getattr(full, name), name
+    # Existence (not count) of witnesses is preserved.
+    assert bool(quotient.deadlocks_outside) == bool(full.deadlocks_outside)
+    assert bool(quotient.livelock_cycles) == bool(full.livelock_cycles)
+    assert quotient.self_stabilizing == full.self_stabilizing
+    # Size bounds: at most the full space, at least one rep per orbit
+    # (orbits have ≤ K members).
+    size = instance.size
+    assert quotient.state_count <= full.state_count
+    assert quotient.state_count * size >= full.state_count
+    assert quotient.invariant_count <= full.invariant_count
+    assert quotient.invariant_count * size >= full.invariant_count
+
+
+def _bundled_instances():
+    for factory in BUNDLED:
+        protocol = factory()
+        size = protocol.process.window_width
+        while len(protocol.space.cells) ** size <= MAX_STATES:
+            yield pytest.param(protocol, size,
+                               id=f"{protocol.name}-K{size}")
+            size += 1
+
+
+@pytest.mark.parametrize("protocol,size", _bundled_instances())
+def test_quotient_preserves_verdicts_on_bundled(protocol, size):
+    assert_verdicts_preserved(protocol.instantiate(size))
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_quotient_preserves_verdicts_on_random(seed):
+    sampler = ProtocolSampler(
+        seed=seed, restrict_sources_to_bad=bool(seed % 2))
+    for _ in range(4):
+        protocol = sampler.sample()
+        for size in range(2, 5):
+            assert_verdicts_preserved(protocol.instantiate(size))
+
+
+def test_quotient_orbits_partition_the_full_space():
+    """Each full-space state canonicalizes onto exactly one quotient
+    representative, and the orbit sizes add back up to |C|^K."""
+    instance = generalizable_matching().instantiate(5)
+    full = StateGraph(instance, backend="kernel")
+    quotient = StateGraph(instance, backend="kernel", symmetry=True)
+    assert quotient.symmetry and not full.symmetry
+
+    reps = set(quotient.states)
+    size = instance.size
+    for state in full.states:
+        rotations = {tuple(state[r:] + state[:r]) for r in range(size)}
+        assert len(rotations & reps) == 1
+        # The representative is the canonical (minimal-code) rotation.
+        assert min(rotations, key=full.index.__getitem__) in reps
+    # Orbit sizes, summed over representatives, tile the full space.
+    orbit_total = sum(
+        len({tuple(s[r:] + s[:r]) for r in range(size)})
+        for s in quotient.states)
+    assert orbit_total == len(full)
+
+
+def test_canonical_rotation_is_minimal_and_idempotent():
+    ring_size, cells = 4, 3
+    for code in range(cells ** ring_size):
+        canon = canonical_rotation(code, ring_size, cells)
+        assert canon <= code
+        assert canonical_rotation(canon, ring_size, cells) == canon
+        # Rotating never escapes the orbit.
+        rotated = (code % cells ** (ring_size - 1)) * cells \
+            + code // cells ** (ring_size - 1)
+        assert canonical_rotation(rotated, ring_size, cells) == canon
+
+
+def test_quotient_distances_equal_full_space_distances():
+    """BFS distances on the quotient equal the full-space distances of
+    each representative (rotations preserve I, so orbits are
+    equidistant from the invariant)."""
+    instance = stabilizing_agreement().instantiate(5)
+    full = StateGraph(instance, backend="kernel")
+    quotient = StateGraph(instance, backend="kernel", symmetry=True)
+    full_distance = dict(zip(full.states, full.distances_to_invariant()))
+    for state, distance in zip(quotient.states,
+                               quotient.distances_to_invariant()):
+        assert distance == full_distance[state]
+
+
+def test_quotient_stats_record_the_reduction():
+    instance = generalizable_matching().instantiate(6)
+    graph = StateGraph(instance, backend="kernel", symmetry=True)
+    stats = graph.kernel_stats
+    assert stats.full_states == 3 ** 6
+    assert stats.quotient_states == len(graph)
+    assert 1.0 < stats.quotient_ratio <= 6.0
+
+
+def test_symmetry_requires_kernel_backend():
+    instance = stabilizing_agreement().instantiate(3)
+    with pytest.raises(ValueError, match="kernel"):
+        StateGraph(instance, backend="naive", symmetry=True)
+
+
+def test_kernel_backend_rejects_rooted_rings():
+    # Dijkstra's token ring has a distinguished root process: it is not
+    # rotation-symmetric and must stay on the naive interpreter.
+    ring = DijkstraTokenRing(3)
+    graph = StateGraph(ring)
+    assert graph.backend == "naive"
+    with pytest.raises(ValueError, match="kernel"):
+        StateGraph(ring, backend="kernel")
+    with pytest.raises(ValueError, match="kernel"):
+        StateGraph(ring, symmetry=True)
