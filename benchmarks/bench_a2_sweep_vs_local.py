@@ -14,6 +14,7 @@ Example 4.3:
 import time
 
 from repro.checker.sweep import sweep_verify
+from repro.core.convergence import verify_convergence
 from repro.core.deadlock import DeadlockAnalyzer
 from repro.engine import ResultCache
 from repro.protocols import (
@@ -49,7 +50,13 @@ def run_comparison():
                  f"{sweep_good.total_states_explored} states explored",
                  "evidence bounded at K<=7",
                  "deadlock-free (exact, all K)"))
-    return rows
+    # The local analysis' own engine counters (trail searches run on the
+    # bitmask localkernel) for the artifact's bottom line.
+    local_report = verify_convergence(good)
+    assert local_report.stats is not None
+    local_line = ("local verification (matching-ex4.2): "
+                  + local_report.stats.summary())
+    return rows, local_line
 
 
 def engine_comparison(tmp_dir):
@@ -82,7 +89,8 @@ def engine_comparison(tmp_dir):
 
 
 def test_a2_sweep_vs_local(benchmark, write_artifact, tmp_path):
-    rows = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
+    rows, local_line = benchmark.pedantic(run_comparison, rounds=1,
+                                          iterations=1)
     engine_rows, kernel_line = engine_comparison(tmp_path / "cache")
     write_artifact(
         "a2_sweep_vs_local.txt",
@@ -90,4 +98,5 @@ def test_a2_sweep_vs_local(benchmark, write_artifact, tmp_path):
                       "sweep (wider)", "local verdict"], rows)
         + "\n\nsweep engine modes (matching-ex4.2, K=3..7):\n"
         + render_table(["mode", "wall time"], engine_rows)
-        + f"\n{kernel_line}")
+        + f"\n{kernel_line}"
+        + f"\n{local_line}")

@@ -23,12 +23,15 @@ SIZES = (4, 5, 6)
 
 def compare():
     rows = []
+    stat_lines = []
     for factory in (agreement, sum_not_two):
         protocol = factory()
         start = time.perf_counter()
         local = synthesize_convergence(protocol)
         local_ms = (time.perf_counter() - start) * 1e3
         assert local.succeeded
+        assert local.stats is not None
+        stat_lines.append(f"{protocol.name}: {local.stats.summary()}")
         rows.append((protocol.name, "local (all K)", f"{local_ms:.1f}",
                      "certified for every ring size"))
         for size in SIZES:
@@ -43,11 +46,11 @@ def compare():
             rows.append((protocol.name, f"global K={size}",
                          f"{global_ms:.1f}",
                          f"guarantee limited to K={size}"))
-    return rows
+    return rows, stat_lines
 
 
 def test_x5_synthesis_cost(benchmark, write_artifact):
-    rows = benchmark.pedantic(compare, rounds=1, iterations=1)
+    rows, stat_lines = benchmark.pedantic(compare, rounds=1, iterations=1)
     # shape assertion: local cost does not grow with K (there is no K);
     # the global baseline's cost at the largest size exceeds its cost
     # at the smallest for at least one workload.
@@ -62,4 +65,6 @@ def test_x5_synthesis_cost(benchmark, write_artifact):
     write_artifact(
         "x5_synthesis_cost.txt",
         render_table(["protocol", "synthesizer", "time (ms)",
-                      "guarantee"], rows))
+                      "guarantee"], rows)
+        + "\nlocal-methodology engine counters:\n  "
+        + "\n  ".join(stat_lines))

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.checker.convergence import check_instance
-from repro.checker.statespace import StateGraph
 from repro.core.selfdisabling import action_for_transition
 from repro.protocol.actions import LocalTransition
 
@@ -58,11 +57,13 @@ class GlobalSynthesizer:
     """Fixed-K synthesis by global state-space search."""
 
     def __init__(self, protocol: "RingProtocol", ring_size: int,
-                 seed: int = 0, max_expansions: int = 2000) -> None:
+                 seed: int = 0, max_expansions: int = 2000,
+                 backend: str = "auto") -> None:
         self.protocol = protocol
         self.ring_size = ring_size
         self.rng = random.Random(seed)
         self.max_expansions = max_expansions
+        self.backend = backend
         self._expansions = 0
         self._visited: set[frozenset[LocalTransition]] = set()
 
@@ -116,8 +117,7 @@ class GlobalSynthesizer:
 
         candidate = self._materialize(tuple(sorted(added)))
         instance = candidate.instantiate(self.ring_size)
-        graph = StateGraph(instance)
-        report = check_instance(instance)
+        report = check_instance(instance, backend=self.backend)
         if report.strongly_converging:
             return added
 
@@ -155,7 +155,6 @@ class GlobalSynthesizer:
             result = self._search(added - {transition})
             if result is not None:
                 return result
-        del graph
         return None
 
     @staticmethod

@@ -120,7 +120,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     cache = _engine_cache(args)
     report = verify_convergence(protocol,
                                 max_ring_size=args.max_ring_size,
-                                jobs=args.jobs, cache=cache)
+                                jobs=args.jobs, cache=cache,
+                                backend=args.backend)
     if args.json:
         import json
 
@@ -243,13 +244,17 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     protocol = get_protocol(args.protocol)
+    cache = _engine_cache(args)
     result = synthesize_convergence(protocol,
-                                    max_ring_size=args.max_ring_size)
+                                    max_ring_size=args.max_ring_size,
+                                    backend=args.backend,
+                                    jobs=args.jobs, cache=cache)
     print(f"== synthesis for {protocol.name} ==")
     print(result.summary())
     if result.succeeded and result.protocol is not None:
         print()
         print(result.protocol.pretty())
+    _print_stats(result.stats, cache)
     return 0 if result.succeeded else 1
 
 
@@ -334,6 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="horizon for deadlocked-size prediction")
     verify.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    verify.add_argument(
+        "--backend", choices=("auto", "kernel", "naive"), default="auto",
+        help="contiguous-trail engine: the compiled bitmask "
+             "local-reasoning kernel (default) or the naive Digraph "
+             "reference searcher")
     _add_engine_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -392,6 +402,12 @@ def build_parser() -> argparse.ArgumentParser:
                                               "methodology")
     synth.add_argument("protocol")
     synth.add_argument("--max-ring-size", type=int, default=9)
+    synth.add_argument(
+        "--backend", choices=("auto", "kernel", "naive"), default="auto",
+        help="candidate-evaluation engine: the compiled bitmask "
+             "local-reasoning kernel (default) or the naive Digraph "
+             "reference pipeline")
+    _add_engine_options(synth)
     synth.set_defaults(func=_cmd_synthesize)
 
     simulate = sub.add_parser("simulate", help="random-daemon convergence "

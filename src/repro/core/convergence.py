@@ -175,6 +175,7 @@ def verify_convergence(protocol: "RingProtocol",
                        check_livelocks: bool = True,
                        jobs: int = 1,
                        cache: ResultCache | None = None,
+                       backend: str = "auto",
                        ) -> ConvergenceReport:
     """The full parameterized analysis of *protocol*.
 
@@ -184,14 +185,18 @@ def verify_convergence(protocol: "RingProtocol",
     deadlock witness makes it ``DIVERGES``.  ``jobs > 1`` parallelises
     the per-support trail searches; *cache* reuses whole convergence
     reports across runs (keyed on the protocol fingerprint plus
-    ``max_ring_size`` / ``check_livelocks``).
+    ``max_ring_size`` / ``check_livelocks``); *backend* selects the
+    contiguous-trail engine (``kernel``/``naive``, see
+    :class:`repro.core.trail.ContiguousTrailSearcher`).
     """
     stats = EngineStats(jobs=jobs)
     key = None
     if cache is not None:
         key = analysis_key("verify-convergence", protocol,
                            max_ring_size=max_ring_size,
-                           check_livelocks=check_livelocks)
+                           check_livelocks=check_livelocks,
+                           backend="kernel" if backend == "auto"
+                           else backend)
         cached = cache.get(key)
         if cached is not None:
             stats.cache_hits += 1
@@ -218,7 +223,7 @@ def verify_convergence(protocol: "RingProtocol",
             with stats.stage("livelock"):
                 livelock = LivelockCertifier(
                     protocol, max_ring_size=max_ring_size,
-                    jobs=jobs).analyze()
+                    jobs=jobs, backend=backend).analyze()
         except AssumptionViolation:
             # Theorem 5.14 does not apply (Assumptions 1/2 broken);
             # the deadlock half still stands, livelocks stay open.
@@ -228,6 +233,7 @@ def verify_convergence(protocol: "RingProtocol",
             if livelock.stats is not None:
                 stats.parallel = stats.parallel or livelock.stats.parallel
                 stats.work_items += livelock.stats.work_items
+                stats.merge_kernel_counters(livelock.stats)
             if livelock.certified and closure_ok:
                 verdict = ConvergenceVerdict.CONVERGES
             else:

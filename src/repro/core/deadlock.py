@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.rcg import build_rcg
 from repro.graphs import Digraph, simple_cycles
-from repro.graphs.scc import cyclic_components
+from repro.graphs.scc import masked_cyclic_mask
 from repro.graphs.walks import closed_walk_lengths
 from repro.protocol.localstate import LocalState
 
@@ -98,10 +98,19 @@ class DeadlockAnalyzer:
         offending: list[tuple[LocalState, ...]] = []
         bad_set = set(illegitimate)
         # A cycle through an illegitimate deadlock exists iff some cyclic
-        # SCC of the induced RCG contains an illegitimate deadlock.
-        has_bad_cycle = any(
-            any(node in bad_set for node in component)
-            for component in cyclic_components(induced))
+        # SCC of the induced RCG contains an illegitimate deadlock —
+        # decided with one masked SCC pass over the bit-packed adjacency
+        # (the local kernel's Theorem 4.2 primitive).
+        index = {state: i for i, state in enumerate(deadlocks)}
+        succ_masks = [0] * len(deadlocks)
+        for source, target, _key in induced.edges():
+            succ_masks[index[source]] |= 1 << index[target]
+        bad_mask = 0
+        for state in illegitimate:
+            bad_mask |= 1 << index[state]
+        alive = (1 << len(deadlocks)) - 1
+        has_bad_cycle = bool(
+            masked_cyclic_mask(succ_masks, alive) & bad_mask)
         if has_bad_cycle:
             for cycle in simple_cycles(induced,
                                        max_length=self.max_cycle_length):
@@ -134,15 +143,16 @@ class DeadlockAnalyzer:
         return {k for k in lengths if k >= width}
 
     def resolve_candidates(self, max_sets: int | None = None,
-                           ) -> list[frozenset[LocalState]]:
+                           stats=None) -> list[frozenset[LocalState]]:
         """Minimal sets of illegitimate deadlocks whose resolution yields
         deadlock-freedom for all K (the ``Resolve`` sets of Section 6.1).
 
         Each returned set is a minimal feedback vertex set of the
         deadlock-induced RCG, drawn from ``¬LC_r``, breaking every cycle
         that passes through an illegitimate deadlock.  *max_sets* bounds
-        the enumeration (the underlying subset search stops as soon as
-        that many minimal sets are found).
+        the enumeration (the branch-and-bound search stops as soon as
+        that many minimal sets are found); *stats* is an optional
+        :class:`repro.graphs.fvs.FvsStats` accumulating search counters.
         """
         from repro.graphs import minimal_feedback_vertex_sets
 
@@ -152,6 +162,7 @@ class DeadlockAnalyzer:
             allowed=report.illegitimate_deadlocks,
             bad=report.illegitimate_deadlocks,
             max_sets=max_sets,
+            stats=stats,
         ))
 
 

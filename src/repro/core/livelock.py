@@ -94,18 +94,23 @@ class LivelockCertifier:
                  max_ring_size: int = 9,
                  require_self_disabling: bool = True,
                  jobs: int = 1,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 backend: str = "auto") -> None:
         self.protocol = protocol
         self.max_ring_size = max_ring_size
         self.require_self_disabling = require_self_disabling
         self.jobs = jobs
         self.cache = cache
+        self.backend = backend
 
     def _cache_key(self) -> str:
+        # The backend is part of the key: verdicts are identical, but a
+        # witness's `states` may come from a different matching SCC.
         return analysis_key(
             "livelock-certificate", self.protocol,
             max_ring_size=self.max_ring_size,
-            require_self_disabling=self.require_self_disabling)
+            require_self_disabling=self.require_self_disabling,
+            backend="kernel" if self.backend == "auto" else self.backend)
 
     def analyze(self) -> LivelockReport:
         """Run the analysis; raises :class:`AssumptionViolation` when the
@@ -166,7 +171,8 @@ class LivelockCertifier:
                     stats=stats,
                 )
         searcher = ContiguousTrailSearcher(
-            self.protocol, max_ring_size=self.max_ring_size)
+            self.protocol, max_ring_size=self.max_ring_size,
+            backend=self.backend)
         with stats.stage("trail-search"):
             if self.jobs > 1 and len(supports) > 1:
                 found = run_work_items(_find_trail_worker, supports,
@@ -175,6 +181,9 @@ class LivelockCertifier:
             else:
                 found = [searcher.find_trail(s) for s in supports]
         stats.work_items += len(supports)
+        # Under run_work_items the workers' kernel counters stay in the
+        # forked children, so parallel runs under-count here.
+        stats.absorb_localkernel(searcher.kernel_stats())
         witnesses = [w for w in found if w is not None]
 
         verdict = (LivelockVerdict.CERTIFIED_FREE if not witnesses
@@ -192,7 +201,8 @@ def certify_livelock_freedom(protocol: "RingProtocol",
                              max_ring_size: int = 9,
                              jobs: int = 1,
                              cache: ResultCache | None = None,
-                             ) -> LivelockReport:
+                             backend: str = "auto") -> LivelockReport:
     """Convenience wrapper around :class:`LivelockCertifier`."""
     return LivelockCertifier(protocol, max_ring_size=max_ring_size,
-                             jobs=jobs, cache=cache).analyze()
+                             jobs=jobs, cache=cache,
+                             backend=backend).analyze()

@@ -69,6 +69,18 @@ def t_successors(graph: Digraph,
     return result
 
 
+def indexed_arcs(space: LocalStateSpace,
+                 transitions: Iterable[LocalTransition],
+                 ) -> list[tuple[int, int]]:
+    """t-arcs as ``(source index, target index)`` pairs, sorted.
+
+    The integer encoding the local kernel searches over; indices follow
+    ``space.states`` order (the sorted order of local states).
+    """
+    return sorted((space.index(t.source), space.index(t.target))
+                  for t in transitions)
+
+
 def ltg_of(protocol: "RingProtocol") -> Digraph:
     """The LTG of a protocol (actions' transitions as t-arcs)."""
     return build_ltg(protocol.space)

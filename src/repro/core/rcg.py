@@ -43,6 +43,25 @@ def build_rcg(space: LocalStateSpace,
     return graph
 
 
+def continuation_masks(space: LocalStateSpace) -> list[int]:
+    """The RCG adjacency as per-state bitmasks over ``space.states``.
+
+    Entry ``i`` has bit ``j`` set iff ``states[j]`` continues
+    ``states[i]`` — the same arcs :func:`build_rcg` materializes, packed
+    for the local kernel (:mod:`repro.engine.localkernel`).  Computed in
+    one O(n²) pass per protocol instead of per query.
+    """
+    states = space.states
+    masks = []
+    for source in states:
+        mask = 0
+        for j, target in enumerate(states):
+            if space.continues(source, target):
+                mask |= 1 << j
+        masks.append(mask)
+    return masks
+
+
 def closed_walk_to_global_state(walk: list[LocalState],
                                 space: LocalStateSpace) -> tuple:
     """Convert a closed RCG walk into the global ring state it encodes.

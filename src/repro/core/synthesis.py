@@ -26,13 +26,24 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.core.deadlock import DeadlockAnalyzer
 from repro.core.livelock import LivelockCertifier, LivelockVerdict
-from repro.core.selfdisabling import action_for_transition
+from repro.core.pseudolivelock import (
+    SupportExplosion,
+    pseudo_livelock_supports,
+)
+from repro.core.selfdisabling import (
+    action_for_transition,
+    local_transition_graph,
+)
+from repro.engine import EngineStats, ResultCache, analysis_key, \
+    run_work_items
 from repro.errors import SynthesisFailure
+from repro.graphs import has_cycle
+from repro.graphs.fvs import FvsStats
 from repro.protocol.actions import LocalTransition
 from repro.protocol.localstate import LocalState
 
@@ -81,6 +92,8 @@ class SynthesisResult:
     chosen: tuple[LocalTransition, ...]
     rejected: tuple[RejectedCombination, ...] = ()
     resolve_sets_tried: tuple[frozenset[LocalState], ...] = ()
+    stats: EngineStats | None = field(default=None, compare=False)
+    """Engine instrumentation for this run (excluded from equality)."""
 
     @property
     def succeeded(self) -> bool:
@@ -104,15 +117,47 @@ class SynthesisResult:
         return "\n".join(lines)
 
 
+def _combo_verdict_worker(synthesizer: "Synthesizer",
+                          combo) -> str | None:
+    """Module-level worker for :func:`repro.engine.run_work_items`."""
+    return synthesizer._evaluate_verdict(combo)
+
+
 class Synthesizer:
-    """Implements the Section 6.1 methodology for a ring protocol."""
+    """Implements the Section 6.1 methodology for a ring protocol.
+
+    *backend* selects how candidate combinations are judged:
+    ``"kernel"`` (the default behind ``"auto"``) evaluates each
+    combination against the base protocol's compiled local kernel —
+    merged transition set, assumption checks and pseudo-livelock
+    supports computed without materializing the extended protocol, and
+    every trail search sharing one set of ``(K, |E|)`` skeletons and
+    one support memo.  ``"naive"`` materializes every candidate and
+    runs the reference :class:`LivelockCertifier` over the per-query
+    ``Digraph`` searcher.  Verdicts are identical (the differential
+    suite pins this).
+
+    Combination verdicts are additionally memoized on the combination's
+    transition set — permuted enumerations never re-search — and, with
+    *cache*, persisted across runs keyed on the protocol fingerprint.
+    ``jobs > 1`` fans un-memoized combinations out over worker
+    processes in deterministic batches, so results and the
+    :class:`RejectedCombination` log are identical for every jobs
+    value.
+    """
 
     def __init__(self, protocol: "RingProtocol",
                  max_ring_size: int = 9,
                  max_resolve_sets: int = 16,
                  max_combinations: int = 4096,
                  stop_at_first: bool = True,
-                 accept_contiguous_only: bool = False) -> None:
+                 accept_contiguous_only: bool = False,
+                 backend: str = "auto",
+                 jobs: int = 1,
+                 cache: ResultCache | None = None) -> None:
+        resolved = "kernel" if backend == "auto" else backend
+        if resolved not in ("kernel", "naive"):
+            raise ValueError(f"unknown synthesis backend {backend!r}")
         self.protocol = protocol
         self.max_ring_size = max_ring_size
         self.max_resolve_sets = max_resolve_sets
@@ -123,6 +168,21 @@ class Synthesizer:
         livelocks; by default such certificates are NOT accepted as
         synthesis evidence (the paper's methodology is stated for
         unidirectional rings).  Set True to accept them knowingly."""
+        self.backend = resolved
+        self.jobs = jobs
+        self.cache = cache
+        self.stats = EngineStats(jobs=jobs)
+        self._verdict_memo: dict[frozenset[LocalTransition],
+                                 str | None] = {}
+        self._kernel = None
+        self._kernel_base = None
+        if resolved == "kernel":
+            from repro.engine.localkernel import local_kernel_for
+
+            self._kernel = local_kernel_for(protocol)
+            self._kernel_base = self._kernel.stats.snapshot()
+            self._base_transitions = tuple(protocol.space.transitions)
+            self._base_deadlocks = frozenset(protocol.space.deadlocks())
 
     # ------------------------------------------------------------------
     def candidate_transitions(
@@ -156,7 +216,7 @@ class Synthesizer:
         :attr:`SynthesisResult.outcome`."""
         if not self.protocol.unidirectional and \
                 not self.accept_contiguous_only:
-            return SynthesisResult(
+            return self._finalize(SynthesisResult(
                 outcome=SynthesisOutcome.FAILURE,
                 protocol=None,
                 resolve=frozenset(),
@@ -168,14 +228,17 @@ class Synthesizer:
                         "synthesis evidence; pass "
                         "accept_contiguous_only=True to proceed "
                         "anyway"),),
-            )
+            ))
         analyzer = DeadlockAnalyzer(self.protocol)
-        resolve_sets = analyzer.resolve_candidates(
-            max_sets=self.max_resolve_sets)
+        fvs_stats = FvsStats()
+        with self.stats.stage("resolve"):
+            resolve_sets = analyzer.resolve_candidates(
+                max_sets=self.max_resolve_sets, stats=fvs_stats)
+        self.stats.absorb_fvs(fvs_stats)
         if not resolve_sets:
             # No subset of ¬LC_r breaks all illegitimate cycles: the
             # deadlock structure itself is unrepairable by local t-arcs.
-            return SynthesisResult(
+            return self._finalize(SynthesisResult(
                 outcome=SynthesisOutcome.FAILURE,
                 protocol=None,
                 resolve=frozenset(),
@@ -183,18 +246,19 @@ class Synthesizer:
                 chosen=(),
                 rejected=(RejectedCombination(
                     (), "no feedback vertex set within ¬LC_r exists"),),
-            )
+            ))
 
         all_rejected: list[RejectedCombination] = []
-        for resolve in resolve_sets:
-            result = self._try_resolve_set(resolve)
-            if result.succeeded:
-                result.rejected = tuple(all_rejected) + result.rejected
-                result.resolve_sets_tried = tuple(resolve_sets)
-                return result
-            all_rejected.extend(result.rejected)
+        with self.stats.stage("combinations"):
+            for resolve in resolve_sets:
+                result = self._try_resolve_set(resolve)
+                if result.succeeded:
+                    result.rejected = tuple(all_rejected) + result.rejected
+                    result.resolve_sets_tried = tuple(resolve_sets)
+                    return self._finalize(result)
+                all_rejected.extend(result.rejected)
 
-        return SynthesisResult(
+        return self._finalize(SynthesisResult(
             outcome=SynthesisOutcome.FAILURE,
             protocol=None,
             resolve=resolve_sets[0],
@@ -202,7 +266,24 @@ class Synthesizer:
             chosen=(),
             rejected=tuple(all_rejected),
             resolve_sets_tried=tuple(resolve_sets),
-        )
+        ))
+
+    def _absorb_kernel(self) -> None:
+        """Fold the shared kernel's counter delta into this run's stats.
+
+        The kernel is memoized per protocol, so its counters are
+        cumulative across synthesizers; the snapshot taken at
+        construction scopes the delta to this instance's work.
+        """
+        if self._kernel is not None:
+            self.stats.absorb_localkernel(
+                self._kernel.stats.delta_since(self._kernel_base))
+            self._kernel_base = self._kernel.stats.snapshot()
+
+    def _finalize(self, result: SynthesisResult) -> SynthesisResult:
+        self._absorb_kernel()
+        result.stats = self.stats
+        return result
 
     # ------------------------------------------------------------------
     def evaluate_all_combinations(
@@ -226,14 +307,10 @@ class Synthesizer:
         candidates = self.candidate_transitions(resolve)
         if not resolve or any(not opts for opts in candidates.values()):
             return []
-        states = sorted(candidates)
-        pools = [candidates[s] for s in states]
-        verdicts = []
-        for count, combo in enumerate(itertools.product(*pools)):
-            if count >= self.max_combinations:
-                break
-            verdicts.append((tuple(combo), self._livelock_verdict(combo)))
-        return verdicts
+        combos = self._enumerate_combinations(candidates)[0]
+        verdicts = self._verdicts(combos)
+        self._absorb_kernel()
+        return list(zip(combos, verdicts))
 
     # ------------------------------------------------------------------
     def _try_resolve_set(self,
@@ -265,30 +342,100 @@ class Synthesizer:
                 resolve=resolve, candidates=candidates, chosen=(),
                 rejected=tuple(rejected))
 
-        states = sorted(candidates)
-        pools = [candidates[s] for s in states]
-        count = 0
-        for combo in itertools.product(*pools):
-            count += 1
-            if count > self.max_combinations:
-                rejected.append(RejectedCombination(
-                    (), f"combination budget ({self.max_combinations}) "
-                        f"exhausted"))
-                break
-            reason = self._livelock_verdict(combo)
-            if reason is None:
-                return self._success(resolve, candidates, combo, rejected)
-            rejected.append(RejectedCombination(tuple(combo), reason))
+        combos, exhausted = self._enumerate_combinations(candidates)
+        batch = 1 if self.jobs <= 1 else max(4 * self.jobs, 8)
+        for start in range(0, len(combos), batch):
+            chunk = combos[start:start + batch]
+            for combo, reason in zip(chunk, self._verdicts(chunk)):
+                if reason is None:
+                    return self._success(resolve, candidates, combo,
+                                         rejected)
+                rejected.append(RejectedCombination(combo, reason))
+        if exhausted:
+            rejected.append(RejectedCombination(
+                (), f"combination budget ({self.max_combinations}) "
+                    f"exhausted"))
 
         return SynthesisResult(
             outcome=SynthesisOutcome.FAILURE, protocol=None,
             resolve=resolve, candidates=candidates, chosen=(),
             rejected=tuple(rejected))
 
+    def _enumerate_combinations(
+            self, candidates: dict[LocalState, tuple[LocalTransition, ...]],
+    ) -> tuple[list[tuple[LocalTransition, ...]], bool]:
+        """The deterministic candidate enumeration: ``itertools.product``
+        over per-state pools in sorted-state order, truncated at the
+        combination budget.  Returns ``(combinations, exhausted)``."""
+        pools = [candidates[s] for s in sorted(candidates)]
+        combos = [tuple(combo) for combo in itertools.islice(
+            itertools.product(*pools), self.max_combinations + 1)]
+        exhausted = len(combos) > self.max_combinations
+        if exhausted:
+            del combos[self.max_combinations:]
+        return combos, exhausted
+
+    # ------------------------------------------------------------------
+    def _verdicts(self, combos: list[tuple[LocalTransition, ...]],
+                  ) -> list[str | None]:
+        """Verdicts for *combos*, in order, through the memo / cache /
+        pool layers.  The memo key is the combination's transition
+        *set*, so permuted enumerations of the same t-arcs are answered
+        without another search."""
+        reasons: dict[int, str | None] = {}
+        pending: list[int] = []
+        for position, combo in enumerate(combos):
+            key = frozenset(combo)
+            if key in self._verdict_memo:
+                self.stats.verdict_cache_hits += 1
+                reasons[position] = self._verdict_memo[key]
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(self._verdict_key(combo))
+                if hit is not None:
+                    self.stats.cache_hits += 1
+                    self._verdict_memo[key] = hit[0]
+                    reasons[position] = hit[0]
+                    continue
+                self.stats.cache_misses += 1
+            pending.append(position)
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                computed = run_work_items(
+                    _combo_verdict_worker,
+                    [combos[i] for i in pending],
+                    jobs=self.jobs, context=self)
+                self.stats.parallel = True
+            else:
+                computed = [self._evaluate_verdict(combos[i])
+                            for i in pending]
+            self.stats.work_items += len(pending)
+            for position, reason in zip(pending, computed):
+                self._verdict_memo[frozenset(combos[position])] = reason
+                if self.cache is not None:
+                    self.cache.put(self._verdict_key(combos[position]),
+                                   (reason,))
+                reasons[position] = reason
+        return [reasons[i] for i in range(len(combos))]
+
+    def _verdict_key(self, combo) -> str:
+        # Backend-independent on purpose: both backends produce the
+        # same verdict strings, so cached entries are shared.
+        return analysis_key(
+            "synthesis-verdict", self.protocol,
+            max_ring_size=self.max_ring_size,
+            accept_contiguous_only=self.accept_contiguous_only,
+            combo=sorted(str(t) for t in combo))
+
     # ------------------------------------------------------------------
     def _livelock_verdict(
             self, combo: tuple[LocalTransition, ...]) -> str | None:
         """``None`` when the combination is accepted, else the reason."""
+        return self._verdicts([tuple(combo)])[0]
+
+    def _evaluate_verdict(
+            self, combo: tuple[LocalTransition, ...]) -> str | None:
+        """One un-memoized combination judgement (steps 4/5)."""
         from repro.errors import AssumptionViolation
 
         if not self.protocol.unidirectional and \
@@ -301,20 +448,67 @@ class Synthesizer:
                     "accept_contiguous_only=True to accept such "
                     "certificates anyway")
 
+        if self._kernel is not None:
+            return self._kernel_verdict(combo)
+
         candidate_protocol = self._materialize(combo)
         certifier = LivelockCertifier(candidate_protocol,
-                                      max_ring_size=self.max_ring_size)
+                                      max_ring_size=self.max_ring_size,
+                                      backend="naive")
         try:
             report = certifier.analyze()
         except AssumptionViolation as violation:
             return str(violation)
         if report.verdict is LivelockVerdict.CERTIFIED_FREE:
             return None
+        if not report.trail_witnesses:
+            # Support enumeration overflowed (SupportExplosion): the
+            # conservative UNKNOWN carries the reason in its note.
+            return report.note
         witness = report.trail_witnesses[0]
         return (f"pseudo-livelock {{"
                 + ", ".join(sorted(t.label or str(t) for t in witness.t_arcs))
                 + f"}} forms a contiguous trail (K={witness.ring_size}, "
                   f"|E|={witness.enablements})")
+
+    def _kernel_verdict(
+            self, combo: tuple[LocalTransition, ...]) -> str | None:
+        """The kernel-backend judgement, without materializing ``p_ss``.
+
+        Candidate sources are base local deadlocks, so the extended
+        space's transition set is exactly the base set plus the combo
+        (no (source, target) collisions to merge) and a state is an
+        extended-space deadlock iff it is a base deadlock that is not a
+        combo source.  The trail searches run on the *base* protocol's
+        kernel: s-adjacency and legitimacy depend only on the process
+        template, never on the transition set.  Every returned string
+        is byte-identical to the naive backend's.
+        """
+        merged = self._base_transitions + tuple(combo)
+        name = f"{self.protocol.name}_ss"
+        if has_cycle(local_transition_graph(merged)):
+            return (f"protocol {name!r} is not self-terminating "
+                    f"(Assumption 1)")
+        combo_sources = {t.source for t in combo}
+        if any(t.target not in self._base_deadlocks
+               or t.target in combo_sources for t in merged):
+            return (f"protocol {name!r} has self-enabling local "
+                    f"transitions (Assumption 2); apply "
+                    f"make_self_disabling() first")
+        try:
+            supports = pseudo_livelock_supports(merged)
+        except SupportExplosion as explosion:
+            return str(explosion)
+        for support in supports:
+            witness = self._kernel.find_trail(support, self.max_ring_size)
+            if witness is not None:
+                return (f"pseudo-livelock {{"
+                        + ", ".join(sorted(t.label or str(t)
+                                           for t in witness.t_arcs))
+                        + f"}} forms a contiguous trail "
+                          f"(K={witness.ring_size}, "
+                          f"|E|={witness.enablements})")
+        return None
 
     def _materialize(self,
                      combo: Iterable[LocalTransition]) -> "RingProtocol":

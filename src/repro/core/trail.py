@@ -100,15 +100,44 @@ class TrailWitness:
 
 
 class ContiguousTrailSearcher:
-    """Searches an LTG for contiguous trails with a given t-arc support."""
+    """Searches an LTG for contiguous trails with a given t-arc support.
+
+    *backend* selects the engine: ``"kernel"`` (the default behind
+    ``"auto"``) runs the bitmask-compiled search of
+    :mod:`repro.engine.localkernel`; ``"naive"`` keeps the original
+    per-query ``Digraph`` product build as the reference
+    implementation.  Both return the same verdicts and the same
+    ``(K, |E|, t_arcs)`` witnesses (the differential suite pins this);
+    only the SCC a witness's ``states`` come from may differ when
+    several match.
+    """
 
     def __init__(self, protocol: "RingProtocol",
-                 max_ring_size: int = 9) -> None:
+                 max_ring_size: int = 9,
+                 backend: str = "auto") -> None:
         if max_ring_size < 2:
             raise ValueError("max_ring_size must be at least 2")
+        resolved = "kernel" if backend == "auto" else backend
+        if resolved not in ("kernel", "naive"):
+            raise ValueError(f"unknown trail backend {backend!r}")
         self.protocol = protocol
         self.space: LocalStateSpace = protocol.space
         self.max_ring_size = max_ring_size
+        self.backend = resolved
+        self._kernel = None
+        self._kernel_base = None
+        if resolved == "kernel":
+            from repro.engine.localkernel import local_kernel_for
+
+            self._kernel = local_kernel_for(protocol)
+            # The kernel is shared across searchers; remember where its
+            # cumulative counters stood so kernel_stats() is per-run.
+            self._kernel_base = self._kernel.stats.snapshot()
+        self._naive_ready = False
+
+    def _ensure_naive(self) -> None:
+        if self._naive_ready:
+            return
         self._ltg = build_ltg(self.space, transitions=())
         # s-adjacency, computed once; t-arcs vary per query.
         self._s_succ: dict[LocalState, list[LocalState]] = {
@@ -116,11 +145,20 @@ class ContiguousTrailSearcher:
                     if S_ARC in self._ltg.edge_keys(state, target)]
             for state in self.space.states
         }
-        self._illegitimate = frozenset(protocol.illegitimate_states())
+        self._illegitimate = frozenset(self.protocol.illegitimate_states())
         # Per-(K, |E|) s-arc phase layers, built on first use and
         # reused across every support queried on this searcher (the
         # livelock certifier fans one find_trail out per support).
         self._layers: dict[tuple[int, int], tuple] = {}
+        self._naive_ready = True
+
+    def kernel_stats(self):
+        """This searcher's share of the (shared) kernel counters, as a
+        :class:`repro.engine.localkernel.LocalKernelStats` delta, or
+        ``None`` on the naive backend."""
+        if self._kernel is None:
+            return None
+        return self._kernel.stats.delta_since(self._kernel_base)
 
     # ------------------------------------------------------------------
     def find_trail(self, t_arc_support: Iterable[LocalTransition],
@@ -134,6 +172,9 @@ class ContiguousTrailSearcher:
         support = frozenset(t_arc_support)
         if not support:
             return None
+        if self._kernel is not None:
+            return self._kernel.find_trail(support, self.max_ring_size)
+        self._ensure_naive()
         for ring_size in range(2, self.max_ring_size + 1):
             for enablements in range(1, ring_size):
                 witness = self._search(support, ring_size, enablements)
@@ -158,6 +199,7 @@ class ContiguousTrailSearcher:
         ``edges = ((source_node, target_node, target_state), ...)``
         (empty for T layers, whose edges are support-dependent).
         """
+        self._ensure_naive()
         key = (ring_size, enablements)
         cached = self._layers.get(key)
         if cached is not None:
@@ -181,6 +223,7 @@ class ContiguousTrailSearcher:
 
     def _search(self, support: frozenset[LocalTransition],
                 ring_size: int, enablements: int) -> TrailWitness | None:
+        self._ensure_naive()
         t_by_source: dict[LocalState, list[LocalTransition]] = {}
         for transition in support:
             t_by_source.setdefault(transition.source, []).append(transition)

@@ -22,7 +22,12 @@ identical work.  This package supplies the three missing pieces:
   backend behind :class:`repro.checker.StateGraph`: per-protocol guard
   compilation, base-``|C|`` packed global states in flat arrays, and
   an opt-in ring-rotation symmetry quotient (CLI ``--backend`` /
-  ``--symmetry``).
+  ``--symmetry``);
+* :mod:`repro.engine.localkernel` — the bitmask-compiled *local*
+  reasoning kernel behind the contiguous-trail search, the Theorem 4.2
+  check and the Section 6 synthesis loop: integer-indexed local
+  states, per-``(K, |E|)`` product-graph skeletons, masked SCC passes
+  and a support-fingerprint trail memo.
 """
 
 from repro.engine.cache import (
@@ -42,17 +47,29 @@ from repro.engine.kernel import (
 from repro.engine.pool import parallelism_available, run_work_items
 from repro.engine.stats import EngineStats
 
+# Imported last: localkernel pulls in repro.core.trail, whose package
+# __init__ imports back into repro.engine — every name above must
+# already be bound by then.
+from repro.engine.localkernel import (
+    LocalKernel,
+    LocalKernelStats,
+    local_kernel_for,
+)
+
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "CacheStats",
     "CompiledProtocol",
     "EngineStats",
     "KernelStats",
+    "LocalKernel",
+    "LocalKernelStats",
     "PackedSpace",
     "ResultCache",
     "analysis_key",
     "build_space",
     "compile_protocol",
+    "local_kernel_for",
     "parallelism_available",
     "protocol_fingerprint",
     "run_work_items",

@@ -53,6 +53,17 @@ class EngineStats:
     states_encoded: int = 0
     quotient_states: int = 0
     quotient_full_states: int = 0
+    skeleton_compiles: int = 0
+    mask_evaluations: int = 0
+    trail_cache_hits: int = 0
+    verdict_cache_hits: int = 0
+    fvs_nodes_explored: int = 0
+    fvs_nodes_pruned: int = 0
+    """Local-kernel counters (:mod:`repro.engine.localkernel` and the
+    branch-and-bound FVS search): compiled ``(K, |E|)`` skeletons,
+    masked product-graph SCC passes, ``find_trail`` memo hits,
+    synthesis verdicts answered from the combination memo, and FVS
+    search-tree nodes explored / pruned."""
 
     @contextmanager
     def stage(self, name: str):
@@ -95,6 +106,25 @@ class EngineStats:
             self.quotient_states += kernel_stats.quotient_states
             self.quotient_full_states += kernel_stats.full_states
 
+    def absorb_localkernel(self, kernel_stats) -> None:
+        """Accumulate a per-run
+        :class:`repro.engine.localkernel.LocalKernelStats` delta (or
+        ``None``, for naive-backend runs) into these counters."""
+        if kernel_stats is None:
+            return
+        self.compile_seconds += kernel_stats.compile_seconds
+        self.skeleton_compiles += kernel_stats.skeleton_compiles
+        self.mask_evaluations += kernel_stats.mask_evaluations
+        self.trail_cache_hits += kernel_stats.trail_cache_hits
+
+    def absorb_fvs(self, fvs_stats) -> None:
+        """Accumulate a :class:`repro.graphs.fvs.FvsStats` (or ``None``)
+        into these counters."""
+        if fvs_stats is None:
+            return
+        self.fvs_nodes_explored += fvs_stats.nodes_explored
+        self.fvs_nodes_pruned += fvs_stats.nodes_pruned
+
     def merge_kernel_counters(self, other: "EngineStats | None") -> None:
         """Accumulate another run's kernel counters (e.g. a per-K
         report's stats into the enclosing sweep's)."""
@@ -105,6 +135,12 @@ class EngineStats:
         self.states_encoded += other.states_encoded
         self.quotient_states += other.quotient_states
         self.quotient_full_states += other.quotient_full_states
+        self.skeleton_compiles += other.skeleton_compiles
+        self.mask_evaluations += other.mask_evaluations
+        self.trail_cache_hits += other.trail_cache_hits
+        self.verdict_cache_hits += other.verdict_cache_hits
+        self.fvs_nodes_explored += other.fvs_nodes_explored
+        self.fvs_nodes_pruned += other.fvs_nodes_pruned
 
     def summary(self) -> str:
         """A one-line human-readable rendering for the CLI."""
@@ -125,6 +161,15 @@ class EngineStats:
                            f"{self.quotient_full_states} "
                            f"({self.quotient_ratio:.1f}x)")
             parts.append(kernel)
+        if self.mask_evaluations or self.skeleton_compiles:
+            parts.append(
+                f"localkernel {self.skeleton_compiles} skeletons, "
+                f"{self.mask_evaluations} mask evals, "
+                f"{self.trail_cache_hits} trail memo hits, "
+                f"{self.verdict_cache_hits} verdict memo hits")
+        if self.fvs_nodes_explored:
+            parts.append(f"fvs {self.fvs_nodes_explored} nodes "
+                         f"({self.fvs_nodes_pruned} pruned)")
         if self.stage_seconds:
             stages = ", ".join(f"{name} {seconds * 1e3:.1f} ms"
                                for name, seconds

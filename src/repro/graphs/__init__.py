@@ -18,26 +18,35 @@ used in the test suite as an independent oracle.
 """
 
 from repro.graphs.digraph import Digraph
-from repro.graphs.scc import condensation, strongly_connected_components
+from repro.graphs.scc import (
+    condensation,
+    masked_cyclic_mask,
+    strongly_connected_components,
+)
 from repro.graphs.cycles import (
     find_cycle_through,
     has_cycle,
     simple_cycles,
 )
 from repro.graphs.fvs import (
+    FvsStats,
     is_feedback_vertex_set,
     minimal_feedback_vertex_sets,
+    minimal_feedback_vertex_sets_exhaustive,
 )
 from repro.graphs.walks import closed_walk_lengths, shortest_closed_walk
 
 __all__ = [
     "Digraph",
+    "FvsStats",
     "strongly_connected_components",
     "condensation",
     "has_cycle",
+    "masked_cyclic_mask",
     "simple_cycles",
     "find_cycle_through",
     "minimal_feedback_vertex_sets",
+    "minimal_feedback_vertex_sets_exhaustive",
     "is_feedback_vertex_set",
     "closed_walk_lengths",
     "shortest_closed_walk",

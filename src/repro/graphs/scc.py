@@ -90,6 +90,77 @@ def condensation(graph: Digraph) -> tuple[Digraph, dict[Hashable, int]]:
     return dag, membership
 
 
+def masked_cyclic_mask(succ_masks: list[int], alive: int) -> int:
+    """Vertices on a directed cycle of a bit-packed induced subgraph.
+
+    *succ_masks* gives each vertex's successor set as a bitmask over
+    vertex indices; *alive* selects the induced subgraph.  Returns the
+    union mask of all cyclic SCCs (more than one vertex, or a self-loop)
+    — the primitive behind the Theorem 4.2 check and the
+    branch-and-bound feedback-vertex-set search, replacing a
+    ``Digraph.induced_subgraph`` rebuild plus Tarjan over hashed nodes
+    with shift-and-mask arithmetic on Python ints.
+    """
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    counter = 0
+    cyclic = 0
+
+    todo = alive
+    while todo:
+        root_bit = todo & -todo
+        todo &= todo - 1
+        root = root_bit.bit_length() - 1
+        if root in index_of:
+            continue
+        work = [[root, succ_masks[root] & alive]]
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            frame = work[-1]
+            node = frame[0]
+            remaining = frame[1]
+            advanced = False
+            while remaining:
+                bit = remaining & -remaining
+                remaining &= remaining - 1
+                succ = bit.bit_length() - 1
+                if succ not in index_of:
+                    frame[1] = remaining
+                    index_of[succ] = lowlink[succ] = counter
+                    counter += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append([succ, succ_masks[succ] & alive])
+                    advanced = True
+                    break
+                if succ in on_stack and index_of[succ] < lowlink[node]:
+                    lowlink[node] = index_of[succ]
+            if advanced:
+                continue
+            work.pop()
+            if work and lowlink[node] < lowlink[work[-1][0]]:
+                lowlink[work[-1][0]] = lowlink[node]
+            if lowlink[node] != index_of[node]:
+                continue
+            component = 0
+            size = 0
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component |= 1 << member
+                size += 1
+                if member == node:
+                    break
+            if size > 1 or (succ_masks[node] >> node) & 1:
+                cyclic |= component
+    return cyclic
+
+
 def cyclic_components(graph: Digraph) -> list[list[Hashable]]:
     """SCCs of *graph* that contain at least one cycle.
 

@@ -7,8 +7,10 @@ from hypothesis import strategies as st
 
 from repro.graphs import (
     Digraph,
+    FvsStats,
     is_feedback_vertex_set,
     minimal_feedback_vertex_sets,
+    minimal_feedback_vertex_sets_exhaustive,
 )
 
 edge_lists = st.lists(
@@ -100,3 +102,37 @@ def test_every_yielded_set_is_feedback_and_minimal(edges):
         assert is_feedback_vertex_set(g, s)
         for member in s:
             assert not is_feedback_vertex_set(g, s - {member})
+
+
+@given(edge_lists, st.sets(st.integers(0, 5)))
+@settings(max_examples=60, deadline=None)
+def test_branch_and_bound_matches_exhaustive_order(edges, bad):
+    """The B&B search replays the exhaustive enumerator exactly —
+    same sets, same (size-then-``combinations``) order."""
+    g = build(edges)
+    mine = list(minimal_feedback_vertex_sets(g, allowed=bad, bad=bad))
+    oracle = list(minimal_feedback_vertex_sets_exhaustive(
+        g, allowed=bad, bad=bad))
+    assert mine == oracle
+
+
+@given(edge_lists, st.integers(1, 4))
+@settings(max_examples=60, deadline=None)
+def test_max_sets_truncates_to_a_prefix(edges, max_sets):
+    g = build(edges)
+    full = list(minimal_feedback_vertex_sets(g))
+    truncated = list(minimal_feedback_vertex_sets(g, max_sets=max_sets))
+    assert truncated == full[:max_sets]
+
+
+def test_stats_count_search_effort():
+    g = build([(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 5)])
+    stats = FvsStats()
+    sets = list(minimal_feedback_vertex_sets(g, stats=stats))
+    assert sets  # 3-cycle × 2-cycle × self-loop: 6 minimal sets
+    assert stats.nodes_explored > 0
+    assert stats.cycle_checks > 0
+    # A second run accumulates into the same counters.
+    explored = stats.nodes_explored
+    list(minimal_feedback_vertex_sets(g, stats=stats))
+    assert stats.nodes_explored > explored
