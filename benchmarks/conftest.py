@@ -8,9 +8,12 @@ pytest-benchmark, and writes a textual artifact under
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
+
+from repro.obs import export, runtime as obs
 
 OUT_DIR = Path(__file__).parent / "out"
 
@@ -19,6 +22,25 @@ OUT_DIR = Path(__file__).parent / "out"
 def artifact_dir() -> Path:
     OUT_DIR.mkdir(exist_ok=True)
     return OUT_DIR
+
+
+@pytest.fixture(autouse=True)
+def obs_run_report(request, artifact_dir):
+    """Benchmarks emit the same structured run reports the CLI does.
+
+    Each benchmark runs under an ambient observability run; the JSONL
+    run log (spans, metrics, events — identical schema to the CLI's
+    ``--log-json``) lands next to the figure artifacts in
+    ``benchmarks/out/`` as ``<test>.runlog.jsonl``.
+    """
+    if obs.active() is not None:  # pragma: no cover - nested runs
+        yield
+        return
+    with obs.run(request.node.name,
+                 benchmark=request.node.nodeid) as run_ctx:
+        yield
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "_", request.node.name)
+    export.write_run_log(artifact_dir / f"{safe}.runlog.jsonl", run_ctx)
 
 
 @pytest.fixture

@@ -14,6 +14,7 @@ from repro.checker.deadlock import illegitimate_deadlocks
 from repro.checker.livelock import has_livelock, livelock_cycles
 from repro.checker.statespace import StateGraph
 from repro.engine.stats import EngineStats
+from repro.obs import runtime as obs
 
 
 def is_closed(graph: StateGraph) -> bool:
@@ -96,14 +97,18 @@ def check_instance(instance, max_witnesses: int = 8,
     witnesses repetition up to rotation).
     """
     began = time.perf_counter()
-    graph = StateGraph(instance, backend=backend, symmetry=symmetry)
-    deadlocks = tuple(illegitimate_deadlocks(graph))
-    cycles = tuple(tuple(c) for c in livelock_cycles(
-        graph, max_cycles=max_witnesses))
-    distances = graph.distances_to_invariant()
-    reachable = [d for d in distances if d is not None]
-    worst = (max(reachable)
-             if len(reachable) == len(distances) and reachable else None)
+    with obs.span("check", K=getattr(instance, "size", -1),
+                  backend=backend, symmetry=symmetry) as span:
+        graph = StateGraph(instance, backend=backend, symmetry=symmetry)
+        deadlocks = tuple(illegitimate_deadlocks(graph))
+        cycles = tuple(tuple(c) for c in livelock_cycles(
+            graph, max_cycles=max_witnesses))
+        distances = graph.distances_to_invariant()
+        reachable = [d for d in distances if d is not None]
+        worst = (max(reachable)
+                 if len(reachable) == len(distances) and reachable else None)
+        if span is not None:
+            span.attrs["states"] = len(graph)
     stats = EngineStats(work_items=1, states_explored=len(graph))
     stats.absorb_kernel(graph.kernel_stats)
     stats.stage_seconds["check"] = time.perf_counter() - began

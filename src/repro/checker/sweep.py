@@ -126,7 +126,7 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
         # Serial: check sizes in order so stop_on_failure exits early.
         kept_reports: list[GlobalReport] = []
         kept_timings: list[float] = []
-        with stats.stage("sweep"):
+        with stats.stage("sweep", start=first, up_to=up_to, jobs=jobs):
             for size in sizes:
                 report, elapsed = _checked_size(protocol, size, cache,
                                                 stats, backend, symmetry)
@@ -142,7 +142,7 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
     # afterwards (speculative checking keeps the result equal to serial).
     reports: dict[int, GlobalReport] = {}
     timings: dict[int, float] = {}
-    with stats.stage("sweep"):
+    with stats.stage("sweep", start=first, up_to=up_to, jobs=jobs):
         pending = []
         for size in sizes:
             if cache is not None:
@@ -159,8 +159,8 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
         if len(pending) > 1:
             outcomes = run_work_items(_sweep_worker, pending, jobs=jobs,
                                       context=(protocol, backend,
-                                               symmetry))
-            stats.parallel = True
+                                               symmetry),
+                                      stats=stats)
         else:
             outcomes = [_check_size(protocol, size, backend, symmetry)
                         for size in pending]

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING
 
 from repro.checker.convergence import check_instance
 from repro.core.selfdisabling import action_for_transition
+from repro.obs import runtime as obs
 from repro.protocol.actions import LocalTransition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -87,7 +88,11 @@ class GlobalSynthesizer:
         """Search for a convergent transition set; never raises."""
         self._expansions = 0
         self._visited.clear()
-        added = self._search(frozenset())
+        with obs.span("global-synthesis", K=self.ring_size,
+                      backend=self.backend) as span:
+            added = self._search(frozenset())
+            if span is not None:
+                span.attrs["expansions"] = self._expansions
         if added is None:
             return GlobalSynthesisResult(
                 success=False, protocol=None, ring_size=self.ring_size,

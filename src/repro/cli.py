@@ -27,6 +27,7 @@ from repro.core import (
     verify_convergence,
 )
 from repro.core.deadlock import DeadlockAnalyzer
+from repro.obs import runtime as obs
 from repro.protocols.registry import REGISTRY, get_protocol
 from repro.simulation import convergence_study
 from repro.viz import ltg_to_dot, rcg_to_dot
@@ -37,8 +38,23 @@ def _resolve_protocol(name: str):
     if name.endswith(".json"):
         from repro.serialization import load_protocol
 
-        return load_protocol(name)
-    return get_protocol(name)
+        protocol = load_protocol(name)
+    else:
+        protocol = get_protocol(name)
+    _annotate_protocol(protocol)
+    return protocol
+
+
+def _annotate_protocol(protocol) -> None:
+    """Stamp the protocol identity onto the ambient obs run."""
+    if obs.active() is None:
+        return
+    from repro.engine.fingerprint import protocol_fingerprint
+
+    fingerprint = protocol_fingerprint(protocol)
+    obs.annotate(protocol=protocol.name, fingerprint=fingerprint)
+    obs.gauge("protocol.name", protocol.name)
+    obs.gauge("protocol.fingerprint", fingerprint)
 
 
 def _add_engine_options(parser: argparse.ArgumentParser,
@@ -70,6 +86,18 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         help="quotient the global space by ring rotations (kernel only; "
              "~K-fold smaller, all verdicts preserved, state counts "
              "refer to rotation orbits)")
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """The observability flags (``--trace``, ``--log-json``)."""
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-format span tree of this run "
+             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument(
+        "--log-json", default=None, metavar="FILE",
+        help="write a JSONL run log (spans, events, metrics); "
+             "render it with 'repro report FILE'")
 
 
 def _engine_cache(args: argparse.Namespace):
@@ -244,6 +272,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     protocol = get_protocol(args.protocol)
+    _annotate_protocol(protocol)
     cache = _engine_cache(args)
     result = synthesize_convergence(protocol,
                                     max_ring_size=args.max_ring_size,
@@ -256,6 +285,27 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
         print(result.protocol.pretty())
     _print_stats(result.stats, cache)
     return 0 if result.succeeded else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import export, validate
+
+    if args.validate:
+        return validate.main(list(args.files))
+    status = 0
+    for path in args.files:
+        if str(path).endswith(".jsonl"):
+            print(export.render_report(export.load_run_log(path)))
+        else:
+            try:
+                counts = validate.validate_chrome_trace(path)
+            except (OSError, validate.ValidationError) as exc:
+                print(f"invalid trace {path}: {exc}", file=sys.stderr)
+                status = 1
+            else:
+                print(f"chrome trace {path}: {counts['X']} spans, "
+                      f"{counts['M']} metadata events")
+    return status
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -345,6 +395,7 @@ def build_parser() -> argparse.ArgumentParser:
              "local-reasoning kernel (default) or the naive Digraph "
              "reference searcher")
     _add_engine_options(verify)
+    _add_obs_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
     chain = sub.add_parser("chain", help="exact chain-topology "
@@ -370,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--stop-on-failure", action="store_true")
     _add_engine_options(sweep)
     _add_backend_options(sweep)
+    _add_obs_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
     fuzz = sub.add_parser("fuzz", help="random-protocol audit of the "
@@ -378,6 +430,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-ring-size", type=int, default=5)
     fuzz.add_argument("--seed", type=int, default=0)
     _add_engine_options(fuzz)
+    _add_obs_options(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
     check = sub.add_parser("check", help="global model checking at one K")
@@ -390,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "single instance is a single work item")
     _add_engine_options(check, jobs=False)
     _add_backend_options(check)
+    _add_obs_options(check)
     check.set_defaults(func=_cmd_check)
 
     export = sub.add_parser("export", help="save a bundled protocol as "
@@ -408,6 +462,7 @@ def build_parser() -> argparse.ArgumentParser:
              "local-reasoning kernel (default) or the naive Digraph "
              "reference pipeline")
     _add_engine_options(synth)
+    _add_obs_options(synth)
     synth.set_defaults(func=_cmd_synthesize)
 
     simulate = sub.add_parser("simulate", help="random-daemon convergence "
@@ -423,13 +478,52 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default="figures")
     figures.set_defaults(func=_cmd_figures)
 
+    report = sub.add_parser("report", help="render or validate "
+                                           "observability artifacts "
+                                           "(--trace / --log-json files)")
+    report.add_argument("files", nargs="+", metavar="FILE",
+                        help=".jsonl run logs are rendered as a span "
+                             "tree; other files are checked as Chrome "
+                             "traces")
+    report.add_argument("--validate", action="store_true",
+                        help="schema-validate the artifacts instead of "
+                             "rendering (CI mode; nonzero exit on any "
+                             "invalid file)")
+    report.set_defaults(func=_cmd_report)
+
     return parser
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run the selected command, inside an observability run when the
+    ``--trace`` / ``--log-json`` flags ask for one; artifacts are
+    written even when the command fails."""
+    trace = getattr(args, "trace", None)
+    log_json = getattr(args, "log_json", None)
+    if not trace and not log_json:
+        return args.func(args)
+
+    from repro.obs import export
+
+    run_ctx = None
+    try:
+        with obs.run(f"repro {args.command}",
+                     command=args.command) as run_ctx:
+            return args.func(args)
+    finally:
+        if run_ctx is not None:
+            if trace:
+                export.write_chrome_trace(trace, run_ctx)
+                print(f"wrote Chrome trace: {trace}", file=sys.stderr)
+            if log_json:
+                export.write_run_log(log_json, run_ctx)
+                print(f"wrote run log: {log_json}", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        return _dispatch(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2

@@ -173,11 +173,12 @@ class LivelockCertifier:
         searcher = ContiguousTrailSearcher(
             self.protocol, max_ring_size=self.max_ring_size,
             backend=self.backend)
-        with stats.stage("trail-search"):
+        with stats.stage("trail-search", supports=len(supports),
+                         backend=self.backend):
             if self.jobs > 1 and len(supports) > 1:
                 found = run_work_items(_find_trail_worker, supports,
-                                       jobs=self.jobs, context=searcher)
-                stats.parallel = True
+                                       jobs=self.jobs, context=searcher,
+                                       stats=stats)
             else:
                 found = [searcher.find_trail(s) for s in supports]
         stats.work_items += len(supports)

@@ -404,8 +404,8 @@ class Synthesizer:
                 computed = run_work_items(
                     _combo_verdict_worker,
                     [combos[i] for i in pending],
-                    jobs=self.jobs, context=self)
-                self.stats.parallel = True
+                    jobs=self.jobs, context=self,
+                    stats=self.stats)
             else:
                 computed = [self._evaluate_verdict(combos[i])
                             for i in pending]

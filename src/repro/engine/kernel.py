@@ -58,6 +58,8 @@ from array import array
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator
 
+from repro.obs import runtime as obs
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocol.instance import RingInstance
     from repro.protocol.ring import RingProtocol
@@ -106,33 +108,39 @@ def compile_protocol(protocol: "RingProtocol") -> CompiledProtocol:
     """
     cached = _COMPILE_CACHE.get(protocol)
     if cached is not None:
+        obs.metric("kernel.compile_memo_hits")
         return cached
     began = time.perf_counter()
-    space = protocol.space
-    cells = space.cells
-    cell_index = {cell: i for i, cell in enumerate(cells)}
-    targets: list[tuple[int, ...]] = []
-    legit = bytearray()
-    # space.states enumerates windows with the *leftmost* read varying
-    # slowest, i.e. window index sum(cell_index[i] * |C|^(w-1-i)); we
-    # re-index to sum(cell_index[i] * |C|^i) so the enumeration below
-    # can stay oblivious to the ordering convention.
-    width = space.process.window_width
-    count = len(cells) ** width
-    targets = [()] * count
-    legit = bytearray(count)
-    for state in space.states:
-        index = 0
-        for position, cell in enumerate(state.cells):
-            index += cell_index[cell] * len(cells) ** position
-        own: list[int] = []
-        for action in space.enabled_actions(state):
-            for target in space.targets(state, action):
-                candidate = cell_index[target.own]
-                if candidate not in own:
-                    own.append(candidate)
-        targets[index] = tuple(own)
-        legit[index] = 1 if protocol.is_legitimate(state) else 0
+    obs.metric("kernel.compiles")
+    with obs.span("kernel.compile",
+                  protocol=getattr(protocol, "name", "?")) as span:
+        space = protocol.space
+        cells = space.cells
+        cell_index = {cell: i for i, cell in enumerate(cells)}
+        targets: list[tuple[int, ...]] = []
+        legit = bytearray()
+        # space.states enumerates windows with the *leftmost* read varying
+        # slowest, i.e. window index sum(cell_index[i] * |C|^(w-1-i)); we
+        # re-index to sum(cell_index[i] * |C|^i) so the enumeration below
+        # can stay oblivious to the ordering convention.
+        width = space.process.window_width
+        count = len(cells) ** width
+        targets = [()] * count
+        legit = bytearray(count)
+        for state in space.states:
+            index = 0
+            for position, cell in enumerate(state.cells):
+                index += cell_index[cell] * len(cells) ** position
+            own: list[int] = []
+            for action in space.enabled_actions(state):
+                for target in space.targets(state, action):
+                    candidate = cell_index[target.own]
+                    if candidate not in own:
+                        own.append(candidate)
+            targets[index] = tuple(own)
+            legit[index] = 1 if protocol.is_legitimate(state) else 0
+        if span is not None:
+            span.attrs["windows"] = count
     compiled = CompiledProtocol(
         cells=cells,
         reads_left=space.process.reads_left,
@@ -237,6 +245,15 @@ class PackedSpace:
 
 def build_full(instance: "RingInstance") -> PackedSpace:
     """The full packed state space of one ring instance."""
+    with obs.span("kernel.encode", K=instance.size, mode="full") as span:
+        space = _build_full(instance)
+        if span is not None:
+            span.attrs["states"] = len(space)
+        obs.metric("kernel.states_encoded", len(space))
+        return space
+
+
+def _build_full(instance: "RingInstance") -> PackedSpace:
     compiled = compile_protocol(instance.protocol)
     ring_size = instance.size
     cell_count = compiled.cell_count
@@ -322,6 +339,16 @@ def build_quotient(instance: "RingInstance") -> PackedSpace:
     computed for representatives only, so the expensive enumeration
     shrinks by the mean orbit size (~K).
     """
+    with obs.span("kernel.encode", K=instance.size,
+                  mode="quotient") as span:
+        space = _build_quotient(instance)
+        if span is not None:
+            span.attrs["states"] = len(space)
+        obs.metric("kernel.states_encoded", len(space))
+        return space
+
+
+def _build_quotient(instance: "RingInstance") -> PackedSpace:
     compiled = compile_protocol(instance.protocol)
     ring_size = instance.size
     cell_count = compiled.cell_count

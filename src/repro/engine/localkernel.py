@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Iterable
 
 from repro.core.ltg import indexed_arcs
 from repro.core.rcg import continuation_masks
+from repro.obs import runtime as obs
 from repro.core.trail import (
     S_PHASE,
     S_SEGMENT_PHASE,
@@ -145,18 +146,23 @@ class LocalKernel:
 
     def __init__(self, protocol: "RingProtocol") -> None:
         began = time.perf_counter()
-        self.protocol = protocol
-        self.space = protocol.space
-        self.states = tuple(self.space.states)
-        self.n = len(self.states)
-        self.index = {state: i for i, state in enumerate(self.states)}
-        # s-adjacency (= RCG adjacency) as per-state target bitmasks.
-        self.s_masks = continuation_masks(self.space)
-        illegitimate = frozenset(protocol.illegitimate_states())
-        self.illegit_mask = 0
-        for i, state in enumerate(self.states):
-            if state in illegitimate:
-                self.illegit_mask |= 1 << i
+        with obs.span("localkernel.compile",
+                      protocol=getattr(protocol, "name", "?")) as span:
+            self.protocol = protocol
+            self.space = protocol.space
+            self.states = tuple(self.space.states)
+            self.n = len(self.states)
+            self.index = {state: i for i, state in enumerate(self.states)}
+            # s-adjacency (= RCG adjacency) as per-state target bitmasks.
+            self.s_masks = continuation_masks(self.space)
+            illegitimate = frozenset(protocol.illegitimate_states())
+            self.illegit_mask = 0
+            for i, state in enumerate(self.states):
+                if state in illegitimate:
+                    self.illegit_mask |= 1 << i
+            if span is not None:
+                span.attrs["states"] = self.n
+        obs.metric("localkernel.compiles")
         self.stats = LocalKernelStats()
         self.stats.compile_seconds += time.perf_counter() - began
         self._skeletons: dict[tuple[int, int], TrailSkeleton] = {}
@@ -194,12 +200,15 @@ class LocalKernel:
             if hit is not None:
                 if hit[0] <= max_ring_size:
                     self.stats.trail_cache_hits += 1
+                    obs.metric("localkernel.trail_cache_hits")
                     return self._witness(support, hit)
                 # All (K, |E|) below hit's K were scanned and empty.
                 self.stats.trail_cache_hits += 1
+                obs.metric("localkernel.trail_cache_hits")
                 return None
             if max_ring_size <= bound:
                 self.stats.trail_cache_hits += 1
+                obs.metric("localkernel.trail_cache_hits")
                 return None
             start = bound + 1  # extend a previously exhausted scan
         else:
@@ -214,16 +223,21 @@ class LocalKernel:
             tsrc_mask |= 1 << source
         sources = sorted({source for source, _target in arcs})
 
-        for ring_size in range(start, max_ring_size + 1):
-            for enablements in range(1, ring_size):
-                hit = self._search(self.skeleton(ring_size, enablements),
-                                   arcs, t_succ, tsrc_mask, sources)
-                if hit is not None:
-                    result = (ring_size, enablements) + hit
-                    self._trail_memo[key] = (max_ring_size, result)
-                    return self._witness(support, result)
-        self._trail_memo[key] = (max_ring_size, None)
-        return None
+        with obs.span("trail.search", support=len(arcs),
+                      start=start, max_K=max_ring_size) as span:
+            for ring_size in range(start, max_ring_size + 1):
+                for enablements in range(1, ring_size):
+                    hit = self._search(
+                        self.skeleton(ring_size, enablements),
+                        arcs, t_succ, tsrc_mask, sources)
+                    if hit is not None:
+                        result = (ring_size, enablements) + hit
+                        self._trail_memo[key] = (max_ring_size, result)
+                        if span is not None:
+                            span.attrs["found_K"] = ring_size
+                        return self._witness(support, result)
+            self._trail_memo[key] = (max_ring_size, None)
+            return None
 
     def _witness(self, support: frozenset[LocalTransition],
                  result: tuple) -> TrailWitness:
@@ -250,6 +264,7 @@ class LocalKernel:
         matching SCC in Tarjan emission order, or ``None``.
         """
         self.stats.mask_evaluations += 1
+        obs.metric("localkernel.mask_evaluations")
         n = self.n
         kinds = sk.kinds
         shifts = sk.shifts

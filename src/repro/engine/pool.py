@@ -16,16 +16,29 @@ Guarantees:
 * ``jobs=1``, a single work item, a platform without ``fork``, or any
   pool-level failure (result pickling, broken pool) falls back to the
   plain serial loop — parallelism is an optimisation, never a
-  requirement;
+  requirement.  Every fallback is recorded: the machine-readable reason
+  goes out as a ``pool-fallback`` observability event and bumps the
+  ``pool.fallbacks`` counter (both on the ambient run and on the
+  caller's ``stats``), and the exception path additionally raises a
+  :class:`RuntimeWarning` — degradation is never silent;
 * worker exceptions surface with their original traceback (the serial
-  fallback re-raises them synchronously).
+  fallback re-raises them synchronously);
+* spans and metrics recorded inside the forked workers are captured per
+  item (:func:`repro.obs.runtime.fork_capture_begin` /
+  :func:`~repro.obs.runtime.fork_capture_end`), shipped back with each
+  result, and re-parented as ``item[i]`` subtrees under the
+  dispatching ``pool.map`` span, so a parallel run still yields one
+  coherent trace.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.obs import runtime as obs
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
@@ -42,40 +55,86 @@ def parallelism_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _run_indexed(index: int) -> Any:
+def _run_indexed(index: int) -> tuple[Any, "obs.ChildCapture | None"]:
     assert _WORKER is not None
-    return _WORKER(_CONTEXT, _ITEMS[index])
+    inherited = obs.fork_capture_begin()
+    try:
+        result = _WORKER(_CONTEXT, _ITEMS[index])
+    finally:
+        capture = obs.fork_capture_end(inherited)
+    return result, capture
+
+
+def _record_fallback(stats: Any, reason: str, items: int) -> None:
+    """A serial fallback happened: leave a machine-readable trail."""
+    expected = reason in ("jobs<=1", "single-item")
+    obs.event("pool-fallback", level="info" if expected else "warning",
+              reason=reason, items=items)
+    obs.metric("pool.fallbacks")
+    if stats is not None:
+        stats.pool_fallbacks += 1
+
+
+def _run_serial(worker: Callable[[Any, Item], Result],
+                work: Sequence[Item], context: Any,
+                stats: Any, reason: str) -> list[Result]:
+    _record_fallback(stats, reason, len(work))
+    with obs.span("pool.serial", reason=reason, items=len(work)):
+        return [worker(context, item) for item in work]
 
 
 def run_work_items(worker: Callable[[Any, Item], Result],
                    items: Iterable[Item],
                    jobs: int = 1,
-                   context: Any = None) -> list[Result]:
+                   context: Any = None,
+                   stats: Any = None) -> list[Result]:
     """Apply ``worker(context, item)`` to every item, results in order.
 
     *worker* must be a module-level function (it is looked up by
     qualified name in the children); *context* and *items* may hold
     unpicklable objects, but each **result** must pickle — an
-    unpicklable result silently degrades the whole batch to serial.
-    Workers must not call :func:`run_work_items` with ``jobs > 1``
-    themselves (pool children are daemonic and cannot fork again).
+    unpicklable result degrades the whole batch to serial (and says so,
+    see the module docstring).  Workers must not call
+    :func:`run_work_items` with ``jobs > 1`` themselves (pool children
+    are daemonic and cannot fork again).
+
+    *stats*, when given, is an :class:`repro.engine.EngineStats`: the
+    pool sets ``stats.parallel`` when it actually ran and counts every
+    serial fallback in ``stats.pool_fallbacks``.
     """
     work = list(items)
-    if jobs <= 1 or len(work) <= 1 or not parallelism_available():
-        return [worker(context, item) for item in work]
+    if jobs <= 1:
+        return _run_serial(worker, work, context, stats, "jobs<=1")
+    if len(work) <= 1:
+        return _run_serial(worker, work, context, stats, "single-item")
+    if not parallelism_available():
+        return _run_serial(worker, work, context, stats, "no-fork")
 
     global _WORKER, _CONTEXT, _ITEMS
     _WORKER, _CONTEXT, _ITEMS = worker, context, work
     try:
         pool_context = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=min(jobs, len(work)),
-                                 mp_context=pool_context) as pool:
-            return list(pool.map(_run_indexed, range(len(work))))
-    except Exception:
+        with obs.span("pool.map", jobs=jobs, items=len(work)):
+            with ProcessPoolExecutor(max_workers=min(jobs, len(work)),
+                                     mp_context=pool_context) as pool:
+                outcomes = list(pool.map(_run_indexed, range(len(work))))
+            results = []
+            for index, (result, capture) in enumerate(outcomes):
+                obs.adopt_child(capture, f"item[{index}]")
+                results.append(result)
+        if stats is not None:
+            stats.parallel = True
+        return results
+    except Exception as exc:
         # A worker exception aborts the pool without a usable traceback
         # across some failure modes (and result-pickling errors look the
         # same); recomputing serially either produces the results or
         # re-raises the real error in the parent.
-        return [worker(context, item) for item in work]
+        reason = f"pool-error:{type(exc).__name__}"
+        warnings.warn(
+            f"process pool failed ({type(exc).__name__}: {exc}); "
+            f"recomputing {len(work)} work items serially",
+            RuntimeWarning, stacklevel=2)
+        return _run_serial(worker, work, context, stats, reason)
     finally:
         _WORKER, _CONTEXT, _ITEMS = None, None, ()

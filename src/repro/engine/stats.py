@@ -4,78 +4,157 @@ An :class:`EngineStats` travels inside analysis reports (always as a
 ``compare=False`` field, so two runs with different timings still compare
 equal on their verdicts) and is rendered by ``summary()`` for the CLI and
 the benchmark artifacts.
+
+Since the observability rework the counters live in a
+:class:`repro.obs.MetricsRegistry` under dotted names
+(``engine.work_items``, ``kernel.compile_seconds``, ``stage.sweep``,
+...): cross-stats aggregation is one registry merge instead of a
+hand-written method per counter family, and the same named metrics flow
+into ``--log-json`` run reports.  The flat attribute API
+(``stats.cache_hits += 1``) is preserved on top of the registry, and
+:meth:`stage` both accumulates the ``stage.<name>`` counter and opens a
+span on the ambient observability run.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from typing import Any, Iterator, MutableMapping
+
+from repro.obs import runtime as obs
+from repro.obs.metrics import MetricsRegistry
+
+#: Flat attribute name -> dotted metric name.  Every counter the old
+#: dataclass carried, plus the pool-degradation counter.
+_COUNTER_METRICS = {
+    "work_items": "engine.work_items",
+    "states_explored": "engine.states_explored",
+    "cache_hits": "engine.cache_hits",
+    "cache_misses": "engine.cache_misses",
+    "pool_fallbacks": "pool.fallbacks",
+    "compile_seconds": "kernel.compile_seconds",
+    "encode_seconds": "kernel.encode_seconds",
+    "states_encoded": "kernel.states_encoded",
+    "quotient_states": "kernel.quotient_states",
+    "quotient_full_states": "kernel.quotient_full_states",
+    "skeleton_compiles": "localkernel.skeleton_compiles",
+    "mask_evaluations": "localkernel.mask_evaluations",
+    "trail_cache_hits": "localkernel.trail_cache_hits",
+    "verdict_cache_hits": "synthesis.verdict_cache_hits",
+    "fvs_nodes_explored": "fvs.nodes_explored",
+    "fvs_nodes_pruned": "fvs.nodes_pruned",
+}
+
+_STAGE_PREFIX = "stage."
+
+#: What :meth:`EngineStats.merge_kernel_counters` folds in from a child
+#: run: every kernel-family counter plus the per-stage timings (child
+#: stage time used to vanish, systematically under-reporting sweeps).
+_CHILD_METRIC_SELECTORS = (
+    "kernel.", "localkernel.", "fvs.", "synthesis.", _STAGE_PREFIX)
 
 
-@dataclass
+class _StageSeconds(MutableMapping):
+    """``stats.stage_seconds`` — a dict-shaped live view over the
+    registry's ``stage.<name>`` counters."""
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self._metrics = metrics
+
+    def __getitem__(self, name: str) -> float:
+        key = _STAGE_PREFIX + name
+        if key not in self._metrics:
+            raise KeyError(name)
+        return self._metrics.value(key)
+
+    def __setitem__(self, name: str, seconds: float) -> None:
+        self._metrics.counter(_STAGE_PREFIX + name).value = seconds
+
+    def __delitem__(self, name: str) -> None:
+        key = _STAGE_PREFIX + name
+        if key not in self._metrics:
+            raise KeyError(name)
+        self._metrics.discard(key)
+
+    def __iter__(self) -> Iterator[str]:
+        for key in list(self._metrics):
+            if key.startswith(_STAGE_PREFIX):
+                yield key[len(_STAGE_PREFIX):]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(dict(self))
+
+
 class EngineStats:
     """Counters for one engine-backed analysis run.
 
-    Attributes
-    ----------
-    jobs:
-        The requested degree of parallelism (1 = serial).
-    parallel:
-        Whether the process pool actually ran (``jobs > 1`` and more than
-        one uncached work item on a platform with ``fork``).
-    work_items:
-        Independent work items executed this run (cache hits excluded).
-    states_explored:
-        Global states enumerated by freshly computed work items.
-    cache_hits, cache_misses:
-        Cache lookups answered / not answered during this run.
-    stage_seconds:
-        Wall time per named stage, e.g. ``{"sweep": 0.12}``.
-    compile_seconds, encode_seconds, states_encoded:
-        Kernel-backend counters: guard-compilation wall time, packed
-        state-space build wall time, and states whose successor rows
-        the kernel emitted (see :mod:`repro.engine.kernel`).
-    quotient_states, quotient_full_states:
-        When the rotation-symmetry quotient ran: orbit representatives
-        kept vs. the full space they stand for.
+    ``jobs`` (requested parallelism) and ``parallel`` (whether the
+    process pool actually ran) are plain attributes; every other
+    counter listed in ``_COUNTER_METRICS`` reads and writes through
+    ``self.metrics``.  ``stage_seconds`` stays available as a mapping
+    view over the ``stage.*`` counters.
     """
 
-    jobs: int = 1
-    parallel: bool = False
-    work_items: int = 0
-    states_explored: int = 0
-    cache_hits: int = 0
-    cache_misses: int = 0
-    stage_seconds: dict[str, float] = field(default_factory=dict)
-    compile_seconds: float = 0.0
-    encode_seconds: float = 0.0
-    states_encoded: int = 0
-    quotient_states: int = 0
-    quotient_full_states: int = 0
-    skeleton_compiles: int = 0
-    mask_evaluations: int = 0
-    trail_cache_hits: int = 0
-    verdict_cache_hits: int = 0
-    fvs_nodes_explored: int = 0
-    fvs_nodes_pruned: int = 0
-    """Local-kernel counters (:mod:`repro.engine.localkernel` and the
-    branch-and-bound FVS search): compiled ``(K, |E|)`` skeletons,
-    masked product-graph SCC passes, ``find_trail`` memo hits,
-    synthesis verdicts answered from the combination memo, and FVS
-    search-tree nodes explored / pruned."""
+    def __init__(self, jobs: int = 1, parallel: bool = False,
+                 stage_seconds: dict[str, float] | None = None,
+                 **counters: float) -> None:
+        self.metrics = MetricsRegistry()
+        self.jobs = jobs
+        self.parallel = parallel
+        for name, seconds in (stage_seconds or {}).items():
+            self.metrics.counter(_STAGE_PREFIX + name).value = seconds
+        for name, value in counters.items():
+            metric = _COUNTER_METRICS.get(name)
+            if metric is None:
+                raise TypeError(
+                    f"EngineStats got an unexpected counter {name!r}")
+            self.metrics.counter(metric).value = value
 
+    # -- attribute <-> metric routing ---------------------------------
+    def __getattr__(self, name: str) -> Any:
+        metric = _COUNTER_METRICS.get(name)
+        if metric is None or "metrics" not in self.__dict__:
+            raise AttributeError(name)
+        return self.__dict__["metrics"].value(metric)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        metric = _COUNTER_METRICS.get(name)
+        if metric is not None and "metrics" in self.__dict__:
+            self.__dict__["metrics"].counter(metric).value = value
+        else:
+            object.__setattr__(self, name, value)
+
+    @property
+    def stage_seconds(self) -> _StageSeconds:
+        return _StageSeconds(self.metrics)
+
+    @stage_seconds.setter
+    def stage_seconds(self, stages: dict[str, float]) -> None:
+        for key in [n for n in self.metrics if n.startswith(_STAGE_PREFIX)]:
+            self.metrics.discard(key)
+        for name, seconds in stages.items():
+            self.metrics.counter(_STAGE_PREFIX + name).value = seconds
+
+    # -- recording -----------------------------------------------------
     @contextmanager
-    def stage(self, name: str):
-        """Time a ``with``-block and accumulate it under *name*."""
+    def stage(self, name: str, **attrs: Any):
+        """Time a ``with``-block: accumulate it under ``stage.<name>``
+        and trace it as a span (with *attrs*) on the ambient obs run."""
         began = time.perf_counter()
         try:
-            yield self
+            with obs.span(name, **attrs):
+                yield self
         finally:
             elapsed = time.perf_counter() - began
-            self.stage_seconds[name] = (
-                self.stage_seconds.get(name, 0.0) + elapsed)
+            self.metrics.counter(_STAGE_PREFIX + name).inc(elapsed)
 
+    # -- derived values ------------------------------------------------
     @property
     def total_seconds(self) -> float:
         return sum(self.stage_seconds.values())
@@ -94,6 +173,7 @@ class EngineStats:
             return 0.0
         return self.quotient_full_states / self.quotient_states
 
+    # -- aggregation ---------------------------------------------------
     def absorb_kernel(self, kernel_stats) -> None:
         """Accumulate a :class:`repro.engine.kernel.KernelStats` (or
         ``None``, for naive-backend runs) into these counters."""
@@ -126,21 +206,34 @@ class EngineStats:
         self.fvs_nodes_pruned += fvs_stats.nodes_pruned
 
     def merge_kernel_counters(self, other: "EngineStats | None") -> None:
-        """Accumulate another run's kernel counters (e.g. a per-K
-        report's stats into the enclosing sweep's)."""
+        """Accumulate another run's kernel counters and stage timings
+        (e.g. a per-K report's stats into the enclosing sweep's).
+
+        Engine-level counters (work items, states explored, cache
+        hits/misses) stay out: the enclosing run counts those itself
+        and folding them in again would double-count."""
         if other is None:
             return
-        self.compile_seconds += other.compile_seconds
-        self.encode_seconds += other.encode_seconds
-        self.states_encoded += other.states_encoded
-        self.quotient_states += other.quotient_states
-        self.quotient_full_states += other.quotient_full_states
-        self.skeleton_compiles += other.skeleton_compiles
-        self.mask_evaluations += other.mask_evaluations
-        self.trail_cache_hits += other.trail_cache_hits
-        self.verdict_cache_hits += other.verdict_cache_hits
-        self.fvs_nodes_explored += other.fvs_nodes_explored
-        self.fvs_nodes_pruned += other.fvs_nodes_pruned
+        self.metrics.merge_named(other.metrics, _CHILD_METRIC_SELECTORS)
+
+    def merge(self, other: "EngineStats | None") -> None:
+        """Fold *other* into this stats object wholesale (all counters
+        and stage timings; ``jobs``/``parallel`` are left alone)."""
+        if other is None:
+            return
+        self.metrics.merge(other.metrics)
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-ready dict (flat counter names + stage timings), as
+        embedded in ``repro verify --json`` / ``repro check --json``."""
+        data: dict[str, Any] = {"jobs": self.jobs, "parallel": self.parallel}
+        for name, metric in _COUNTER_METRICS.items():
+            data[name] = self.metrics.value(metric)
+        data["stage_seconds"] = dict(self.stage_seconds)
+        data["total_seconds"] = self.total_seconds
+        data["metrics"] = self.metrics.as_dict()
+        return data
 
     def summary(self) -> str:
         """A one-line human-readable rendering for the CLI."""
@@ -152,6 +245,8 @@ class EngineStats:
                  f"{self.states_explored} states explored",
                  f"cache {self.cache_hits} hits / "
                  f"{self.cache_misses} misses"]
+        if self.pool_fallbacks:
+            parts.append(f"{self.pool_fallbacks} pool fallbacks")
         if self.states_encoded:
             kernel = (f"kernel compile {self.compile_seconds * 1e3:.1f} ms"
                       f", {self.states_encoded} states @ "
@@ -176,3 +271,26 @@ class EngineStats:
                                in self.stage_seconds.items())
             parts.append(stages)
         return "; ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EngineStats(jobs={self.jobs}, parallel={self.parallel}, "
+                f"{self.metrics.as_dict()!r})")
+
+    # -- pickling ------------------------------------------------------
+    def __getstate__(self):
+        return {"jobs": self.jobs, "parallel": self.parallel,
+                "metrics": self.metrics}
+
+    def __setstate__(self, state):
+        object.__setattr__(self, "metrics",
+                           state.get("metrics") or MetricsRegistry())
+        object.__setattr__(self, "jobs", state.get("jobs", 1))
+        object.__setattr__(self, "parallel", state.get("parallel", False))
+        if "metrics" not in state:
+            # Legacy pickle of the pre-registry dataclass (e.g. an old
+            # on-disk cache entry): lift its flat fields into metrics.
+            for name, metric in _COUNTER_METRICS.items():
+                if state.get(name):
+                    self.metrics.counter(metric).value = state[name]
+            for name, seconds in (state.get("stage_seconds") or {}).items():
+                self.metrics.counter(_STAGE_PREFIX + name).value = seconds

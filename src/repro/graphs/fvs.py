@@ -30,6 +30,7 @@ from itertools import combinations
 
 from repro.graphs.digraph import Digraph
 from repro.graphs.scc import cyclic_components, masked_cyclic_mask
+from repro.obs import runtime as obs
 
 
 @dataclass
@@ -138,8 +139,18 @@ def minimal_feedback_vertex_sets(
     found_masks: list[int] = []
     emitted = 0
     for size in range(len(pool) + 1):
-        solutions = _solutions_of_size(masked, allowed_mask, size,
-                                       found_masks, stats)
+        explored_before = stats.nodes_explored
+        pruned_before = stats.nodes_pruned
+        with obs.span("fvs.search", size=size) as span:
+            solutions = _solutions_of_size(masked, allowed_mask, size,
+                                           found_masks, stats)
+            if span is not None:
+                span.attrs["solutions"] = len(solutions)
+                span.attrs["nodes"] = (stats.nodes_explored
+                                       - explored_before)
+        obs.metric("fvs.nodes_explored",
+                   stats.nodes_explored - explored_before)
+        obs.metric("fvs.nodes_pruned", stats.nodes_pruned - pruned_before)
         ordered = sorted(
             solutions,
             key=lambda mask: tuple(sorted(pool_position[i]

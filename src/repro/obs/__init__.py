@@ -1,0 +1,79 @@
+"""`repro.obs` — zero-dependency observability for the repro engine.
+
+Hierarchical span tracing, a metrics registry with one associative
+merge path, structured events, and exporters (Chrome trace format,
+JSONL run logs, human tree reports).  Instrumented code uses the
+ambient-run helpers re-exported here (``obs.span``, ``obs.metric``,
+...); they are near-free no-ops unless a run was activated, which the
+CLI's ``--trace`` / ``--log-json`` flags and the benchmark harness do.
+
+Depends only on the standard library, by design: `repro.engine` (and
+through it nearly every module) imports this package, so it must sit at
+the bottom of the dependency graph.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    load_run_log,
+    render_report,
+    render_run,
+    run_log_records,
+    write_chrome_trace,
+    write_run_log,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.runtime import (
+    ChildCapture,
+    ObsRun,
+    active,
+    adopt_child,
+    annotate,
+    event,
+    finish,
+    fork_capture_begin,
+    fork_capture_end,
+    gauge,
+    metric,
+    run,
+    span,
+    start,
+)
+from repro.obs.trace import Span, Tracer
+from repro.obs.validate import (
+    ValidationError,
+    validate_chrome_trace,
+    validate_run_log,
+)
+
+__all__ = [
+    "ChildCapture",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsRun",
+    "Span",
+    "Tracer",
+    "ValidationError",
+    "active",
+    "adopt_child",
+    "annotate",
+    "chrome_trace",
+    "event",
+    "finish",
+    "fork_capture_begin",
+    "fork_capture_end",
+    "gauge",
+    "load_run_log",
+    "metric",
+    "render_report",
+    "render_run",
+    "run",
+    "run_log_records",
+    "span",
+    "start",
+    "validate_chrome_trace",
+    "validate_run_log",
+    "write_chrome_trace",
+    "write_run_log",
+]

@@ -1,0 +1,143 @@
+"""Schema validation for exported observability artifacts.
+
+Used by the test suite and the CI smoke job (as
+``python -m repro.obs.validate trace.json run.jsonl``) to check that a
+``--trace`` file is valid Chrome Trace Event Format and a
+``--log-json`` file is a well-formed JSONL run log, without pulling in
+a JSON-schema dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from repro.obs.export import RUN_LOG_VERSION, load_run_log
+
+
+class ValidationError(ValueError):
+    """An artifact does not match the expected schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValidationError(message)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace files
+# ----------------------------------------------------------------------
+def validate_chrome_trace_data(data: Any) -> dict[str, int]:
+    """Validate a parsed Chrome trace document; returns event counts."""
+    _require(isinstance(data, dict), "trace root must be a JSON object")
+    events = data.get("traceEvents")
+    _require(isinstance(events, list), "traceEvents must be a list")
+    counts = {"X": 0, "M": 0}
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        _require(isinstance(event, dict), f"{where} must be an object")
+        phase = event.get("ph")
+        _require(phase in ("X", "M"), f"{where}.ph must be 'X' or 'M'")
+        _require(isinstance(event.get("name"), str),
+                 f"{where}.name must be a string")
+        _require(isinstance(event.get("pid"), int),
+                 f"{where}.pid must be an int")
+        _require(isinstance(event.get("tid"), int),
+                 f"{where}.tid must be an int")
+        if phase == "X":
+            for key in ("ts", "dur"):
+                value = event.get(key)
+                _require(isinstance(value, (int, float)) and value >= 0,
+                         f"{where}.{key} must be a non-negative number")
+            args = event.get("args")
+            _require(isinstance(args, dict), f"{where}.args must be an object")
+        counts[phase] += 1
+    _require(counts["X"] > 0, "trace contains no complete ('X') span events")
+    return counts
+
+
+def validate_chrome_trace(path) -> dict[str, int]:
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_chrome_trace_data(data)
+
+
+# ----------------------------------------------------------------------
+# JSONL run logs
+# ----------------------------------------------------------------------
+_SPAN_KEYS = ("name", "depth", "start", "pid", "attrs")
+
+
+def validate_run_log_records(records: list[dict[str, Any]]) -> dict[str, int]:
+    """Validate parsed run-log records; returns per-type counts."""
+    _require(bool(records), "run log is empty")
+    head, tail = records[0], records[-1]
+    _require(head.get("type") == "run", "first record must have type 'run'")
+    _require(head.get("version") == RUN_LOG_VERSION,
+             f"run log version must be {RUN_LOG_VERSION}")
+    _require(isinstance(head.get("name"), str), "run name must be a string")
+    _require(tail.get("type") == "end", "last record must have type 'end'")
+    counts: dict[str, int] = {}
+    previous_depth = -1
+    for i, record in enumerate(records):
+        kind = record.get("type")
+        _require(isinstance(kind, str), f"record {i} lacks a 'type'")
+        counts[kind] = counts.get(kind, 0) + 1
+        if kind == "span":
+            for key in _SPAN_KEYS:
+                _require(key in record, f"span record {i} lacks {key!r}")
+            depth = record["depth"]
+            _require(isinstance(depth, int) and depth >= 0,
+                     f"span record {i} depth must be a non-negative int")
+            _require(depth <= previous_depth + 1,
+                     f"span record {i} depth {depth} breaks pre-order "
+                     f"(previous depth {previous_depth})")
+            previous_depth = depth
+        elif kind == "metrics":
+            _require(isinstance(record.get("values"), dict),
+                     f"metrics record {i} lacks a 'values' object")
+    _require(counts.get("run", 0) == 1, "expected exactly one 'run' record")
+    _require(counts.get("end", 0) == 1, "expected exactly one 'end' record")
+    _require(counts.get("metrics", 0) == 1,
+             "expected exactly one 'metrics' record")
+    _require(counts.get("span", 0) > 0, "run log contains no span records")
+    return counts
+
+
+def validate_run_log(path) -> dict[str, int]:
+    try:
+        records = load_run_log(path)
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path}: not valid JSONL: {exc}") from exc
+    return validate_run_log_records(records)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate each path by suffix: ``.jsonl`` = run log, else trace."""
+    paths = sys.argv[1:] if argv is None else argv
+    if not paths:
+        print("usage: python -m repro.obs.validate ARTIFACT...",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for path in paths:
+        try:
+            if str(path).endswith(".jsonl"):
+                counts = validate_run_log(path)
+            else:
+                counts = validate_chrome_trace(path)
+        except (OSError, ValidationError) as exc:
+            print(f"FAIL {path}: {exc}", file=sys.stderr)
+            status = 1
+        else:
+            summary = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+            print(f"ok {path}: {summary}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -218,7 +218,8 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
     protocols = [sampler.sample() for _ in range(samples)]
 
     outcomes: dict[int, _SampleOutcome] = {}
-    with stats.stage("audit"):
+    with stats.stage("audit", samples=samples,
+                     max_ring_size=max_ring_size, jobs=jobs):
         pending: list[int] = []
         keys: dict[int, str] = {}
         for index, protocol in enumerate(protocols):
@@ -236,8 +237,8 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
         if jobs > 1 and len(pending) > 1:
             fresh = run_work_items(_audit_indexed_worker, pending,
                                    jobs=jobs,
-                                   context=(max_ring_size, protocols))
-            stats.parallel = True
+                                   context=(max_ring_size, protocols),
+                                   stats=stats)
         else:
             fresh = [_audit_one(max_ring_size, protocols[index])
                      for index in pending]

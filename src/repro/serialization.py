@@ -160,6 +160,11 @@ def _state_str(state: LocalState) -> str:
     return str(state)
 
 
+def engine_stats_to_dict(stats) -> dict[str, Any] | None:
+    """Export an :class:`~repro.engine.EngineStats` (or ``None``)."""
+    return None if stats is None else stats.to_dict()
+
+
 def convergence_report_to_dict(report) -> dict[str, Any]:
     """Export a :class:`~repro.core.convergence.ConvergenceReport`."""
     deadlock = report.deadlock
@@ -194,6 +199,7 @@ def convergence_report_to_dict(report) -> dict[str, Any]:
                 for w in report.livelock.trail_witnesses
             ],
         }
+    data["stats"] = engine_stats_to_dict(report.stats)
     return data
 
 
@@ -210,4 +216,5 @@ def global_report_to_dict(report) -> dict[str, Any]:
         "weakly_converging": report.weakly_converging,
         "self_stabilizing": report.self_stabilizing,
         "worst_case_recovery_steps": report.worst_case_recovery_steps,
+        "stats": engine_stats_to_dict(getattr(report, "stats", None)),
     }

@@ -1,0 +1,89 @@
+"""Exporter formats: Chrome traces, JSONL run logs, tree reports."""
+
+import json
+
+import pytest
+
+from repro.obs import export, runtime as obs, validate
+
+
+@pytest.fixture()
+def sample_run():
+    with obs.run("sample", protocol="sum-not-two") as run_ctx:
+        with obs.span("sweep", jobs=2):
+            with obs.span("check", K=3):
+                obs.metric("engine.work_items")
+            obs.event("pool-fallback", level="warning", reason="no-fork")
+    return run_ctx
+
+
+def test_chrome_trace_schema(sample_run, tmp_path):
+    path = tmp_path / "trace.json"
+    export.write_chrome_trace(path, sample_run)
+    counts = validate.validate_chrome_trace(path)
+    assert counts["X"] == 3  # sample + sweep + check
+    assert counts["M"] >= 1  # process_name metadata
+
+    data = json.loads(path.read_text())
+    spans = {e["name"]: e for e in data["traceEvents"] if e["ph"] == "X"}
+    # Children nest inside their parent on the timeline.
+    assert spans["check"]["ts"] >= spans["sweep"]["ts"]
+    assert (spans["check"]["ts"] + spans["check"]["dur"]
+            <= spans["sweep"]["ts"] + spans["sweep"]["dur"] + 1e-3)
+    assert spans["check"]["args"] == {"K": 3}
+    assert data["otherData"]["metrics"]["engine.work_items"] == 1
+
+
+def test_run_log_schema_and_roundtrip(sample_run, tmp_path):
+    path = tmp_path / "run.jsonl"
+    export.write_run_log(path, sample_run)
+    counts = validate.validate_run_log(path)
+    assert counts == {"run": 1, "span": 3, "event": 1,
+                      "metrics": 1, "end": 1}
+
+    records = export.load_run_log(path)
+    spans = [r for r in records if r["type"] == "span"]
+    assert [(s["name"], s["depth"]) for s in spans] == [
+        ("sample", 0), ("sweep", 1), ("check", 2)]
+    metrics = next(r for r in records if r["type"] == "metrics")
+    assert metrics["values"]["engine.work_items"] == 1
+    event = next(r for r in records if r["type"] == "event")
+    assert event["reason"] == "no-fork"
+    assert event["level"] == "warning"
+
+
+def test_render_report_tree(sample_run):
+    text = export.render_report(list(export.run_log_records(sample_run)))
+    assert "== run: sample ==" in text
+    assert "sweep" in text and "check" in text
+    assert "[warning] pool-fallback" in text
+    assert "engine.work_items = 1" in text
+    assert "wall time:" in text
+    # Depth shows as indentation: check is deeper than sweep.
+    sweep_line = next(l for l in text.splitlines() if "sweep" in l)
+    check_line = next(l for l in text.splitlines() if "check" in l)
+    indent = lambda line: len(line) - len(line.lstrip())  # noqa: E731
+    assert indent(check_line) == indent(sweep_line)  # same ms column
+    assert check_line.index("check") > sweep_line.index("sweep")
+
+
+def test_validator_rejects_malformed_artifacts(tmp_path):
+    bad_trace = tmp_path / "bad.json"
+    bad_trace.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+    with pytest.raises(validate.ValidationError):
+        validate.validate_chrome_trace(bad_trace)
+
+    bad_log = tmp_path / "bad.jsonl"
+    bad_log.write_text(json.dumps({"type": "span", "name": "x"}) + "\n")
+    with pytest.raises(validate.ValidationError):
+        validate.validate_run_log(bad_log)
+
+    assert validate.main([str(bad_trace), str(bad_log)]) == 1
+
+
+def test_validator_main_accepts_good_artifacts(sample_run, tmp_path):
+    trace = tmp_path / "t.json"
+    log = tmp_path / "r.jsonl"
+    export.write_chrome_trace(trace, sample_run)
+    export.write_run_log(log, sample_run)
+    assert validate.main([str(trace), str(log)]) == 0

@@ -1,0 +1,119 @@
+"""Metric kinds and the single registry merge path."""
+
+import pickle
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def _registry(spec):
+    registry = MetricsRegistry()
+    for kind, name, values in spec:
+        for value in values:
+            if kind == "counter":
+                registry.counter(name).inc(value)
+            elif kind == "gauge":
+                registry.gauge(name).set(value)
+            else:
+                registry.histogram(name).observe(value)
+    return registry
+
+
+SPECS = [
+    [("counter", "a", [1, 2]), ("histogram", "h", [0.5, 3.0])],
+    [("counter", "a", [10]), ("counter", "b", [7]),
+     ("gauge", "g", ["x"])],
+    [("histogram", "h", [1.0]), ("gauge", "g", ["y"]),
+     ("counter", "b", [1])],
+]
+
+
+def test_merge_is_associative():
+    # ((a + b) + c) and (a + (b + c)) must export identically.
+    left = _registry(SPECS[0])
+    left.merge(_registry(SPECS[1]))
+    left.merge(_registry(SPECS[2]))
+
+    bc = _registry(SPECS[1])
+    bc.merge(_registry(SPECS[2]))
+    right = _registry(SPECS[0])
+    right.merge(bc)
+
+    assert left.as_dict() == right.as_dict()
+    assert left.as_dict()["a"] == 13
+    assert left.as_dict()["h"] == {
+        "count": 3, "total": 4.5, "min": 0.5, "max": 3.0, "mean": 1.5}
+    assert left.as_dict()["g"] == "y"
+
+
+def test_merge_order_of_fold_does_not_matter_for_counters_histograms():
+    parts = [_registry(spec) for spec in SPECS]
+    forward = MetricsRegistry()
+    for part in parts:
+        forward.merge(part)
+    backward = MetricsRegistry()
+    for part in reversed(parts):
+        backward.merge(part)
+    for name in ("a", "b", "h"):
+        assert forward.value(name) == backward.value(name)
+
+
+def test_merge_named_selects_exact_names_and_prefixes():
+    source = MetricsRegistry()
+    source.counter("kernel.compile_seconds").inc(1.5)
+    source.counter("stage.sweep").inc(2.0)
+    source.counter("engine.work_items").inc(9)
+    source.counter("stageless").inc(4)
+
+    target = MetricsRegistry()
+    target.merge_named(source, ["kernel.", "stage.", "stageless"])
+    assert target.value("kernel.compile_seconds") == 1.5
+    assert target.value("stage.sweep") == 2.0
+    assert target.value("stageless") == 4
+    assert "engine.work_items" not in target
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError):
+        registry.gauge("x")
+
+
+def test_metrics_pickle_roundtrip():
+    registry = _registry(SPECS[0])
+    clone = pickle.loads(pickle.dumps(registry))
+    assert clone.as_dict() == registry.as_dict()
+    clone.counter("a").inc(1)  # still mutable after the round trip
+    assert clone.value("a") == registry.value("a") + 1
+
+
+def test_copy_is_independent():
+    registry = _registry(SPECS[0])
+    clone = registry.copy()
+    clone.counter("a").inc(100)
+    assert registry.value("a") == 3
+
+
+def test_gauge_merge_ignores_unset_other():
+    gauge = Gauge("g", "keep")
+    gauge.merge(Gauge("g"))
+    assert gauge.value == "keep"
+
+
+def test_histogram_summary_fields():
+    histogram = Histogram("h")
+    for value in (4.0, 1.0, 2.5):
+        histogram.observe(value)
+    assert histogram.count == 3
+    assert histogram.minimum == 1.0
+    assert histogram.maximum == 4.0
+    assert histogram.mean == pytest.approx(2.5)
+
+
+def test_counter_value_default():
+    registry = MetricsRegistry()
+    assert registry.value("missing") == 0
+    assert registry.value("missing", default=None) is None
+    assert isinstance(registry.counter("c"), Counter)

@@ -1,0 +1,195 @@
+"""Observability across the fork pool, and its differential contract.
+
+Covers the issue's acceptance tests: a ``jobs=2`` run yields one
+deterministic re-parented span tree; every serial fallback carries a
+machine-readable reason; and verdicts are byte-identical with tracing
+on or off.
+"""
+
+import dataclasses
+import json
+import pickle
+import warnings
+
+import pytest
+
+from repro.engine import EngineStats
+from repro.engine.pool import parallelism_available, run_work_items
+from repro.obs import runtime as obs
+from repro.checker.sweep import sweep_verify
+from repro.protocols import stabilizing_sum_not_two
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_run():
+    assert obs.active() is None
+    yield
+    if obs.active() is not None:  # pragma: no cover - test bug guard
+        obs.finish(obs.active())
+        pytest.fail("test leaked an active observability run")
+
+
+# Pool workers must be module-level (resolved by qualified name in the
+# forked children).
+def _square(_context, item):
+    with obs.span("worker.square", item=item):
+        obs.metric("worker.calls")
+    return item * item
+
+
+def _unpicklable(_context, _item):
+    return lambda: None  # cannot cross the result pipe
+
+
+needs_fork = pytest.mark.skipif(not parallelism_available(),
+                                reason="fork start method unavailable")
+
+
+# ----------------------------------------------------------------------
+# span re-parenting across the fork boundary
+# ----------------------------------------------------------------------
+@needs_fork
+def test_parallel_run_yields_one_deterministic_span_tree():
+    stats = EngineStats(jobs=2)
+    with obs.run("pool-test") as run_ctx:
+        results = run_work_items(_square, [2, 3, 4], jobs=2, stats=stats)
+    assert results == [4, 9, 16]
+    assert stats.parallel
+    assert stats.pool_fallbacks == 0
+
+    pool_span = run_ctx.spans[0].children[0]
+    assert pool_span.name == "pool.map"
+    assert pool_span.attrs == {"jobs": 2, "items": 3}
+    # Adoption is by item index, so the tree is deterministic no matter
+    # which worker finished first.
+    assert [c.name for c in pool_span.children] == [
+        "item[0]", "item[1]", "item[2]"]
+    for index, wrapper in enumerate(pool_span.children):
+        assert "pid" in wrapper.attrs
+        (child,) = wrapper.children
+        assert child.name == "worker.square"
+        assert child.attrs == {"item": index + 2}
+        assert child.pid == wrapper.attrs["pid"]
+    # Worker metrics merged back into the parent run.
+    assert run_ctx.metrics.value("worker.calls") == 3
+    assert run_ctx.metrics.value("pool.fallbacks", default=None) is None
+
+
+@needs_fork
+def test_parallel_run_without_active_run_still_returns_results():
+    stats = EngineStats(jobs=2)
+    assert run_work_items(_square, [5, 6], jobs=2,
+                          stats=stats) == [25, 36]
+    assert stats.parallel
+
+
+# ----------------------------------------------------------------------
+# fallback telemetry — degradation is never silent
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("items,jobs,reason,level", [
+    ([1, 2, 3], 1, "jobs<=1", "info"),
+    ([7], 4, "single-item", "info"),
+])
+def test_expected_fallbacks_record_info_events(items, jobs, reason,
+                                               level):
+    stats = EngineStats(jobs=jobs)
+    with obs.run("fallback-test") as run_ctx:
+        results = run_work_items(_square, items, jobs=jobs, stats=stats)
+    assert results == [i * i for i in items]
+    assert not stats.parallel
+    assert stats.pool_fallbacks == 1
+    assert run_ctx.metrics.value("pool.fallbacks") == 1
+    (event,) = [e for e in run_ctx.events
+                if e["kind"] == "pool-fallback"]
+    assert event["reason"] == reason
+    assert event["level"] == level
+    serial_span = run_ctx.spans[0].children[0]
+    assert serial_span.name == "pool.serial"
+    assert serial_span.attrs == {"reason": reason, "items": len(items)}
+
+
+@needs_fork
+def test_pool_error_falls_back_with_warning_and_reason():
+    stats = EngineStats(jobs=2)
+    with obs.run("error-test") as run_ctx:
+        with pytest.warns(RuntimeWarning, match="recomputing"):
+            results = run_work_items(_unpicklable, [1, 2], jobs=2,
+                                     stats=stats)
+    assert len(results) == 2 and all(callable(r) for r in results)
+    assert stats.pool_fallbacks == 1
+    assert not stats.parallel
+    (event,) = [e for e in run_ctx.events
+                if e["kind"] == "pool-fallback"]
+    assert event["reason"].startswith("pool-error:")
+    assert event["level"] == "warning"
+
+
+def test_fallback_without_stats_or_run_is_quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert run_work_items(_square, [3], jobs=1) == [9]
+
+
+# ----------------------------------------------------------------------
+# EngineStats on the metrics registry
+# ----------------------------------------------------------------------
+def test_merge_kernel_counters_accumulates_stage_seconds():
+    parent = EngineStats()
+    parent.stage_seconds["sweep"] = 1.0
+    child = EngineStats()
+    child.stage_seconds["check"] = 0.25
+    child.compile_seconds = 0.5
+    child.work_items = 99  # engine-level: must NOT fold into the parent
+
+    parent.merge_kernel_counters(child)
+    parent.merge_kernel_counters(child)
+    assert parent.stage_seconds["check"] == pytest.approx(0.5)
+    assert parent.stage_seconds["sweep"] == pytest.approx(1.0)
+    assert parent.compile_seconds == pytest.approx(1.0)
+    assert parent.work_items == 0
+    parent.merge_kernel_counters(None)  # tolerated
+
+
+def test_stats_pickle_roundtrip_preserves_metrics():
+    stats = EngineStats(jobs=4)
+    stats.work_items = 3
+    stats.stage_seconds["closure"] = 0.125
+    clone = pickle.loads(pickle.dumps(stats))
+    assert clone.jobs == 4
+    assert clone.work_items == 3
+    assert clone.stage_seconds["closure"] == 0.125
+    assert clone.to_dict() == stats.to_dict()
+
+
+def test_stats_to_dict_is_json_ready():
+    stats = EngineStats()
+    with stats.stage("closure"):
+        pass
+    stats.cache_hits += 2
+    data = json.loads(json.dumps(stats.to_dict()))
+    assert data["cache_hits"] == 2
+    assert "closure" in data["stage_seconds"]
+    assert data["total_seconds"] >= 0
+    assert data["metrics"]["engine.cache_hits"] == 2
+
+
+# ----------------------------------------------------------------------
+# the differential contract: tracing never changes verdicts
+# ----------------------------------------------------------------------
+def test_sweep_verdicts_byte_identical_with_tracing_on():
+    protocol = stabilizing_sum_not_two()
+    plain = sweep_verify(protocol, up_to=6, jobs=2)
+    with obs.run("traced-sweep"):
+        traced = sweep_verify(protocol, up_to=6, jobs=2)
+
+    def verdict_bytes(result):
+        # stats carry wall-clock timings, which differ run to run; the
+        # contract is about the verdict payload.
+        return pickle.dumps(tuple(
+            dataclasses.replace(report, stats=None)
+            for report in result.reports))
+
+    assert verdict_bytes(traced) == verdict_bytes(plain)
+    assert traced.reports == plain.reports
+    assert traced.all_self_stabilizing == plain.all_self_stabilizing
+    assert traced.failing_sizes == plain.failing_sizes
