@@ -27,7 +27,9 @@ from typing import TYPE_CHECKING
 
 from repro.checker.convergence import GlobalReport, check_instance
 from repro.engine import EngineStats, ResultCache, analysis_key, \
-    run_work_items
+    supervise_work_items
+from repro.engine.journal import RunJournal
+from repro.engine.supervisor import FaultPlan, SupervisorPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocol.ring import RingProtocol
@@ -95,13 +97,26 @@ def _check_size(protocol: "RingProtocol", size: int,
     return report, time.perf_counter() - began
 
 
+def sweep_fingerprint(protocol: "RingProtocol", up_to: int,
+                      start: int | None = None,
+                      symmetry: bool = False) -> str:
+    """The identity of one sweep for journal pinning: resuming a run
+    recorded for a different protocol or range is refused."""
+    first = protocol.process.window_width if start is None else start
+    return analysis_key("sweep", protocol, start=first, up_to=up_to,
+                        symmetry=symmetry)
+
+
 def sweep_verify(protocol: "RingProtocol", up_to: int,
                  start: int | None = None,
                  stop_on_failure: bool = False,
                  jobs: int = 1,
                  cache: ResultCache | None = None,
                  backend: str = "auto",
-                 symmetry: bool = False) -> SweepResult:
+                 symmetry: bool = False,
+                 policy: SupervisorPolicy | None = None,
+                 journal: RunJournal | None = None,
+                 fault_plan: FaultPlan | None = None) -> SweepResult:
     """Model-check every ring size from *start* (default: the read-window
     width) through *up_to*.
 
@@ -115,14 +130,25 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
     :func:`repro.checker.convergence.check_instance` — the compiled
     kernel (and, opt-in, its rotation quotient) replaces the naive
     per-state interpretation with identical verdicts.
+
+    *policy* supervises the per-K checks (timeouts, crash retry,
+    degradation to the in-parent naive backend — see
+    :mod:`repro.engine.supervisor`); *journal* checkpoints each
+    completed size durably and skips sizes a prior run already
+    finished, merging their reports' partial :class:`EngineStats` into
+    this run's counters.  A supervised or journaled ``stop_on_failure``
+    sweep checks speculatively like the parallel one.  *fault_plan* is
+    test-only injection.
     """
     first = protocol.process.window_width if start is None else start
     if first > up_to:
         raise ValueError(f"empty sweep range {first}..{up_to}")
     sizes = list(range(first, up_to + 1))
     stats = EngineStats(jobs=jobs)
+    supervised = (policy is not None or journal is not None
+                  or fault_plan is not None)
 
-    if jobs <= 1:
+    if jobs <= 1 and not supervised:
         # Serial: check sizes in order so stop_on_failure exits early.
         kept_reports: list[GlobalReport] = []
         kept_timings: list[float] = []
@@ -138,8 +164,9 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
                            elapsed_seconds=tuple(kept_timings),
                            stats=stats)
 
-    # Parallel: probe the cache up front, fan the misses out, truncate
-    # afterwards (speculative checking keeps the result equal to serial).
+    # Parallel / supervised: probe the cache and journal up front, fan
+    # the misses out, truncate afterwards (speculative checking keeps
+    # the result equal to serial).
     reports: dict[int, GlobalReport] = {}
     timings: dict[int, float] = {}
     with stats.stage("sweep", start=first, up_to=up_to, jobs=jobs):
@@ -154,13 +181,29 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
                     timings[size] = time.perf_counter() - probe_began
                     continue
                 stats.cache_misses += 1
+            if journal is not None:
+                key = _sweep_key(protocol, size, symmetry)
+                if key in journal.completed:
+                    # A prior run finished this size: reuse its report
+                    # and fold its partial stats into this run's.
+                    report, elapsed = journal.completed[key]
+                    stats.supervisor_resumed += 1
+                    stats.merge_kernel_counters(
+                        getattr(report, "stats", None))
+                    reports[size] = report
+                    timings[size] = elapsed
+                    continue
             pending.append(size)
 
-        if len(pending) > 1:
-            outcomes = run_work_items(_sweep_worker, pending, jobs=jobs,
-                                      context=(protocol, backend,
-                                               symmetry),
-                                      stats=stats)
+        if supervised or len(pending) > 1:
+            keys = [_sweep_key(protocol, size, symmetry)
+                    for size in pending] if journal is not None else None
+            outcomes = supervise_work_items(
+                _sweep_worker, pending, jobs=jobs,
+                context=(protocol, backend, symmetry),
+                stats=stats, policy=policy, journal=journal,
+                keys=keys, fallback_worker=_sweep_fallback_worker,
+                plan=fault_plan)
         else:
             outcomes = [_check_size(protocol, size, backend, symmetry)
                         for size in pending]
@@ -210,3 +253,14 @@ def _sweep_worker(context, size: int) -> tuple[GlobalReport, float]:
     """Module-level worker for :func:`repro.engine.run_work_items`."""
     protocol, backend, symmetry = context
     return _check_size(protocol, size, backend, symmetry)
+
+
+def _sweep_fallback_worker(context, size: int,
+                           ) -> tuple[GlobalReport, float]:
+    """A degraded work item: re-run in-parent on the reference naive
+    backend (reports are backend-identical, so the sweep result does
+    not change).  The rotation quotient exists only in the kernel, so
+    ``symmetry`` runs keep their requested backend."""
+    protocol, backend, symmetry = context
+    return _check_size(protocol, size,
+                       backend if symmetry else "naive", symmetry)

@@ -8,6 +8,8 @@
     repro hybrid agreement-livelock        # refine UNKNOWN via checking
     repro check agreement-ss -K 6          # global model checking, one K
     repro sweep matching-ex4.3 --up-to 8   # cutoff-style per-K baseline
+    repro sweep agreement-ss --up-to 9 --jobs 4 --timeout 30 --checkpoint
+    repro sweep agreement-ss --up-to 9 --resume <run-id>
     repro synthesize sum-not-two           # Section 6 methodology
     repro simulate agreement-ss -K 8       # random-daemon convergence study
     repro fuzz --samples 50                # random-protocol theorem audit
@@ -27,6 +29,7 @@ from repro.core import (
     verify_convergence,
 )
 from repro.core.deadlock import DeadlockAnalyzer
+from repro.engine.journal import JournalError
 from repro.obs import runtime as obs
 from repro.protocols.registry import REGISTRY, get_protocol
 from repro.simulation import convergence_study
@@ -86,6 +89,78 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         help="quotient the global space by ring rotations (kernel only; "
              "~K-fold smaller, all verdicts preserved, state counts "
              "refer to rotation orbits)")
+
+
+def _add_supervisor_options(parser: argparse.ArgumentParser,
+                            resume: bool = False) -> None:
+    """The supervision flags (``--timeout``, ``--retries`` and, for the
+    long-running commands, ``--checkpoint`` / ``--run-id`` /
+    ``--resume``)."""
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-work-item wall-clock budget; an over-budget task is "
+             "killed and retried (--retries), then degraded to an "
+             "in-process serial fallback")
+    parser.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts for a crashed or timed-out work item "
+             "before degrading (default: 2 once supervision is on)")
+    if resume:
+        parser.add_argument(
+            "--checkpoint", action="store_true",
+            help="journal each completed work item under "
+                 "<cache-dir>/runs/<run-id>/ so an interrupted run can "
+                 "be resumed")
+        parser.add_argument(
+            "--run-id", default=None, metavar="ID",
+            help="run identifier for --checkpoint (default: generated "
+                 "and printed; implies --checkpoint)")
+        parser.add_argument(
+            "--resume", default=None, metavar="ID",
+            help="resume a prior --checkpoint run: items its journal "
+                 "already holds are not re-executed")
+
+
+def _supervisor_policy(args: argparse.Namespace):
+    """The :class:`SupervisorPolicy` requested by the flags, or ``None``
+    (= unsupervised, the plain pool fast path)."""
+    if args.timeout is None and args.retries is None:
+        return None
+    from repro.engine.supervisor import SupervisorPolicy
+
+    return SupervisorPolicy(
+        timeout=args.timeout,
+        retries=args.retries if args.retries is not None else 2)
+
+
+def _run_journal(args: argparse.Namespace, fingerprint: str):
+    """The :class:`RunJournal` requested by the flags, or ``None``.
+
+    ``--resume`` reloads (and fingerprint-checks) a prior run;
+    ``--checkpoint`` / ``--run-id`` start a new one and print its id so
+    a later ``--resume`` can name it.
+    """
+    resume = getattr(args, "resume", None)
+    checkpoint = getattr(args, "checkpoint", False) \
+        or getattr(args, "run_id", None) is not None
+    if resume is None and not checkpoint:
+        return None
+    from repro.engine.journal import RunJournal, runs_root
+
+    root = runs_root(args.cache_dir)
+    if resume is not None:
+        journal = RunJournal.resume(root, resume,
+                                    fingerprint=fingerprint)
+        print(f"resuming run {journal.run_id}: {len(journal)} "
+              f"completed items in the journal", file=sys.stderr)
+    else:
+        journal = RunJournal.create(root, run_id=args.run_id,
+                                    command=args.command,
+                                    fingerprint=fingerprint)
+        print(f"checkpointing to run {journal.run_id} "
+              f"(continue with --resume {journal.run_id})",
+              file=sys.stderr)
+    return journal
 
 
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
@@ -149,7 +224,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     report = verify_convergence(protocol,
                                 max_ring_size=args.max_ring_size,
                                 jobs=args.jobs, cache=cache,
-                                backend=args.backend)
+                                backend=args.backend,
+                                policy=_supervisor_policy(args))
     if args.json:
         import json
 
@@ -209,16 +285,22 @@ def _cmd_hybrid(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.checker.sweep import sweep_verify
+    from repro.checker.sweep import sweep_fingerprint, sweep_verify
 
     protocol = _resolve_protocol(args.protocol)
     cache = _engine_cache(args)
+    journal = _run_journal(args, sweep_fingerprint(
+        protocol, args.up_to, symmetry=args.symmetry))
     result = sweep_verify(protocol, up_to=args.up_to,
                           stop_on_failure=args.stop_on_failure,
                           jobs=args.jobs, cache=cache,
-                          backend=args.backend, symmetry=args.symmetry)
+                          backend=args.backend, symmetry=args.symmetry,
+                          policy=_supervisor_policy(args),
+                          journal=journal)
     print(f"== per-size sweep of {protocol.name} ==")
     print(result.summary())
+    if journal is not None:
+        print(journal.stats.summary(), file=sys.stderr)
     if cache is not None:
         print(cache.stats.summary())
     return 0 if result.all_self_stabilizing else 1
@@ -231,7 +313,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     report = audit_theorems(samples=args.samples,
                             max_ring_size=args.max_ring_size,
                             seed=args.seed,
-                            jobs=args.jobs, cache=cache)
+                            jobs=args.jobs, cache=cache,
+                            policy=_supervisor_policy(args))
     print(report.summary())
     _print_stats(report.stats, cache)
     for discrepancy in report.discrepancies:
@@ -252,9 +335,25 @@ def _cmd_check(args: argparse.Namespace) -> int:
                          symmetry=args.symmetry)
         report = cache.get(key)
     if report is None:
-        report = check_instance(protocol.instantiate(args.ring_size),
-                                backend=args.backend,
-                                symmetry=args.symmetry)
+        policy = _supervisor_policy(args)
+        if policy is not None:
+            # One supervised work item: the check gets the same
+            # timeout/retry/degradation ladder as a sweep of one size.
+            from repro.checker.sweep import (
+                _sweep_fallback_worker,
+                _sweep_worker,
+            )
+            from repro.engine import supervise_work_items
+
+            [(report, _elapsed)] = supervise_work_items(
+                _sweep_worker, [args.ring_size], jobs=1,
+                context=(protocol, args.backend, args.symmetry),
+                policy=policy,
+                fallback_worker=_sweep_fallback_worker)
+        else:
+            report = check_instance(
+                protocol.instantiate(args.ring_size),
+                backend=args.backend, symmetry=args.symmetry)
         if cache is not None:
             cache.put(key, report)
     if args.json:
@@ -271,18 +370,26 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
+    from repro.core.synthesis import synthesis_fingerprint
+
     protocol = get_protocol(args.protocol)
     _annotate_protocol(protocol)
     cache = _engine_cache(args)
+    journal = _run_journal(args, synthesis_fingerprint(
+        protocol, args.max_ring_size))
     result = synthesize_convergence(protocol,
                                     max_ring_size=args.max_ring_size,
                                     backend=args.backend,
-                                    jobs=args.jobs, cache=cache)
+                                    jobs=args.jobs, cache=cache,
+                                    policy=_supervisor_policy(args),
+                                    journal=journal)
     print(f"== synthesis for {protocol.name} ==")
     print(result.summary())
     if result.succeeded and result.protocol is not None:
         print()
         print(result.protocol.pretty())
+    if journal is not None:
+        print(journal.stats.summary(), file=sys.stderr)
     _print_stats(result.stats, cache)
     return 0 if result.succeeded else 1
 
@@ -395,6 +502,7 @@ def build_parser() -> argparse.ArgumentParser:
              "local-reasoning kernel (default) or the naive Digraph "
              "reference searcher")
     _add_engine_options(verify)
+    _add_supervisor_options(verify)
     _add_obs_options(verify)
     verify.set_defaults(func=_cmd_verify)
 
@@ -421,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--stop-on-failure", action="store_true")
     _add_engine_options(sweep)
     _add_backend_options(sweep)
+    _add_supervisor_options(sweep, resume=True)
     _add_obs_options(sweep)
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -430,6 +539,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--max-ring-size", type=int, default=5)
     fuzz.add_argument("--seed", type=int, default=0)
     _add_engine_options(fuzz)
+    _add_supervisor_options(fuzz)
     _add_obs_options(fuzz)
     fuzz.set_defaults(func=_cmd_fuzz)
 
@@ -443,6 +553,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "single instance is a single work item")
     _add_engine_options(check, jobs=False)
     _add_backend_options(check)
+    _add_supervisor_options(check)
     _add_obs_options(check)
     check.set_defaults(func=_cmd_check)
 
@@ -462,6 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
              "local-reasoning kernel (default) or the naive Digraph "
              "reference pipeline")
     _add_engine_options(synth)
+    _add_supervisor_options(synth, resume=True)
     _add_obs_options(synth)
     synth.set_defaults(func=_cmd_synthesize)
 
@@ -526,6 +638,9 @@ def main(argv: list[str] | None = None) -> int:
         return _dispatch(args)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

@@ -21,6 +21,7 @@ from repro.core.livelock import (
 )
 from repro.core.rcg import build_rcg
 from repro.engine import EngineStats, ResultCache, analysis_key
+from repro.engine.supervisor import SupervisorPolicy
 from repro.protocol.localstate import LocalState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -176,6 +177,7 @@ def verify_convergence(protocol: "RingProtocol",
                        jobs: int = 1,
                        cache: ResultCache | None = None,
                        backend: str = "auto",
+                       policy: SupervisorPolicy | None = None,
                        ) -> ConvergenceReport:
     """The full parameterized analysis of *protocol*.
 
@@ -187,7 +189,9 @@ def verify_convergence(protocol: "RingProtocol",
     reports across runs (keyed on the protocol fingerprint plus
     ``max_ring_size`` / ``check_livelocks``); *backend* selects the
     contiguous-trail engine (``kernel``/``naive``, see
-    :class:`repro.core.trail.ContiguousTrailSearcher`).
+    :class:`repro.core.trail.ContiguousTrailSearcher`); *policy*
+    supervises the fanned-out trail searches (timeouts, crash retry,
+    degradation — see :mod:`repro.engine.supervisor`).
     """
     stats = EngineStats(jobs=jobs)
     key = None
@@ -223,7 +227,8 @@ def verify_convergence(protocol: "RingProtocol",
             with stats.stage("livelock"):
                 livelock = LivelockCertifier(
                     protocol, max_ring_size=max_ring_size,
-                    jobs=jobs, backend=backend).analyze()
+                    jobs=jobs, backend=backend,
+                    policy=policy).analyze()
         except AssumptionViolation:
             # Theorem 5.14 does not apply (Assumptions 1/2 broken);
             # the deadlock half still stands, livelocks stay open.

@@ -30,7 +30,8 @@ from repro.core.pseudolivelock import (
 from repro.core.selfdisabling import is_self_disabling, is_self_terminating
 from repro.core.trail import ContiguousTrailSearcher, TrailWitness
 from repro.engine import EngineStats, ResultCache, analysis_key, \
-    run_work_items
+    supervise_work_items
+from repro.engine.supervisor import SupervisorPolicy
 from repro.errors import AssumptionViolation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,6 +81,17 @@ def _find_trail_worker(searcher: ContiguousTrailSearcher,
     return searcher.find_trail(support)
 
 
+def _find_trail_fallback(searcher: ContiguousTrailSearcher,
+                         support) -> TrailWitness | None:
+    """A degraded trail search: in-parent, on the reference naive
+    Digraph searcher (verdict-identical to the kernel by the
+    differential suite)."""
+    fallback = ContiguousTrailSearcher(
+        searcher.protocol, max_ring_size=searcher.max_ring_size,
+        backend="naive")
+    return fallback.find_trail(support)
+
+
 class LivelockCertifier:
     """Runs the Theorem 5.14 sufficient condition on a protocol.
 
@@ -95,13 +107,15 @@ class LivelockCertifier:
                  require_self_disabling: bool = True,
                  jobs: int = 1,
                  cache: ResultCache | None = None,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto",
+                 policy: SupervisorPolicy | None = None) -> None:
         self.protocol = protocol
         self.max_ring_size = max_ring_size
         self.require_self_disabling = require_self_disabling
         self.jobs = jobs
         self.cache = cache
         self.backend = backend
+        self.policy = policy
 
     def _cache_key(self) -> str:
         # The backend is part of the key: verdicts are identical, but a
@@ -175,10 +189,12 @@ class LivelockCertifier:
             backend=self.backend)
         with stats.stage("trail-search", supports=len(supports),
                          backend=self.backend):
-            if self.jobs > 1 and len(supports) > 1:
-                found = run_work_items(_find_trail_worker, supports,
-                                       jobs=self.jobs, context=searcher,
-                                       stats=stats)
+            if (self.jobs > 1 and len(supports) > 1) \
+                    or self.policy is not None:
+                found = supervise_work_items(
+                    _find_trail_worker, supports, jobs=self.jobs,
+                    context=searcher, stats=stats, policy=self.policy,
+                    fallback_worker=_find_trail_fallback)
             else:
                 found = [searcher.find_trail(s) for s in supports]
         stats.work_items += len(supports)

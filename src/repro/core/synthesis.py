@@ -40,7 +40,9 @@ from repro.core.selfdisabling import (
     local_transition_graph,
 )
 from repro.engine import EngineStats, ResultCache, analysis_key, \
-    run_work_items
+    supervise_work_items
+from repro.engine.journal import RunJournal
+from repro.engine.supervisor import SupervisorPolicy
 from repro.errors import SynthesisFailure
 from repro.graphs import has_cycle
 from repro.graphs.fvs import FvsStats
@@ -154,7 +156,9 @@ class Synthesizer:
                  accept_contiguous_only: bool = False,
                  backend: str = "auto",
                  jobs: int = 1,
-                 cache: ResultCache | None = None) -> None:
+                 cache: ResultCache | None = None,
+                 policy: SupervisorPolicy | None = None,
+                 journal: RunJournal | None = None) -> None:
         resolved = "kernel" if backend == "auto" else backend
         if resolved not in ("kernel", "naive"):
             raise ValueError(f"unknown synthesis backend {backend!r}")
@@ -171,6 +175,11 @@ class Synthesizer:
         self.backend = resolved
         self.jobs = jobs
         self.cache = cache
+        self.policy = policy
+        self.journal = journal
+        """Checkpoints each combination verdict durably; a resumed run
+        (same protocol, same ``--run-id``) answers already-judged
+        combinations from the journal instead of re-searching."""
         self.stats = EngineStats(jobs=jobs)
         self._verdict_memo: dict[frozenset[LocalTransition],
                                  str | None] = {}
@@ -398,14 +407,30 @@ class Synthesizer:
                     reasons[position] = hit[0]
                     continue
                 self.stats.cache_misses += 1
+            if self.journal is not None:
+                journal_key = self._verdict_key(combo)
+                if journal_key in self.journal.completed:
+                    # A prior (interrupted) run already judged this
+                    # combination: answer from the journal.
+                    reason = self.journal.completed[journal_key]
+                    self.stats.supervisor_resumed += 1
+                    self._verdict_memo[key] = reason
+                    reasons[position] = reason
+                    continue
             pending.append(position)
         if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                computed = run_work_items(
+            supervised = (self.policy is not None
+                          or self.journal is not None)
+            if supervised or (self.jobs > 1 and len(pending) > 1):
+                keys = ([self._verdict_key(combos[i]) for i in pending]
+                        if self.journal is not None else None)
+                computed = supervise_work_items(
                     _combo_verdict_worker,
                     [combos[i] for i in pending],
                     jobs=self.jobs, context=self,
-                    stats=self.stats)
+                    stats=self.stats, policy=self.policy,
+                    journal=self.journal, keys=keys,
+                    fallback_worker=_combo_verdict_worker)
             else:
                 computed = [self._evaluate_verdict(combos[i])
                             for i in pending]
@@ -536,6 +561,16 @@ class Synthesizer:
         )
 
 
+def synthesis_fingerprint(protocol: "RingProtocol",
+                          max_ring_size: int = 9,
+                          accept_contiguous_only: bool = False) -> str:
+    """The identity of one synthesis run for journal pinning: resuming
+    a run recorded for a different protocol or parameters is refused."""
+    return analysis_key("synthesis", protocol,
+                        max_ring_size=max_ring_size,
+                        accept_contiguous_only=accept_contiguous_only)
+
+
 def synthesize_convergence(protocol: "RingProtocol",
                            max_ring_size: int = 9,
                            **kwargs) -> SynthesisResult:
@@ -543,6 +578,8 @@ def synthesize_convergence(protocol: "RingProtocol",
 
     Raises :class:`SynthesisFailure` when the caller sets
     ``raise_on_failure=True`` and no combination is accepted.
+    Supervision keywords (``policy``, ``journal``) pass through to
+    :class:`Synthesizer`.
     """
     raise_on_failure = kwargs.pop("raise_on_failure", False)
     synthesizer = Synthesizer(protocol, max_ring_size=max_ring_size,

@@ -27,7 +27,14 @@ identical work.  This package supplies the three missing pieces:
   reasoning kernel behind the contiguous-trail search, the Theorem 4.2
   check and the Section 6 synthesis loop: integer-indexed local
   states, per-``(K, |E|)`` product-graph skeletons, masked SCC passes
-  and a support-fingerprint trail memo.
+  and a support-fingerprint trail memo;
+* :mod:`repro.engine.supervisor` /  :mod:`repro.engine.journal` — the
+  fault-tolerance layer over the pool: :func:`supervise_work_items`
+  adds per-task timeouts, crash isolation, retry with backoff and
+  degradation to a serial fallback, and :class:`RunJournal` checkpoints
+  sweep / synthesis progress under ``.repro-cache/runs/<run-id>/`` so
+  ``repro sweep --resume`` skips completed items (CLI ``--timeout`` /
+  ``--retries`` / ``--checkpoint`` / ``--resume``).
 """
 
 from repro.engine.cache import (
@@ -44,8 +51,27 @@ from repro.engine.kernel import (
     compile_protocol,
     supports_kernel,
 )
-from repro.engine.pool import parallelism_available, run_work_items
+from repro.engine.journal import (
+    JournalError,
+    JournalStats,
+    RunJournal,
+    list_runs,
+    new_run_id,
+    runs_root,
+)
+from repro.engine.pool import (
+    WorkerFailure,
+    WorkerTraceback,
+    parallelism_available,
+    run_work_items,
+)
 from repro.engine.stats import EngineStats
+from repro.engine.supervisor import (
+    FaultPlan,
+    SupervisorError,
+    SupervisorPolicy,
+    supervise_work_items,
+)
 
 # Imported last: localkernel pulls in repro.core.trail, whose package
 # __init__ imports back into repro.engine — every name above must
@@ -61,17 +87,29 @@ __all__ = [
     "CacheStats",
     "CompiledProtocol",
     "EngineStats",
+    "FaultPlan",
+    "JournalError",
+    "JournalStats",
     "KernelStats",
     "LocalKernel",
     "LocalKernelStats",
     "PackedSpace",
     "ResultCache",
+    "RunJournal",
+    "SupervisorError",
+    "SupervisorPolicy",
+    "WorkerFailure",
+    "WorkerTraceback",
     "analysis_key",
     "build_space",
     "compile_protocol",
+    "list_runs",
     "local_kernel_for",
+    "new_run_id",
     "parallelism_available",
     "protocol_fingerprint",
     "run_work_items",
+    "runs_root",
+    "supervise_work_items",
     "supports_kernel",
 ]

@@ -1,0 +1,233 @@
+"""Run journals: durable per-item checkpoints for resumable runs.
+
+A long sweep or synthesis run dies for boring reasons — a machine
+reboot, an OOM kill of the whole process tree, a Ctrl-C — and without a
+journal every completed per-K check dies with it.  A :class:`RunJournal`
+records each completed work item as one appended line under
+``.repro-cache/runs/<run-id>/``, flushed and fsynced before the
+supervisor moves on, so ``repro sweep --resume <run-id>`` can skip
+exactly the items that finished and re-execute only the rest.
+
+The journal mirrors the result cache's trust model
+(:mod:`repro.engine.cache`): every entry is self-verifying (the line
+stores the SHA-256 of the pickled payload), and a truncated, bit-rotted
+or hand-edited line — the expected state after a hard kill mid-append —
+is skipped with a :class:`RuntimeWarning` and counted, never raised.
+Keys are the same content-addressed digests produced by
+:func:`repro.engine.fingerprint.analysis_key`, so a journal can never
+resurrect a result for a protocol or parameter set other than the one
+that produced it; ``meta.json`` additionally pins the run's analysis
+fingerprint and :meth:`RunJournal.resume` refuses a mismatch outright.
+
+Layout::
+
+    .repro-cache/runs/<run-id>/
+        meta.json        # run identity: command, fingerprint, created
+        journal.jsonl    # one completed work item per line
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import secrets
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs import runtime as obs
+
+#: Journal lines carry a format version so a future layout change can
+#: keep reading old runs.
+_FORMAT_VERSION = 1
+
+RUNS_SUBDIR = "runs"
+
+
+class JournalError(Exception):
+    """An unusable journal (missing run, mismatched fingerprint)."""
+
+
+@dataclass
+class JournalStats:
+    """Counters of one journal's lifetime (loading and appending)."""
+
+    entries_loaded: int = 0
+    entries_recorded: int = 0
+    corrupt_entries: int = 0
+
+    def summary(self) -> str:
+        return (f"journal: {self.entries_loaded} entries resumed, "
+                f"{self.entries_recorded} recorded, "
+                f"{self.corrupt_entries} corrupt entries skipped")
+
+
+def runs_root(cache_dir: str | Path | None = None) -> Path:
+    """The directory run journals live under (``<cache-dir>/runs``)."""
+    from repro.engine.cache import DEFAULT_CACHE_DIR
+
+    return Path(cache_dir or DEFAULT_CACHE_DIR) / RUNS_SUBDIR
+
+
+def new_run_id() -> str:
+    """A fresh, collision-resistant, sortable run identifier."""
+    stamp = time.strftime("%Y%m%d-%H%M%S")
+    return f"{stamp}-{secrets.token_hex(3)}"
+
+
+def list_runs(root: str | Path) -> list[str]:
+    """Run ids found under *root*, newest last (lexicographic order —
+    ids start with a timestamp)."""
+    directory = Path(root)
+    if not directory.is_dir():
+        return []
+    return sorted(p.name for p in directory.iterdir()
+                  if (p / "journal.jsonl").exists())
+
+
+@dataclass
+class RunJournal:
+    """Append-only checkpoint log of one supervised run.
+
+    Use :meth:`create` for a fresh run and :meth:`resume` to reload a
+    prior run's completed items; both return a journal ready for
+    :meth:`record` calls.  ``completed`` maps journal keys to their
+    recorded values, in completion order.
+    """
+
+    directory: Path
+    run_id: str
+    meta: dict[str, Any] = field(default_factory=dict)
+    completed: dict[str, Any] = field(default_factory=dict)
+    stats: JournalStats = field(default_factory=JournalStats)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, root: str | Path, run_id: str | None = None,
+               **meta: Any) -> "RunJournal":
+        """Start a journal for a new run under ``<root>/<run-id>/``."""
+        run_id = run_id or new_run_id()
+        directory = Path(root) / run_id
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = {"run_id": run_id, "format": _FORMAT_VERSION,
+                "created": time.time(), **meta}
+        (directory / "meta.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True, default=repr))
+        journal = cls(directory=directory, run_id=run_id, meta=meta)
+        journal.path.touch()
+        return journal
+
+    @classmethod
+    def resume(cls, root: str | Path, run_id: str,
+               fingerprint: str | None = None) -> "RunJournal":
+        """Reload the journal of a prior run to continue it.
+
+        *fingerprint*, when given, must equal the ``fingerprint`` the
+        run was created with — resuming a sweep of protocol A from a
+        journal of protocol B is refused, not silently merged.
+        Corrupt or truncated lines (the normal tail state after a hard
+        kill) are skipped with a warning.
+        """
+        directory = Path(root) / run_id
+        if not directory.is_dir():
+            raise JournalError(
+                f"no run {run_id!r} under {Path(root)} "
+                f"(known runs: {list_runs(root) or 'none'})")
+        journal = cls(directory=directory, run_id=run_id)
+        try:
+            journal.meta = json.loads(
+                (directory / "meta.json").read_text())
+        except (OSError, ValueError):
+            journal.meta = {"run_id": run_id}
+        recorded = journal.meta.get("fingerprint")
+        if fingerprint is not None and recorded is not None \
+                and recorded != fingerprint:
+            raise JournalError(
+                f"run {run_id!r} was recorded for a different analysis "
+                f"(fingerprint {recorded[:12]}… != {fingerprint[:12]}…); "
+                f"refusing to resume")
+        journal._load()
+        return journal
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self.directory / "journal.jsonl"
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.completed
+
+    def __len__(self) -> int:
+        return len(self.completed)
+
+    def record(self, key: str, value: Any) -> None:
+        """Durably append one completed item (fsync before returning).
+
+        A value that does not pickle is journaled as a miss (the item
+        will re-execute on resume) rather than aborting the run —
+        checkpointing, like caching, is an optimisation only.
+        """
+        if key in self.completed:
+            return
+        try:
+            payload = pickle.dumps(value)
+        except Exception:
+            return
+        line = json.dumps({
+            "v": _FORMAT_VERSION,
+            "seq": len(self.completed),
+            "key": key,
+            "sha256": hashlib.sha256(payload).hexdigest(),
+            "data": base64.b64encode(payload).decode("ascii"),
+        })
+        with open(self.path, "ab") as handle:
+            handle.write(line.encode("ascii") + b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.completed[key] = value
+        self.stats.entries_recorded += 1
+        obs.event("checkpoint", run_id=self.run_id, key=key,
+                  seq=len(self.completed) - 1)
+        obs.metric("supervisor.checkpoints")
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return
+        for number, line in enumerate(raw.split(b"\n"), start=1):
+            if not line.strip():
+                continue
+            value = self._decode(line)
+            if value is _CORRUPT:
+                self.stats.corrupt_entries += 1
+                warnings.warn(
+                    f"skipping corrupt journal entry at "
+                    f"{self.path}:{number} (truncated or damaged; the "
+                    f"item will be re-executed)", RuntimeWarning,
+                    stacklevel=3)
+                continue
+            key, payload = value
+            self.completed[key] = payload
+            self.stats.entries_loaded += 1
+
+    @staticmethod
+    def _decode(line: bytes):
+        try:
+            entry = json.loads(line)
+            payload = base64.b64decode(entry["data"],
+                                       validate=True)
+            if hashlib.sha256(payload).hexdigest() != entry["sha256"]:
+                return _CORRUPT
+            return entry["key"], pickle.loads(payload)
+        except Exception:
+            return _CORRUPT
+
+
+_CORRUPT = object()

@@ -21,8 +21,11 @@ Guarantees:
   ``pool.fallbacks`` counter (both on the ambient run and on the
   caller's ``stats``), and the exception path additionally raises a
   :class:`RuntimeWarning` — degradation is never silent;
-* worker exceptions surface with their original traceback (the serial
-  fallback re-raises them synchronously);
+* a worker exception is captured *in the worker* together with its
+  formatted traceback and re-raised in the parent with that remote
+  traceback chained as ``__cause__`` (a :class:`WorkerTraceback`) — the
+  failing frame inside the worker stays visible, and the batch is not
+  recomputed serially just to reproduce a deterministic error;
 * spans and metrics recorded inside the forked workers are captured per
   item (:func:`repro.obs.runtime.fork_capture_begin` /
   :func:`~repro.obs.runtime.fork_capture_end`), shipped back with each
@@ -34,6 +37,7 @@ Guarantees:
 from __future__ import annotations
 
 import multiprocessing
+import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, Sequence, TypeVar
@@ -42,6 +46,64 @@ from repro.obs import runtime as obs
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
+
+
+class WorkerTraceback(Exception):
+    """The formatted traceback of an exception raised inside a worker
+    process, chained as ``__cause__`` under the re-raised exception so
+    the remote frames survive the process boundary (the pattern of
+    :mod:`concurrent.futures`' ``_RemoteTraceback``, made explicit)."""
+
+    def __init__(self, text: str) -> None:
+        super().__init__(text)
+        self.text = text
+
+    def __str__(self) -> str:
+        return f"\n\"\"\"\n{self.text}\"\"\""
+
+
+class WorkerFailure:
+    """A worker exception captured at the raise site (picklable).
+
+    Carries the original exception object when it pickles, and always
+    the formatted remote traceback; :meth:`reraise` rebuilds the error
+    in the parent with the worker frames chained.
+    """
+
+    __slots__ = ("exception", "traceback_text", "description")
+
+    def __init__(self, exception: BaseException | None,
+                 traceback_text: str, description: str) -> None:
+        self.exception = exception
+        self.traceback_text = traceback_text
+        self.description = description
+
+    @classmethod
+    def capture(cls, exc: BaseException) -> "WorkerFailure":
+        text = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        return cls(exc, text, f"{type(exc).__name__}: {exc}")
+
+    def reraise(self) -> None:
+        cause = WorkerTraceback(self.traceback_text)
+        if self.exception is not None:
+            raise self.exception from cause
+        raise RuntimeError(
+            f"worker raised an unpicklable exception "
+            f"({self.description})") from cause
+
+    def __reduce__(self):
+        # The exception object may itself refuse to pickle; degrade to
+        # a traceback-only failure rather than poisoning the pipe.
+        try:
+            import pickle
+
+            pickle.dumps(self.exception)
+            exception = self.exception
+        except Exception:
+            exception = None
+        return (WorkerFailure,
+                (exception, self.traceback_text, self.description))
 
 # Inherited by forked workers; never meaningful in the parent between
 # run_work_items calls.
@@ -59,10 +121,16 @@ def _run_indexed(index: int) -> tuple[Any, "obs.ChildCapture | None"]:
     assert _WORKER is not None
     inherited = obs.fork_capture_begin()
     try:
-        result = _WORKER(_CONTEXT, _ITEMS[index])
+        try:
+            outcome: Any = ("ok", _WORKER(_CONTEXT, _ITEMS[index]))
+        except BaseException as exc:
+            # Capture here, where the remote frames still exist: the
+            # executor's own propagation loses them across some failure
+            # modes (and entirely before the fork-capture handshake).
+            outcome = ("failed", WorkerFailure.capture(exc))
     finally:
         capture = obs.fork_capture_end(inherited)
-    return result, capture
+    return outcome, capture
 
 
 def _record_fallback(stats: Any, reason: str, items: int) -> None:
@@ -114,22 +182,23 @@ def run_work_items(worker: Callable[[Any, Item], Result],
     _WORKER, _CONTEXT, _ITEMS = worker, context, work
     try:
         pool_context = multiprocessing.get_context("fork")
+        failure: WorkerFailure | None = None
         with obs.span("pool.map", jobs=jobs, items=len(work)):
             with ProcessPoolExecutor(max_workers=min(jobs, len(work)),
                                      mp_context=pool_context) as pool:
                 outcomes = list(pool.map(_run_indexed, range(len(work))))
             results = []
-            for index, (result, capture) in enumerate(outcomes):
+            for index, ((status, value), capture) in enumerate(outcomes):
                 obs.adopt_child(capture, f"item[{index}]")
-                results.append(result)
-        if stats is not None:
-            stats.parallel = True
-        return results
+                if status == "failed" and failure is None:
+                    failure = value
+                results.append(value)
     except Exception as exc:
-        # A worker exception aborts the pool without a usable traceback
-        # across some failure modes (and result-pickling errors look the
-        # same); recomputing serially either produces the results or
-        # re-raises the real error in the parent.
+        # Pool-level failures only (result pickling, broken pool, a
+        # worker killed hard enough to break the executor): recomputing
+        # serially either produces the results or re-raises the real
+        # error in the parent.  Ordinary worker exceptions never reach
+        # here — they come back as WorkerFailure values.
         reason = f"pool-error:{type(exc).__name__}"
         warnings.warn(
             f"process pool failed ({type(exc).__name__}: {exc}); "
@@ -138,3 +207,11 @@ def run_work_items(worker: Callable[[Any, Item], Result],
         return _run_serial(worker, work, context, stats, reason)
     finally:
         _WORKER, _CONTEXT, _ITEMS = None, None, ()
+    if failure is not None:
+        # Outside the except-scope on purpose: the worker's error must
+        # not be mistaken for a pool-level failure (which would trigger
+        # a pointless serial recompute of a deterministic exception).
+        failure.reraise()
+    if stats is not None:
+        stats.parallel = True
+    return results

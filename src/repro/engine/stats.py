@@ -33,6 +33,11 @@ _COUNTER_METRICS = {
     "cache_hits": "engine.cache_hits",
     "cache_misses": "engine.cache_misses",
     "pool_fallbacks": "pool.fallbacks",
+    "supervisor_timeouts": "supervisor.timeouts",
+    "supervisor_retries": "supervisor.retries",
+    "supervisor_degraded": "supervisor.degraded",
+    "supervisor_resumed": "supervisor.resumed",
+    "supervisor_checkpoints": "supervisor.checkpoints",
     "compile_seconds": "kernel.compile_seconds",
     "encode_seconds": "kernel.encode_seconds",
     "states_encoded": "kernel.states_encoded",
@@ -247,6 +252,13 @@ class EngineStats:
                  f"{self.cache_misses} misses"]
         if self.pool_fallbacks:
             parts.append(f"{self.pool_fallbacks} pool fallbacks")
+        if (self.supervisor_timeouts or self.supervisor_retries
+                or self.supervisor_degraded or self.supervisor_resumed):
+            parts.append(
+                f"supervisor {self.supervisor_timeouts} timeouts, "
+                f"{self.supervisor_retries} retries, "
+                f"{self.supervisor_degraded} degraded, "
+                f"{self.supervisor_resumed} resumed")
         if self.states_encoded:
             kernel = (f"kernel compile {self.compile_seconds * 1e3:.1f} ms"
                       f", {self.states_encoded} states @ "

@@ -1,0 +1,505 @@
+"""Fault-tolerant supervision of engine work items.
+
+:func:`repro.engine.run_work_items` makes a batch *parallel*; this
+module makes it *survivable*.  Per-item cost in the workloads above it
+(per-K sweep instances, per-support trail searches, per-combination
+synthesis verdicts) is heavily skewed — one pathological instance can
+hang or OOM while its siblings finish in milliseconds — and with the
+plain pool a single crashed worker used to take the whole run with it.
+:func:`supervise_work_items` runs each work item in its own forked
+child under a :class:`SupervisorPolicy`:
+
+* **timeouts** — a task exceeding the per-task wall-clock budget is
+  SIGKILLed and retried with exponential backoff;
+* **crash isolation** — a worker that dies (segfault, OOM kill,
+  injected SIGKILL) fails only its own task, which is retried on a
+  fresh child; sibling tasks keep running;
+* **degradation** — a task that exhausts its retry budget is executed
+  once more *in the parent process* through the caller's fallback
+  worker (the serial naive backend at the engine call sites) instead of
+  aborting the run;
+* **checkpointing** — with a :class:`repro.engine.journal.RunJournal`,
+  every completed item is durably appended before the supervisor moves
+  on, and items already in the journal are returned without
+  re-execution (``repro sweep --resume``);
+* **observability** — ``task-timeout`` / ``task-retry`` /
+  ``task-degraded`` / ``task-resumed`` events, ``supervisor.*``
+  counters, and per-item span adoption exactly like the plain pool.
+
+When no policy, journal or fault plan is given the call delegates to
+:func:`run_work_items` unchanged — supervision is strictly opt-in and
+the fast path stays the fast path.
+
+Unlike the pool (which pickles only item indices), the supervisor forks
+one child per task attempt, so worker, context and items may all hold
+unpicklable objects; only results cross the pipe.  A worker
+*exception* (as opposed to a death) is treated as deterministic: it is
+not retried but re-raised in the parent with the remote traceback
+chained, matching the pool's contract.
+
+Fault injection (:class:`FaultPlan`) is part of the module on purpose:
+the property-based differential suite and the CI smoke job inject
+worker crashes, hangs and parent deaths through the same code path
+users exercise, via the ``REPRO_INJECT_FAULT`` environment variable
+(e.g. ``crash:0``, ``hang:1,2``, ``die-after:3``; test-only, never set
+in production).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.engine.pool import (
+    WorkerFailure,
+    parallelism_available,
+    run_work_items,
+)
+from repro.obs import runtime as obs
+
+#: Environment variable read by :meth:`FaultPlan.from_env`.
+FAULT_ENV = "REPRO_INJECT_FAULT"
+
+
+class SupervisorError(Exception):
+    """A task failed beyond its retry budget with degradation off."""
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How hard to try before giving up on a work item.
+
+    ``timeout`` is the per-task wall-clock budget in seconds (``None``
+    disables the deadline); ``retries`` is how many *additional*
+    attempts a crashed or timed-out task gets before degradation; the
+    backoff before attempt ``n`` is ``backoff * 2**(n-1)`` seconds,
+    capped at ``backoff_cap``.  With ``degrade`` (the default) a task
+    that exhausts its budget runs once more in the parent through the
+    fallback worker; without it the run raises :class:`SupervisorError`.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.05
+    backoff_cap: float = 2.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff in seconds before retry *attempt* (1-based)."""
+        return min(self.backoff * (2.0 ** (attempt - 1)),
+                   self.backoff_cap)
+
+
+@dataclass
+class FaultPlan:
+    """Deterministic fault injection for tests and smoke runs.
+
+    ``crash_items`` / ``hang_items`` name item indices whose *first*
+    attempt is sabotaged in the child (SIGKILL / sleep past any
+    timeout); retries run clean, so a supervised run always converges.
+    ``die_after_checkpoints`` hard-kills the parent after that many
+    journal checkpoints — the ``kill -9`` of the whole run that
+    ``--resume`` exists for.  ``die`` is patchable so in-process tests
+    can observe the death without losing the interpreter.
+    """
+
+    crash_items: frozenset = frozenset()
+    hang_items: frozenset = frozenset()
+    die_after_checkpoints: int | None = None
+    hang_seconds: float = 3600.0
+    die: Callable[[int], Any] = field(default=os._exit, repr=False)
+
+    def child_fault(self, index: int, attempt: int) -> str | None:
+        if attempt > 0:
+            return None
+        if index in self.crash_items:
+            return "crash"
+        if index in self.hang_items:
+            return "hang"
+        return None
+
+    def on_checkpoint(self, count: int) -> None:
+        if self.die_after_checkpoints is not None \
+                and count >= self.die_after_checkpoints:
+            self.die(70)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """Parse ``REPRO_INJECT_FAULT`` (``;``-separated clauses:
+        ``crash:<i,j>``, ``hang:<i,j>``, ``die-after:<n>``)."""
+        spec = (environ or os.environ).get(FAULT_ENV)
+        if not spec:
+            return None
+        crash: set[int] = set()
+        hang: set[int] = set()
+        die_after: int | None = None
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, arg = clause.partition(":")
+            if kind == "crash":
+                crash.update(int(i) for i in arg.split(",") if i)
+            elif kind == "hang":
+                hang.update(int(i) for i in arg.split(",") if i)
+            elif kind == "die-after":
+                die_after = int(arg)
+            else:
+                raise ValueError(
+                    f"unknown {FAULT_ENV} clause {clause!r}")
+        return cls(crash_items=frozenset(crash),
+                   hang_items=frozenset(hang),
+                   die_after_checkpoints=die_after)
+
+
+# ----------------------------------------------------------------------
+# child side
+# ----------------------------------------------------------------------
+def _child_main(worker, context, item, index: int, attempt: int,
+                conn, plan: FaultPlan | None) -> None:
+    """Run one work item in a forked child and ship the result back.
+
+    Everything arrives by fork inheritance (nothing here is pickled on
+    the way in), so unpicklable workers/contexts/items are fine; the
+    result — or a :class:`WorkerFailure` — is the only thing sent.
+    """
+    fault = plan.child_fault(index, attempt) if plan is not None else None
+    if fault == "crash":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if fault == "hang":
+        time.sleep(plan.hang_seconds)
+    inherited = obs.fork_capture_begin()
+    try:
+        try:
+            outcome: Any = ("ok", worker(context, item))
+        except BaseException as exc:
+            outcome = ("failed", WorkerFailure.capture(exc))
+    finally:
+        capture = obs.fork_capture_end(inherited)
+    try:
+        conn.send((outcome, capture))
+    except Exception as exc:
+        # Unpicklable result: tell the parent why instead of presenting
+        # as a crash (the parent degrades this task, not the batch).
+        try:
+            conn.send(((
+                "unpicklable",
+                f"{type(exc).__name__}: {exc}"), None))
+        except Exception:
+            pass
+    conn.close()
+    os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _Task:
+    index: int
+    key: str | None
+    attempts: int = 0
+    ready_at: float = 0.0
+
+
+@dataclass
+class _Running:
+    task: _Task
+    process: Any
+    conn: Any
+    deadline: float | None
+
+
+def _bump(stats: Any, attribute: str, metric: str,
+          amount: float = 1) -> None:
+    obs.metric(metric, amount)
+    if stats is not None:
+        setattr(stats, attribute, getattr(stats, attribute) + amount)
+
+
+class _Supervisor:
+    """One supervised batch (see :func:`supervise_work_items`)."""
+
+    def __init__(self, worker, work: Sequence[Any], jobs: int,
+                 context: Any, stats: Any, policy: SupervisorPolicy,
+                 journal, keys: Sequence[str] | None,
+                 fallback_worker, plan: FaultPlan | None) -> None:
+        self.worker = worker
+        self.work = work
+        self.jobs = max(1, jobs)
+        self.context = context
+        self.stats = stats
+        self.policy = policy
+        self.journal = journal
+        self.keys = keys
+        self.fallback_worker = fallback_worker or worker
+        self.plan = plan
+        self.results: dict[int, Any] = {}
+        self.failure: WorkerFailure | None = None
+        self._mp = (multiprocessing.get_context("fork")
+                    if parallelism_available() else None)
+
+    # -- shared bookkeeping -------------------------------------------
+    def _key(self, index: int) -> str | None:
+        return self.keys[index] if self.keys is not None else None
+
+    def _resume_completed(self) -> list[_Task]:
+        """Split the batch into journal hits and tasks still to run."""
+        pending: list[_Task] = []
+        for index in range(len(self.work)):
+            key = self._key(index)
+            if self.journal is not None and key is not None \
+                    and key in self.journal.completed:
+                self.results[index] = self.journal.completed[key]
+                _bump(self.stats, "supervisor_resumed",
+                      "supervisor.resumed")
+                obs.event("task-resumed", index=index, key=key)
+                continue
+            pending.append(_Task(index=index, key=key))
+        return pending
+
+    def _complete(self, task: _Task, result: Any) -> None:
+        self.results[task.index] = result
+        if self.journal is not None and task.key is not None:
+            before = self.journal.stats.entries_recorded
+            self.journal.record(task.key, result)
+            # record() already emits the ambient supervisor.checkpoints
+            # metric; only mirror actual appends into the run's stats.
+            if self.stats is not None:
+                self.stats.supervisor_checkpoints += (
+                    self.journal.stats.entries_recorded - before)
+            if self.plan is not None:
+                self.plan.on_checkpoint(
+                    self.journal.stats.entries_recorded)
+
+    def _degrade(self, task: _Task, reason: str) -> None:
+        """Retry budget exhausted: run in-parent via the fallback."""
+        if not self.policy.degrade:
+            raise SupervisorError(
+                f"work item {task.index} failed after "
+                f"{task.attempts} attempts ({reason}) and degradation "
+                f"is disabled")
+        obs.event("task-degraded", level="warning", index=task.index,
+                  key=task.key, attempts=task.attempts, reason=reason)
+        _bump(self.stats, "supervisor_degraded", "supervisor.degraded")
+        with obs.span("supervisor.degraded", index=task.index,
+                      reason=reason):
+            self._complete(task, self.fallback_worker(
+                self.context, self.work[task.index]))
+
+    def _retry_or_degrade(self, task: _Task, reason: str,
+                          pending: list[_Task]) -> None:
+        task.attempts += 1
+        if task.attempts > self.policy.retries:
+            self._degrade(task, reason)
+            return
+        delay = self.policy.delay_before(task.attempts)
+        task.ready_at = time.monotonic() + delay
+        obs.event("task-retry", level="warning", index=task.index,
+                  key=task.key, attempt=task.attempts, reason=reason,
+                  delay_seconds=delay)
+        _bump(self.stats, "supervisor_retries", "supervisor.retries")
+        pending.append(task)
+
+    # -- serial mode (no children needed / no fork available) ----------
+    def run_serial(self, pending: list[_Task], reason: str) -> None:
+        obs.event("supervisor-serial", reason=reason,
+                  items=len(pending))
+        with obs.span("supervisor.serial", reason=reason,
+                      items=len(pending)):
+            for task in pending:
+                self._complete(task, self.worker(
+                    self.context, self.work[task.index]))
+
+    # -- supervised mode (one forked child per attempt) ----------------
+    def _spawn(self, task: _Task) -> _Running:
+        assert self._mp is not None
+        receiver, sender = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_child_main,
+            args=(self.worker, self.context, self.work[task.index],
+                  task.index, task.attempts, sender, self.plan),
+            daemon=True)
+        process.start()
+        sender.close()  # the child's end lives in the child
+        deadline = (time.monotonic() + self.policy.timeout
+                    if self.policy.timeout is not None else None)
+        return _Running(task=task, process=process, conn=receiver,
+                        deadline=deadline)
+
+    def _reap(self, running: _Running) -> None:
+        running.conn.close()
+        running.process.join(timeout=5.0)
+
+    def _kill(self, running: _Running) -> None:
+        try:
+            running.process.kill()
+        except Exception:
+            pass
+        self._reap(running)
+
+    def _handle_message(self, running: _Running,
+                        pending: list[_Task]) -> None:
+        task = running.task
+        try:
+            (status, value), capture = running.conn.recv()
+        except (EOFError, OSError):
+            self._reap(running)
+            self._retry_or_degrade(task, "worker-died", pending)
+            return
+        self._reap(running)
+        obs.adopt_child(capture, f"item[{task.index}]",
+                        attempt=task.attempts)
+        if status == "ok":
+            self._complete(task, value)
+        elif status == "failed":
+            # Deterministic worker exception: no retry; re-raised (with
+            # the remote traceback chained) once in-flight siblings are
+            # drained.
+            if self.failure is None:
+                self.failure = value
+            self.results[task.index] = None
+        else:  # unpicklable result
+            self._degrade(task, f"unpicklable-result ({value})")
+
+    def run_supervised(self, pending: list[_Task]) -> None:
+        slots = min(self.jobs, max(1, len(pending)))
+        queue = list(pending)
+        running: list[_Running] = []
+        if self.stats is not None and slots > 1:
+            self.stats.parallel = True
+        with obs.span("supervisor.map", jobs=self.jobs,
+                      items=len(queue),
+                      timeout=self.policy.timeout,
+                      retries=self.policy.retries):
+            try:
+                while (queue or running) and self.failure is None:
+                    now = time.monotonic()
+                    # Launch every ready task into a free slot.
+                    still_waiting: list[_Task] = []
+                    for task in queue:
+                        if len(running) < slots and task.ready_at <= now:
+                            running.append(self._spawn(task))
+                        else:
+                            still_waiting.append(task)
+                    queue = still_waiting
+                    if not running:
+                        # Everything is backing off; sleep to the first
+                        # ready time.
+                        wake = min(t.ready_at for t in queue)
+                        time.sleep(max(0.0, min(wake - now, 0.25)))
+                        continue
+                    timeout = self._wait_timeout(queue, running, now)
+                    ready = multiprocessing.connection.wait(
+                        [r.conn for r in running]
+                        + [r.process.sentinel for r in running],
+                        timeout=timeout)
+                    ready_set = set(ready)
+                    now = time.monotonic()
+                    survivors: list[_Running] = []
+                    for item in running:
+                        if item.conn in ready_set or item.conn.poll():
+                            self._handle_message(item, queue)
+                        elif item.process.sentinel in ready_set:
+                            # Child died without delivering a result.
+                            self._reap(item)
+                            self._retry_or_degrade(
+                                item.task, "worker-died", queue)
+                        elif item.deadline is not None \
+                                and now >= item.deadline:
+                            self._kill(item)
+                            obs.event("task-timeout", level="warning",
+                                      index=item.task.index,
+                                      key=item.task.key,
+                                      attempt=item.task.attempts,
+                                      timeout_seconds=self.policy.timeout)
+                            _bump(self.stats, "supervisor_timeouts",
+                                  "supervisor.timeouts")
+                            self._retry_or_degrade(
+                                item.task, "timeout", queue)
+                        else:
+                            survivors.append(item)
+                    running = survivors
+            finally:
+                for item in running:
+                    self._kill(item)
+        if self.failure is not None:
+            self.failure.reraise()
+
+    def _wait_timeout(self, queue: list[_Task],
+                      running: list[_Running], now: float) -> float:
+        horizon = 0.5
+        deadlines = [r.deadline for r in running
+                     if r.deadline is not None]
+        if deadlines:
+            horizon = min(horizon, max(0.0, min(deadlines) - now))
+        if queue:
+            wake = min(t.ready_at for t in queue)
+            if wake > now:
+                horizon = min(horizon, wake - now)
+        return max(horizon, 0.005)
+
+
+def supervise_work_items(worker: Callable[[Any, Any], Any],
+                         items: Iterable[Any],
+                         jobs: int = 1,
+                         context: Any = None,
+                         stats: Any = None,
+                         policy: SupervisorPolicy | None = None,
+                         journal=None,
+                         keys: Sequence[str] | None = None,
+                         fallback_worker: Callable[[Any, Any], Any]
+                         | None = None,
+                         plan: FaultPlan | None = None) -> list[Any]:
+    """Apply ``worker(context, item)`` to every item under supervision.
+
+    Drop-in superset of :func:`repro.engine.run_work_items`: with no
+    *policy*, *journal* or fault plan the call delegates there
+    unchanged.  Otherwise each attempt runs in its own forked child
+    with the *policy*'s timeout/retry/degradation ladder, results come
+    back in item order, and — when *journal* and *keys* (one per item)
+    are given — completed items are checkpointed durably and journal
+    hits are returned without re-execution.
+
+    *fallback_worker* is what a degraded task runs in-parent (the
+    engine call sites pass the serial naive backend); it defaults to
+    *worker*.  On a platform without ``fork`` everything runs serially
+    in-parent (journaling still works; timeouts cannot be enforced and
+    a ``supervisor-serial`` event says so).
+    """
+    work = list(items)
+    if plan is None:
+        plan = FaultPlan.from_env()
+    if policy is None and journal is None and plan is None:
+        return run_work_items(worker, work, jobs=jobs, context=context,
+                              stats=stats)
+    if journal is not None and (keys is None or len(keys) != len(work)):
+        raise ValueError("journaling needs one key per work item")
+    policy = policy or SupervisorPolicy()
+
+    supervisor = _Supervisor(worker, work, jobs, context, stats, policy,
+                             journal, keys, fallback_worker, plan)
+    pending = supervisor._resume_completed()
+    if pending:
+        needs_children = (policy.timeout is not None
+                          or jobs > 1
+                          or (plan is not None
+                              and (plan.crash_items or plan.hang_items)))
+        if supervisor._mp is not None and needs_children:
+            supervisor.run_supervised(pending)
+        else:
+            reason = ("no-fork" if supervisor._mp is None
+                      else "nothing-to-supervise")
+            supervisor.run_serial(pending, reason)
+    return [supervisor.results[i] for i in range(len(work))]

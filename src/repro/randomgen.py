@@ -24,7 +24,8 @@ from repro.core.deadlock import DeadlockAnalyzer
 from repro.core.livelock import LivelockCertifier, LivelockVerdict
 from repro.core.selfdisabling import action_for_transition
 from repro.engine import EngineStats, ResultCache, analysis_key, \
-    run_work_items
+    supervise_work_items
+from repro.engine.supervisor import SupervisorPolicy
 from repro.protocol.actions import LocalTransition
 from repro.protocol.localstate import LocalState
 from repro.protocol.process import ProcessTemplate
@@ -196,7 +197,8 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
                    seed: int = 0,
                    sampler: ProtocolSampler | None = None,
                    jobs: int = 1,
-                   cache: ResultCache | None = None) -> AuditReport:
+                   cache: ResultCache | None = None,
+                   policy: SupervisorPolicy | None = None) -> AuditReport:
     """Fuzz Theorem 4.2 (exactness) and Theorem 5.14 (soundness).
 
     For each sampled protocol, compares the local per-size deadlock
@@ -210,7 +212,10 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
     the per-protocol audits are independent work items: ``jobs > 1``
     fans them out over worker processes, and *cache* reuses per-sample
     outcomes keyed on each protocol's structural fingerprint — both with
-    aggregate reports identical to the serial, uncached run.
+    aggregate reports identical to the serial, uncached run.  *policy*
+    supervises the fanned-out audits (per-item timeouts, crash retry,
+    degradation to an in-parent audit — see
+    :mod:`repro.engine.supervisor`).
     """
     if sampler is None:
         sampler = ProtocolSampler(seed=seed)
@@ -234,11 +239,11 @@ def audit_theorems(samples: int = 50, max_ring_size: int = 5,
                 stats.cache_misses += 1
             pending.append(index)
 
-        if jobs > 1 and len(pending) > 1:
-            fresh = run_work_items(_audit_indexed_worker, pending,
-                                   jobs=jobs,
-                                   context=(max_ring_size, protocols),
-                                   stats=stats)
+        if (jobs > 1 and len(pending) > 1) or policy is not None:
+            fresh = supervise_work_items(
+                _audit_indexed_worker, pending, jobs=jobs,
+                context=(max_ring_size, protocols), stats=stats,
+                policy=policy, fallback_worker=_audit_indexed_worker)
         else:
             fresh = [_audit_one(max_ring_size, protocols[index])
                      for index in pending]

@@ -1,0 +1,100 @@
+"""Fault-injection fixtures for the supervision and journaling suites.
+
+Workers built here run inside forked children, so per-attempt state
+("crash only on the first try") cannot live in module globals — each
+attempt inherits a fresh copy.  The fixtures use marker files under
+``tmp_path`` instead: the first attempt at a sabotaged item drops a
+marker and misbehaves, the retry sees the marker and runs clean, which
+makes every supervised run converge deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from pathlib import Path
+
+import pytest
+
+
+def square(context, item):
+    """The default well-behaved worker (module-level: fork-friendly)."""
+    return item * item
+
+
+@pytest.fixture
+def crashing_worker(tmp_path):
+    """Factory for workers that SIGKILL themselves on the *first*
+    attempt at each item in ``crash_items`` and succeed afterwards."""
+    marks = tmp_path / "crash-marks"
+    marks.mkdir()
+
+    def make(crash_items=frozenset(), compute=square):
+        def worker(context, item):
+            if item in crash_items:
+                marker = marks / f"item-{item}"
+                if not marker.exists():
+                    marker.write_text("sabotaged")
+                    os.kill(os.getpid(), signal.SIGKILL)
+            return compute(context, item)
+
+        return worker
+
+    return make
+
+
+@pytest.fixture
+def hanging_worker(tmp_path):
+    """Factory for workers that sleep far past any timeout on the
+    *first* attempt at each item in ``hang_items``."""
+    marks = tmp_path / "hang-marks"
+    marks.mkdir()
+
+    def make(hang_items=frozenset(), hang_seconds=3600.0, compute=square):
+        def worker(context, item):
+            if item in hang_items:
+                marker = marks / f"item-{item}"
+                if not marker.exists():
+                    marker.write_text("sabotaged")
+                    time.sleep(hang_seconds)
+            return compute(context, item)
+
+        return worker
+
+    return make
+
+
+@pytest.fixture
+def corrupt_checkpoint():
+    """Damage one entry of a journal file the way hard kills do.
+
+    ``mode="truncate"`` cuts the line in half (the classic
+    killed-mid-append tail); ``mode="tamper"`` keeps valid JSON but
+    flips the payload so the stored SHA-256 no longer matches.
+    """
+
+    def corrupt(journal, entry: int = -1, mode: str = "truncate") -> None:
+        path = journal.path if hasattr(journal, "path") else Path(journal)
+        lines = path.read_bytes().splitlines()
+        if mode == "truncate":
+            lines[entry] = lines[entry][: max(1, len(lines[entry]) // 2)]
+        elif mode == "tamper":
+            record = json.loads(lines[entry])
+            data = record["data"]
+            record["data"] = ("A" if not data.startswith("A") else "B") \
+                + data[1:]
+            lines[entry] = json.dumps(record).encode("ascii")
+        else:
+            raise ValueError(f"unknown corruption mode {mode!r}")
+        path.write_bytes(b"\n".join(lines) + b"\n")
+
+    return corrupt
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_fault_injection(monkeypatch):
+    """Keep the suite hermetic: a leaked REPRO_INJECT_FAULT in the
+    environment must not sabotage unrelated tests."""
+    monkeypatch.delenv("REPRO_INJECT_FAULT", raising=False)

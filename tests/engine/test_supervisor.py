@@ -1,0 +1,335 @@
+"""Unit tests for :mod:`repro.engine.supervisor`.
+
+The differential property suite (test_supervisor_properties.py) pins
+verdict equality on real protocols; this file pins the supervision
+mechanics themselves — retry ladders, timeouts, degradation, journal
+integration and the fault-injection plumbing — on tiny synthetic
+workers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import EngineStats
+from repro.engine.journal import RunJournal
+from repro.engine.pool import WorkerTraceback, parallelism_available
+from repro.engine.supervisor import (
+    FAULT_ENV,
+    FaultPlan,
+    SupervisorError,
+    SupervisorPolicy,
+    supervise_work_items,
+)
+
+from tests.engine.conftest import square
+
+needs_fork = pytest.mark.skipif(not parallelism_available(),
+                                reason="needs the fork start method")
+
+
+def failing_worker(context, item):
+    if item == 2:
+        raise ValueError(f"item {item} is cursed")
+    return item * item
+
+
+def identity_fallback(context, item):
+    return item * item
+
+
+# ----------------------------------------------------------------------
+# policy
+# ----------------------------------------------------------------------
+class TestSupervisorPolicy:
+    def test_defaults(self):
+        policy = SupervisorPolicy()
+        assert policy.timeout is None
+        assert policy.retries == 2
+        assert policy.degrade
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(timeout=0.0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(timeout=-1.0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(retries=-1)
+
+    def test_backoff_doubles_and_caps(self):
+        policy = SupervisorPolicy(backoff=0.1, backoff_cap=0.35)
+        assert policy.delay_before(1) == pytest.approx(0.1)
+        assert policy.delay_before(2) == pytest.approx(0.2)
+        assert policy.delay_before(3) == pytest.approx(0.35)
+        assert policy.delay_before(10) == pytest.approx(0.35)
+
+
+# ----------------------------------------------------------------------
+# fault plan
+# ----------------------------------------------------------------------
+class TestFaultPlan:
+    def test_only_first_attempt_is_sabotaged(self):
+        plan = FaultPlan(crash_items=frozenset({0}),
+                         hang_items=frozenset({1}))
+        assert plan.child_fault(0, attempt=0) == "crash"
+        assert plan.child_fault(1, attempt=0) == "hang"
+        assert plan.child_fault(0, attempt=1) is None
+        assert plan.child_fault(2, attempt=0) is None
+
+    def test_die_after_checkpoints_calls_die(self):
+        deaths = []
+        plan = FaultPlan(die_after_checkpoints=2, die=deaths.append)
+        plan.on_checkpoint(1)
+        assert deaths == []
+        plan.on_checkpoint(2)
+        assert deaths == [70]
+
+    def test_from_env_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+
+    def test_from_env_parses_clauses(self):
+        plan = FaultPlan.from_env(
+            {FAULT_ENV: "crash:0,2; hang:1 ;die-after:3"})
+        assert plan.crash_items == frozenset({0, 2})
+        assert plan.hang_items == frozenset({1})
+        assert plan.die_after_checkpoints == 3
+
+    def test_from_env_rejects_unknown_clause(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_env({FAULT_ENV: "explode:1"})
+
+
+# ----------------------------------------------------------------------
+# delegation and serial mode
+# ----------------------------------------------------------------------
+class TestDelegation:
+    def test_unsupervised_call_delegates_to_pool(self):
+        stats = EngineStats()
+        results = supervise_work_items(square, range(4), stats=stats)
+        assert results == [0, 1, 4, 9]
+        # The plain pool records its serial fallback; the supervisor's
+        # counters stay untouched.
+        assert stats.pool_fallbacks == 1
+        assert stats.supervisor_retries == 0
+
+    def test_serial_supervised_run_still_journals(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="serial")
+        keys = [f"k{i}" for i in range(3)]
+        results = supervise_work_items(
+            square, range(3), jobs=1,
+            policy=SupervisorPolicy(),  # no timeout: no children needed
+            journal=journal, keys=keys)
+        assert results == [0, 1, 4]
+        assert journal.stats.entries_recorded == 3
+        resumed = RunJournal.resume(tmp_path, "serial")
+        assert resumed.completed == {"k0": 0, "k1": 1, "k2": 4}
+
+    def test_journal_requires_one_key_per_item(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="bad-keys")
+        with pytest.raises(ValueError, match="one key per work item"):
+            supervise_work_items(square, range(3), journal=journal,
+                                 keys=["only-one"])
+
+
+# ----------------------------------------------------------------------
+# crash isolation and retries
+# ----------------------------------------------------------------------
+@needs_fork
+class TestCrashIsolation:
+    def test_crashed_worker_is_retried(self, crashing_worker):
+        worker = crashing_worker(crash_items={1, 3})
+        stats = EngineStats()
+        results = supervise_work_items(
+            worker, range(5), jobs=2, stats=stats,
+            policy=SupervisorPolicy(backoff=0.01))
+        assert results == [0, 1, 4, 9, 16]
+        assert stats.supervisor_retries == 2
+        assert stats.supervisor_degraded == 0
+
+    def test_injected_crash_via_fault_plan(self):
+        stats = EngineStats()
+        results = supervise_work_items(
+            square, range(4), jobs=2, stats=stats,
+            policy=SupervisorPolicy(backoff=0.01),
+            plan=FaultPlan(crash_items=frozenset({0})))
+        assert results == [0, 1, 4, 9]
+        assert stats.supervisor_retries == 1
+
+    def test_results_keep_item_order(self, crashing_worker):
+        # The crashed item finishes last; its slot must not move.
+        worker = crashing_worker(crash_items={0})
+        results = supervise_work_items(
+            worker, range(6), jobs=3,
+            policy=SupervisorPolicy(backoff=0.01))
+        assert results == [i * i for i in range(6)]
+
+    def test_retry_budget_exhaustion_degrades(self):
+        def always_crashes(context, item):
+            import os as _os
+            import signal as _signal
+
+            if item == 1:
+                _os.kill(_os.getpid(), _signal.SIGKILL)
+            return item * item
+
+        stats = EngineStats()
+        results = supervise_work_items(
+            always_crashes, range(3), jobs=2, stats=stats,
+            policy=SupervisorPolicy(retries=1, backoff=0.01),
+            fallback_worker=identity_fallback)
+        assert results == [0, 1, 4]
+        assert stats.supervisor_retries == 1
+        assert stats.supervisor_degraded == 1
+
+    def test_degradation_disabled_raises(self):
+        def always_crashes(context, item):
+            import os as _os
+            import signal as _signal
+
+            _os.kill(_os.getpid(), _signal.SIGKILL)
+
+        with pytest.raises(SupervisorError, match="degradation"):
+            supervise_work_items(
+                always_crashes, [0], jobs=1,
+                policy=SupervisorPolicy(timeout=30.0, retries=0,
+                                        backoff=0.01, degrade=False))
+
+
+# ----------------------------------------------------------------------
+# timeouts
+# ----------------------------------------------------------------------
+@needs_fork
+class TestTimeouts:
+    def test_hung_worker_is_killed_and_retried(self, hanging_worker):
+        worker = hanging_worker(hang_items={0})
+        stats = EngineStats()
+        results = supervise_work_items(
+            worker, range(3), jobs=2, stats=stats,
+            policy=SupervisorPolicy(timeout=0.4, retries=2,
+                                    backoff=0.01))
+        assert results == [0, 1, 4]
+        assert stats.supervisor_timeouts >= 1
+        assert stats.supervisor_retries >= 1
+        assert stats.supervisor_degraded == 0
+
+    def test_persistent_hang_degrades_to_fallback(self):
+        def always_hangs(context, item):
+            import time as _time
+
+            _time.sleep(3600)
+
+        stats = EngineStats()
+        results = supervise_work_items(
+            always_hangs, [7], jobs=1, stats=stats,
+            policy=SupervisorPolicy(timeout=0.3, retries=1,
+                                    backoff=0.01),
+            fallback_worker=identity_fallback)
+        assert results == [49]
+        assert stats.supervisor_timeouts == 2
+        assert stats.supervisor_degraded == 1
+
+
+# ----------------------------------------------------------------------
+# worker exceptions
+# ----------------------------------------------------------------------
+@needs_fork
+class TestWorkerExceptions:
+    def test_exception_reraised_with_remote_traceback(self):
+        with pytest.raises(ValueError, match="item 2 is cursed") as info:
+            supervise_work_items(
+                failing_worker, range(4), jobs=2,
+                policy=SupervisorPolicy(backoff=0.01))
+        cause = info.value.__cause__
+        assert isinstance(cause, WorkerTraceback)
+        assert "failing_worker" in cause.text
+        assert "item 2 is cursed" in cause.text
+
+    def test_exception_is_not_retried(self, tmp_path):
+        counter_dir = tmp_path / "calls"
+        counter_dir.mkdir()
+
+        def counting_failure(context, item):
+            (counter_dir / f"call-{len(list(counter_dir.iterdir()))}"
+             ).write_text("")
+            raise RuntimeError("deterministic")
+
+        with pytest.raises(RuntimeError, match="deterministic"):
+            supervise_work_items(
+                counting_failure, [0], jobs=1,
+                policy=SupervisorPolicy(timeout=30.0, retries=3,
+                                        backoff=0.01))
+        assert len(list(counter_dir.iterdir())) == 1
+
+    def test_unpicklable_result_degrades_that_task(self):
+        def lambda_result(context, item):
+            return lambda: item  # never pickles
+
+        stats = EngineStats()
+        results = supervise_work_items(
+            lambda_result, [3], jobs=1, stats=stats,
+            policy=SupervisorPolicy(timeout=30.0, backoff=0.01),
+            fallback_worker=identity_fallback)
+        assert results == [9]
+        assert stats.supervisor_degraded == 1
+
+
+# ----------------------------------------------------------------------
+# journaling under supervision
+# ----------------------------------------------------------------------
+@needs_fork
+class TestJournalIntegration:
+    def test_completed_items_are_checkpointed(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="run1")
+        keys = [f"key-{i}" for i in range(4)]
+        results = supervise_work_items(
+            square, range(4), jobs=2, journal=journal, keys=keys,
+            policy=SupervisorPolicy(backoff=0.01))
+        assert results == [0, 1, 4, 9]
+        resumed = RunJournal.resume(tmp_path, "run1")
+        assert resumed.completed == {f"key-{i}": i * i for i in range(4)}
+
+    def test_resume_skips_journaled_items(self, tmp_path, crashing_worker):
+        journal = RunJournal.create(tmp_path, run_id="run2")
+        journal.record("key-0", 0)
+        journal.record("key-2", 4)
+        # Items 0 and 2 would crash forever; the journal must shield
+        # them from ever being spawned.
+        worker = crashing_worker(crash_items={0, 2})
+        stats = EngineStats()
+        results = supervise_work_items(
+            worker, range(4), jobs=2, stats=stats,
+            journal=journal, keys=[f"key-{i}" for i in range(4)],
+            policy=SupervisorPolicy(retries=0, backoff=0.01))
+        assert results == [0, 1, 4, 9]
+        assert stats.supervisor_resumed == 2
+        assert stats.supervisor_retries == 0
+        assert stats.supervisor_checkpoints == 2  # only 1 and 3 ran
+
+    def test_parent_death_then_resume_runs_only_the_rest(self, tmp_path):
+        class ParentDown(BaseException):
+            pass
+
+        def die(status):
+            raise ParentDown(status)
+
+        journal = RunJournal.create(tmp_path, run_id="run3")
+        keys = [f"key-{i}" for i in range(5)]
+        plan = FaultPlan(die_after_checkpoints=2, die=die)
+        with pytest.raises(ParentDown):
+            supervise_work_items(
+                square, range(5), jobs=1, journal=journal, keys=keys,
+                policy=SupervisorPolicy(timeout=30.0, backoff=0.01),
+                plan=plan)
+        # Exactly two items were durably recorded before the "kill -9".
+        rerun_journal = RunJournal.resume(tmp_path, "run3")
+        assert len(rerun_journal) == 2
+
+        stats = EngineStats()
+        results = supervise_work_items(
+            square, range(5), jobs=2, stats=stats,
+            journal=rerun_journal, keys=keys,
+            policy=SupervisorPolicy(backoff=0.01))
+        assert results == [i * i for i in range(5)]
+        assert stats.supervisor_resumed == 2
+        assert rerun_journal.stats.entries_recorded == 3

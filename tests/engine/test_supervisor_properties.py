@@ -1,0 +1,214 @@
+"""Property-based differential harness for the supervision layer.
+
+The supervisor's contract is brutal and simple: **faults must not change
+verdicts**.  A sweep that survives worker crashes, per-task timeouts or
+a hard parent kill followed by ``--resume`` must produce reports
+structurally identical to the serial, unsupervised, naive-backend
+reference run.
+
+This file pins that property on seeded random protocols
+(:class:`repro.randomgen.ProtocolSampler`): each seed's protocol runs
+through the naive serial path, the kernel serial path, and the
+supervised path under an injected failure mode, and every report tuple
+must compare equal (report equality ignores timing/stats fields by
+construction, so this is exactly verdict-and-witness equality).
+
+When a case ever diverges, :func:`shrink_failing_protocol` greedily
+removes actions while the divergence persists and the assertion message
+carries the minimized guarded-command listing — a failing seed should
+arrive on a maintainer's desk already small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checker.sweep import sweep_verify
+from repro.engine.journal import RunJournal
+from repro.engine.pool import parallelism_available
+from repro.engine.supervisor import FaultPlan, SupervisorPolicy
+from repro.randomgen import ProtocolSampler
+
+pytestmark = pytest.mark.skipif(not parallelism_available(),
+                                reason="needs the fork start method")
+
+#: Sweep bound: sizes 2..4 for the single-variable samples — three work
+#: items, enough for every failure mode to hit a mid-run item.
+UP_TO = 4
+
+#: Seeds per failure mode.  3 modes x 18 seeds = 54 distinct protocols
+#: (each mode draws from its own seed block), comfortably past the
+#: 50-protocol floor this suite promises.
+SEEDS_PER_MODE = 18
+
+FAILURE_MODES = ("crash", "timeout", "kill-resume")
+
+
+class ParentDown(BaseException):
+    """Stands in for the SIGKILL of the whole run (patchable death)."""
+
+
+def _sample(mode: str, seed: int):
+    """One deterministic protocol per (mode, seed): disjoint seed blocks
+    keep the 54 sampled protocols distinct across modes."""
+    block = FAILURE_MODES.index(mode)
+    sampler = ProtocolSampler(max_domain=3, max_transitions=6,
+                              seed=1000 * block + seed)
+    return sampler.sample()
+
+
+def _reference(protocol):
+    """The trusted result: serial, unsupervised, naive backend."""
+    return sweep_verify(protocol, up_to=UP_TO, backend="naive", jobs=1)
+
+
+def _supervised(protocol, mode: str, tmp_path):
+    """Run the sweep under *mode*'s injected fault and return the
+    result (after a resume cycle for the kill mode)."""
+    policy = SupervisorPolicy(retries=2, backoff=0.01)
+    if mode == "crash":
+        return sweep_verify(
+            protocol, up_to=UP_TO, jobs=2, policy=policy,
+            fault_plan=FaultPlan(crash_items=frozenset({0, 2})))
+    if mode == "timeout":
+        return sweep_verify(
+            protocol, up_to=UP_TO, jobs=2,
+            policy=SupervisorPolicy(timeout=0.5, retries=2,
+                                    backoff=0.01),
+            fault_plan=FaultPlan(hang_items=frozenset({1}),
+                                 hang_seconds=30.0))
+    if mode == "kill-resume":
+        journal = RunJournal.create(tmp_path, run_id="prop")
+        with pytest.raises(ParentDown):
+            sweep_verify(
+                protocol, up_to=UP_TO, jobs=1, policy=policy,
+                journal=journal,
+                fault_plan=FaultPlan(
+                    die_after_checkpoints=1,
+                    die=lambda status: (_ for _ in ()).throw(
+                        ParentDown(status))))
+        rerun = RunJournal.resume(tmp_path, "prop")
+        assert len(rerun) >= 1, "died before the first checkpoint"
+        result = sweep_verify(protocol, up_to=UP_TO, jobs=2,
+                              policy=policy, journal=rerun)
+        # The resumed run answers every journaled item from the journal
+        # (never re-executes it) and runs exactly the rest.
+        assert result.stats.supervisor_resumed == \
+            rerun.stats.entries_loaded >= 1
+        return result
+    raise AssertionError(f"unknown mode {mode!r}")
+
+
+# ----------------------------------------------------------------------
+# the shrinker
+# ----------------------------------------------------------------------
+def shrink_failing_protocol(protocol, still_fails):
+    """Greedy delta-debugging over the protocol's actions.
+
+    Repeatedly drops single actions as long as *still_fails* keeps
+    holding; the result is 1-minimal (no single further removal
+    preserves the failure).  Predicates that crash on a candidate are
+    treated as "does not fail" — shrinking must never introduce new
+    error classes.
+    """
+    current = protocol
+    progress = True
+    while progress:
+        progress = False
+        actions = current.process.actions
+        for index in range(len(actions)):
+            candidate = current.with_actions(
+                actions[:index] + actions[index + 1:],
+                name=f"{protocol.name}_shrunk")
+            try:
+                failing = still_fails(candidate)
+            except Exception:
+                continue
+            if failing:
+                current = candidate
+                progress = True
+                break
+    return current
+
+
+def _assert_no_divergence(protocol, mode, tmp_path):
+    reference = _reference(protocol)
+    kernel = sweep_verify(protocol, up_to=UP_TO, backend="auto", jobs=1)
+    assert kernel.reports == reference.reports, \
+        "kernel backend diverged from the naive reference"
+    supervised = _supervised(protocol, mode, tmp_path)
+    if supervised.reports == reference.reports:
+        return
+
+    def diverges(candidate) -> bool:
+        base = _reference(candidate)
+        faulted = _supervised(candidate, mode,
+                              tmp_path / "shrink")
+        return faulted.reports != base.reports
+
+    (tmp_path / "shrink").mkdir(exist_ok=True)
+    minimal = shrink_failing_protocol(protocol, diverges)
+    pytest.fail(
+        f"supervised sweep diverged from the serial reference under "
+        f"injected {mode}; minimized reproducer:\n{minimal.pretty()}")
+
+
+# ----------------------------------------------------------------------
+# the properties
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(SEEDS_PER_MODE))
+class TestFaultsNeverChangeVerdicts:
+    def test_worker_crashes(self, seed, tmp_path):
+        _assert_no_divergence(_sample("crash", seed), "crash", tmp_path)
+
+    def test_hangs_under_timeout(self, seed, tmp_path):
+        _assert_no_divergence(_sample("timeout", seed), "timeout",
+                              tmp_path)
+
+    def test_kill_resume_rerun(self, seed, tmp_path):
+        _assert_no_divergence(_sample("kill-resume", seed),
+                              "kill-resume", tmp_path)
+
+
+# ----------------------------------------------------------------------
+# the shrinker itself
+# ----------------------------------------------------------------------
+class TestShrinker:
+    def test_shrinks_to_the_single_responsible_action(self):
+        protocol = ProtocolSampler(max_transitions=6, seed=14).sample()
+        actions = protocol.process.actions
+        assert len(actions) >= 2, "seed 14 must sample a rich protocol"
+        target = actions[-1].name
+
+        def still_fails(candidate) -> bool:
+            return any(a.name == target
+                       for a in candidate.process.actions)
+
+        minimal = shrink_failing_protocol(protocol, still_fails)
+        assert [a.name for a in minimal.process.actions] == [target]
+
+    def test_deliberate_divergence_is_caught_and_minimized(
+            self, tmp_path, monkeypatch):
+        """End-to-end failure drill: plant a verdict-corrupting
+        "supervisor" and demand the harness fail with a minimized
+        reproducer — the exact path a real supervision bug would take."""
+        import tests.engine.test_supervisor_properties as module
+
+        from repro.checker.sweep import SweepResult
+
+        def corrupted_supervised(protocol, mode, path):
+            genuine = _reference(protocol)
+            return SweepResult(reports=genuine.reports[:-1],
+                               elapsed_seconds=genuine.
+                               elapsed_seconds[:-1])
+
+        monkeypatch.setattr(module, "_supervised",
+                            corrupted_supervised)
+        protocol = ProtocolSampler(max_transitions=6, seed=24).sample()
+        assert len(protocol.process.actions) >= 2
+        with pytest.raises(pytest.fail.Exception,
+                           match="minimized reproducer") as info:
+            _assert_no_divergence(protocol, "crash", tmp_path)
+        # The dropped-report corruption diverges for every candidate,
+        # so the shrinker must have stripped the protocol bare.
+        assert "protocol" in str(info.value)
