@@ -1,0 +1,129 @@
+"""Dispatch-overhead smoke: batch scheduling vs fork-per-attempt.
+
+The compiled kernels made per-task cost tiny (sub-millisecond model
+checks at small K), which turned the PR 5 supervisor's fork-per-attempt
+dispatch into the dominant cost of supervised micro-task sweeps.  This
+benchmark runs the same supervised sweep of N micro model-checking
+tasks twice — ``schedule="task"`` (one forked child per task) and
+``schedule="batch"`` (persistent workers, adaptive batches) — asserts
+the verdicts are byte-identical, gates on the speedup, and emits
+``BENCH_dispatch.json`` at the repository root.
+
+``REPRO_BENCH_DISPATCH_ITEMS`` sets N (CI uses 200 with a ≥3× gate to
+stay fast and noise-tolerant; the full default of 500 carries the ≥5×
+acceptance bound).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine import EngineStats, SupervisorPolicy, \
+    supervise_work_items
+from repro.protocols import generalizable_matching
+from repro.serialization import global_report_to_dict
+
+ITEMS = int(os.environ.get("REPRO_BENCH_DISPATCH_ITEMS", "500"))
+JOBS = 4
+#: Ring sizes the micro tasks cycle over — small enough that one check
+#: costs well under a millisecond, so dispatch overhead dominates.
+MICRO_SIZES = (3, 4)
+REPO_ROOT = Path(__file__).resolve().parent.parent
+#: ≥5× is the acceptance bound on full runs; CI's 200-item run gates at
+#: ≥3× (same effect, more headroom against shared-runner noise).
+MIN_SPEEDUP = 5.0 if ITEMS >= 500 else 3.0
+
+
+def _micro_worker(context, size: int):
+    from repro.checker import check_instance
+
+    protocol = context
+    return check_instance(protocol.instantiate(size), backend="kernel")
+
+
+def _verdict_bytes(reports) -> bytes:
+    """The schedule-invariant content of a result list, serialized.
+
+    Run-local ``stats`` are timing-dependent by design and excluded;
+    everything the analysis concluded must match byte for byte.
+    """
+    rows = []
+    for report in reports:
+        row = global_report_to_dict(report)
+        row.pop("stats", None)
+        rows.append(row)
+    return json.dumps(rows, sort_keys=True).encode("ascii")
+
+
+def _run(schedule: str):
+    protocol = generalizable_matching()
+    sizes = [MICRO_SIZES[i % len(MICRO_SIZES)] for i in range(ITEMS)]
+    stats = EngineStats(jobs=JOBS)
+    began = time.perf_counter()
+    results = supervise_work_items(
+        _micro_worker, sizes, jobs=JOBS, context=protocol,
+        stats=stats, policy=SupervisorPolicy(timeout=60, retries=2),
+        schedule=schedule)
+    elapsed = time.perf_counter() - began
+    return results, elapsed, stats
+
+
+def collect():
+    task_results, task_s, _task_stats = _run("task")
+    batch_results, batch_s, batch_stats = _run("batch")
+    return {
+        "task": (task_results, task_s),
+        "batch": (batch_results, batch_s),
+        "batch_stats": batch_stats,
+    }
+
+
+def test_dispatch_perf_smoke(benchmark, write_artifact):
+    outcome = benchmark.pedantic(collect, rounds=1, iterations=1)
+    task_results, task_s = outcome["task"]
+    batch_results, batch_s = outcome["batch"]
+    stats = outcome["batch_stats"]
+    speedup = task_s / batch_s
+
+    # Byte-identical verdicts across schedules — the whole point of
+    # sharing one TaskLedger between the execution strategies.
+    assert _verdict_bytes(batch_results) == _verdict_bytes(task_results)
+    # The batch scheduler actually batched (not 1 task per dispatch).
+    assert stats.scheduler_batches > 0
+    assert stats.scheduler_batch_items == ITEMS
+    assert stats.scheduler_batches < ITEMS, (
+        "adaptive batching degenerated to one item per batch")
+    # The gate: dispatch overhead must be amortized away.
+    assert speedup >= MIN_SPEEDUP, (
+        f"batch schedule only {speedup:.2f}x faster than "
+        f"fork-per-attempt over {ITEMS} items (need {MIN_SPEEDUP}x)")
+
+    payload = {
+        "protocol": "matching-ex4.2",
+        "items": ITEMS,
+        "jobs": JOBS,
+        "micro_sizes": list(MICRO_SIZES),
+        "task_s": round(task_s, 4),
+        "batch_s": round(batch_s, 4),
+        "speedup": round(speedup, 2),
+        "min_speedup_gate": MIN_SPEEDUP,
+        "scheduler": {
+            "batches": stats.scheduler_batches,
+            "batch_items": stats.scheduler_batch_items,
+            "mean_batch_size": round(
+                stats.scheduler_batch_items
+                / max(1, stats.scheduler_batches), 2),
+            "steals": stats.scheduler_steals,
+            "requeued": stats.scheduler_requeued,
+        },
+    }
+    (REPO_ROOT / "BENCH_dispatch.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+    write_artifact(
+        "dispatch_overhead.txt",
+        f"{ITEMS} micro tasks @ jobs={JOBS}\n"
+        f"  schedule=task  {task_s * 1e3:9.1f} ms\n"
+        f"  schedule=batch {batch_s * 1e3:9.1f} ms  "
+        f"({speedup:.1f}x, {payload['scheduler']['batches']} batches, "
+        f"mean {payload['scheduler']['mean_batch_size']} items)")

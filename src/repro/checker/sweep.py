@@ -116,7 +116,9 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
                  symmetry: bool = False,
                  policy: SupervisorPolicy | None = None,
                  journal: RunJournal | None = None,
-                 fault_plan: FaultPlan | None = None) -> SweepResult:
+                 fault_plan: FaultPlan | None = None,
+                 schedule: str = "auto",
+                 batch_size: int | None = None) -> SweepResult:
     """Model-check every ring size from *start* (default: the read-window
     width) through *up_to*.
 
@@ -139,6 +141,11 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
     this run's counters.  A supervised or journaled ``stop_on_failure``
     sweep checks speculatively like the parallel one.  *fault_plan* is
     test-only injection.
+
+    *schedule* / *batch_size* select the supervised execution strategy
+    (``auto`` / ``batch`` / ``task`` — see
+    :func:`repro.engine.supervise_work_items`); verdicts are identical
+    across schedules.
     """
     first = protocol.process.window_width if start is None else start
     if first > up_to:
@@ -146,7 +153,7 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
     sizes = list(range(first, up_to + 1))
     stats = EngineStats(jobs=jobs)
     supervised = (policy is not None or journal is not None
-                  or fault_plan is not None)
+                  or fault_plan is not None or schedule == "batch")
 
     if jobs <= 1 and not supervised:
         # Serial: check sizes in order so stop_on_failure exits early.
@@ -203,7 +210,9 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
                 context=(protocol, backend, symmetry),
                 stats=stats, policy=policy, journal=journal,
                 keys=keys, fallback_worker=_sweep_fallback_worker,
-                plan=fault_plan)
+                plan=fault_plan, schedule=schedule,
+                batch_size=batch_size,
+                prewarm=lambda: _sweep_prewarm(protocol, backend))
         else:
             outcomes = [_check_size(protocol, size, backend, symmetry)
                         for size in pending]
@@ -247,6 +256,17 @@ def _checked_size(protocol: "RingProtocol", size: int,
     if cache is not None:
         cache.put(_sweep_key(protocol, size, symmetry), report)
     return report, elapsed
+
+
+def _sweep_prewarm(protocol: "RingProtocol", backend: str) -> None:
+    """Compile the protocol's kernel once in the parent so forked
+    workers inherit a hot compile cache instead of recompiling per K."""
+    if backend not in ("auto", "kernel"):
+        return
+    from repro.engine.kernel import compile_protocol, supports_kernel
+
+    if supports_kernel(protocol):
+        compile_protocol(protocol)
 
 
 def _sweep_worker(context, size: int) -> tuple[GlobalReport, float]:

@@ -105,6 +105,16 @@ def _add_supervisor_options(parser: argparse.ArgumentParser,
         "--retries", type=int, default=None, metavar="N",
         help="extra attempts for a crashed or timed-out work item "
              "before degrading (default: 2 once supervision is on)")
+    parser.add_argument(
+        "--schedule", choices=("auto", "batch", "task"), default="auto",
+        help="supervised execution strategy: persistent workers pulling "
+             "adaptively sized batches (batch; the auto default when "
+             "children are forked anyway) or one forked child per task "
+             "attempt (task)")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, metavar="N",
+        help="pin the batch scheduler's batch size instead of adapting "
+             "it from observed task durations")
     if resume:
         parser.add_argument(
             "--checkpoint", action="store_true",
@@ -225,7 +235,9 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                                 max_ring_size=args.max_ring_size,
                                 jobs=args.jobs, cache=cache,
                                 backend=args.backend,
-                                policy=_supervisor_policy(args))
+                                policy=_supervisor_policy(args),
+                                schedule=args.schedule,
+                                batch_size=args.batch_size)
     if args.json:
         import json
 
@@ -296,7 +308,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           jobs=args.jobs, cache=cache,
                           backend=args.backend, symmetry=args.symmetry,
                           policy=_supervisor_policy(args),
-                          journal=journal)
+                          journal=journal,
+                          schedule=args.schedule,
+                          batch_size=args.batch_size)
     print(f"== per-size sweep of {protocol.name} ==")
     print(result.summary())
     if journal is not None:
@@ -314,7 +328,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             max_ring_size=args.max_ring_size,
                             seed=args.seed,
                             jobs=args.jobs, cache=cache,
-                            policy=_supervisor_policy(args))
+                            policy=_supervisor_policy(args),
+                            schedule=args.schedule,
+                            batch_size=args.batch_size)
     print(report.summary())
     _print_stats(report.stats, cache)
     for discrepancy in report.discrepancies:
@@ -349,7 +365,9 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 _sweep_worker, [args.ring_size], jobs=1,
                 context=(protocol, args.backend, args.symmetry),
                 policy=policy,
-                fallback_worker=_sweep_fallback_worker)
+                fallback_worker=_sweep_fallback_worker,
+                schedule=args.schedule,
+                batch_size=args.batch_size)
         else:
             report = check_instance(
                 protocol.instantiate(args.ring_size),
@@ -382,7 +400,9 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
                                     backend=args.backend,
                                     jobs=args.jobs, cache=cache,
                                     policy=_supervisor_policy(args),
-                                    journal=journal)
+                                    journal=journal,
+                                    schedule=args.schedule,
+                                    batch_size=args.batch_size)
     print(f"== synthesis for {protocol.name} ==")
     print(result.summary())
     if result.succeeded and result.protocol is not None:

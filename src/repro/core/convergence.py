@@ -178,6 +178,8 @@ def verify_convergence(protocol: "RingProtocol",
                        cache: ResultCache | None = None,
                        backend: str = "auto",
                        policy: SupervisorPolicy | None = None,
+                       schedule: str = "auto",
+                       batch_size: int | None = None,
                        ) -> ConvergenceReport:
     """The full parameterized analysis of *protocol*.
 
@@ -191,7 +193,9 @@ def verify_convergence(protocol: "RingProtocol",
     contiguous-trail engine (``kernel``/``naive``, see
     :class:`repro.core.trail.ContiguousTrailSearcher`); *policy*
     supervises the fanned-out trail searches (timeouts, crash retry,
-    degradation — see :mod:`repro.engine.supervisor`).
+    degradation — see :mod:`repro.engine.supervisor`); *schedule* /
+    *batch_size* pick the supervised execution strategy
+    (``auto``/``batch``/``task``, verdict-identical).
     """
     stats = EngineStats(jobs=jobs)
     key = None
@@ -228,7 +232,8 @@ def verify_convergence(protocol: "RingProtocol",
                 livelock = LivelockCertifier(
                     protocol, max_ring_size=max_ring_size,
                     jobs=jobs, backend=backend,
-                    policy=policy).analyze()
+                    policy=policy, schedule=schedule,
+                    batch_size=batch_size).analyze()
         except AssumptionViolation:
             # Theorem 5.14 does not apply (Assumptions 1/2 broken);
             # the deadlock half still stands, livelocks stay open.

@@ -108,7 +108,9 @@ class LivelockCertifier:
                  jobs: int = 1,
                  cache: ResultCache | None = None,
                  backend: str = "auto",
-                 policy: SupervisorPolicy | None = None) -> None:
+                 policy: SupervisorPolicy | None = None,
+                 schedule: str = "auto",
+                 batch_size: int | None = None) -> None:
         self.protocol = protocol
         self.max_ring_size = max_ring_size
         self.require_self_disabling = require_self_disabling
@@ -116,6 +118,8 @@ class LivelockCertifier:
         self.cache = cache
         self.backend = backend
         self.policy = policy
+        self.schedule = schedule
+        self.batch_size = batch_size
 
     def _cache_key(self) -> str:
         # The backend is part of the key: verdicts are identical, but a
@@ -190,11 +194,16 @@ class LivelockCertifier:
         with stats.stage("trail-search", supports=len(supports),
                          backend=self.backend):
             if (self.jobs > 1 and len(supports) > 1) \
-                    or self.policy is not None:
+                    or self.policy is not None \
+                    or self.schedule == "batch":
+                # No separate prewarm hook: constructing the searcher
+                # above already compiled the local kernel in-parent, so
+                # forked workers inherit it hot either way.
                 found = supervise_work_items(
                     _find_trail_worker, supports, jobs=self.jobs,
                     context=searcher, stats=stats, policy=self.policy,
-                    fallback_worker=_find_trail_fallback)
+                    fallback_worker=_find_trail_fallback,
+                    schedule=self.schedule, batch_size=self.batch_size)
             else:
                 found = [searcher.find_trail(s) for s in supports]
         stats.work_items += len(supports)

@@ -158,7 +158,9 @@ class Synthesizer:
                  jobs: int = 1,
                  cache: ResultCache | None = None,
                  policy: SupervisorPolicy | None = None,
-                 journal: RunJournal | None = None) -> None:
+                 journal: RunJournal | None = None,
+                 schedule: str = "auto",
+                 batch_size: int | None = None) -> None:
         resolved = "kernel" if backend == "auto" else backend
         if resolved not in ("kernel", "naive"):
             raise ValueError(f"unknown synthesis backend {backend!r}")
@@ -180,6 +182,8 @@ class Synthesizer:
         """Checkpoints each combination verdict durably; a resumed run
         (same protocol, same ``--run-id``) answers already-judged
         combinations from the journal instead of re-searching."""
+        self.schedule = schedule
+        self.batch_size = batch_size
         self.stats = EngineStats(jobs=jobs)
         self._verdict_memo: dict[frozenset[LocalTransition],
                                  str | None] = {}
@@ -420,17 +424,21 @@ class Synthesizer:
             pending.append(position)
         if pending:
             supervised = (self.policy is not None
-                          or self.journal is not None)
+                          or self.journal is not None
+                          or self.schedule == "batch")
             if supervised or (self.jobs > 1 and len(pending) > 1):
                 keys = ([self._verdict_key(combos[i]) for i in pending]
                         if self.journal is not None else None)
+                # No prewarm hook: __init__ already compiled the local
+                # kernel in-parent, so workers fork with it hot.
                 computed = supervise_work_items(
                     _combo_verdict_worker,
                     [combos[i] for i in pending],
                     jobs=self.jobs, context=self,
                     stats=self.stats, policy=self.policy,
                     journal=self.journal, keys=keys,
-                    fallback_worker=_combo_verdict_worker)
+                    fallback_worker=_combo_verdict_worker,
+                    schedule=self.schedule, batch_size=self.batch_size)
             else:
                 computed = [self._evaluate_verdict(combos[i])
                             for i in pending]
@@ -578,8 +586,8 @@ def synthesize_convergence(protocol: "RingProtocol",
 
     Raises :class:`SynthesisFailure` when the caller sets
     ``raise_on_failure=True`` and no combination is accepted.
-    Supervision keywords (``policy``, ``journal``) pass through to
-    :class:`Synthesizer`.
+    Supervision keywords (``policy``, ``journal``, ``schedule``,
+    ``batch_size``) pass through to :class:`Synthesizer`.
     """
     raise_on_failure = kwargs.pop("raise_on_failure", False)
     synthesizer = Synthesizer(protocol, max_ring_size=max_ring_size,

@@ -34,7 +34,12 @@ identical work.  This package supplies the three missing pieces:
   degradation to a serial fallback, and :class:`RunJournal` checkpoints
   sweep / synthesis progress under ``.repro-cache/runs/<run-id>/`` so
   ``repro sweep --resume`` skips completed items (CLI ``--timeout`` /
-  ``--retries`` / ``--checkpoint`` / ``--resume``).
+  ``--retries`` / ``--checkpoint`` / ``--resume``);
+* :mod:`repro.engine.scheduler` — the batch execution strategy under
+  :func:`supervise_work_items`: persistent supervised workers pulling
+  adaptively sized batches (cost-model driven, heartbeat timeouts,
+  requeue-on-crash) so micro-task sweeps stop paying one fork and one
+  fsync per task (CLI ``--schedule`` / ``--batch-size``).
 """
 
 from repro.engine.cache import (
@@ -72,6 +77,7 @@ from repro.engine.supervisor import (
     SupervisorPolicy,
     supervise_work_items,
 )
+from repro.engine.scheduler import BatchScheduler, CostModel
 
 # Imported last: localkernel pulls in repro.core.trail, whose package
 # __init__ imports back into repro.engine — every name above must
@@ -83,6 +89,8 @@ from repro.engine.localkernel import (
 )
 
 __all__ = [
+    "BatchScheduler",
+    "CostModel",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
     "CompiledProtocol",

@@ -19,6 +19,18 @@ resurrect a result for a protocol or parameter set other than the one
 that produced it; ``meta.json`` additionally pins the run's analysis
 fingerprint and :meth:`RunJournal.resume` refuses a mismatch outright.
 
+Durability is a dial, not a constant.  With the default
+``flush_interval = 0`` every :meth:`RunJournal.record` writes and
+fsyncs before returning — the PR 5 contract, one disk sync per work
+item.  The batch scheduler completes micro-tasks far faster than a
+disk can sync, so :meth:`RunJournal.group_commit` raises the interval
+for the duration of a batched run: records accumulate in memory and
+are committed together (on the interval, on a full buffer, and always
+by the explicit :meth:`flush` on run end).  A hard kill mid-interval
+loses at most that uncommitted window; resume simply re-executes the
+lost items, so verdicts never change — only how much work a crash can
+waste.
+
 Layout::
 
     .repro-cache/runs/<run-id>/
@@ -36,6 +48,7 @@ import pickle
 import secrets
 import time
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -47,6 +60,15 @@ from repro.obs import runtime as obs
 _FORMAT_VERSION = 1
 
 RUNS_SUBDIR = "runs"
+
+#: Fsync coalescing window used by :meth:`RunJournal.group_commit` when
+#: the caller does not pick one (~the batch scheduler's target batch
+#: duration, so a batch of completions costs about one sync).
+DEFAULT_GROUP_COMMIT_SECONDS = 0.05
+
+#: A full buffer forces a commit regardless of the interval, bounding
+#: the loss window in entries as well as in seconds.
+GROUP_COMMIT_MAX_ENTRIES = 128
 
 
 class JournalError(Exception):
@@ -60,11 +82,13 @@ class JournalStats:
     entries_loaded: int = 0
     entries_recorded: int = 0
     corrupt_entries: int = 0
+    fsyncs: int = 0
 
     def summary(self) -> str:
         return (f"journal: {self.entries_loaded} entries resumed, "
                 f"{self.entries_recorded} recorded, "
-                f"{self.corrupt_entries} corrupt entries skipped")
+                f"{self.corrupt_entries} corrupt entries skipped, "
+                f"{self.fsyncs} fsyncs")
 
 
 def runs_root(cache_dir: str | Path | None = None) -> Path:
@@ -105,10 +129,20 @@ class RunJournal:
     meta: dict[str, Any] = field(default_factory=dict)
     completed: dict[str, Any] = field(default_factory=dict)
     stats: JournalStats = field(default_factory=JournalStats)
+    flush_interval: float = 0.0
+    """Seconds between durable commits: ``0`` (the default) fsyncs on
+    every :meth:`record`; a positive interval coalesces — see
+    :meth:`group_commit` and :meth:`flush`."""
+    flush_max_entries: int = GROUP_COMMIT_MAX_ENTRIES
+    _pending: list = field(default_factory=list, init=False, repr=False)
+    _last_flush: float = field(default_factory=time.monotonic,
+                               init=False, repr=False)
 
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, root: str | Path, run_id: str | None = None,
+               flush_interval: float = 0.0,
+               flush_max_entries: int = GROUP_COMMIT_MAX_ENTRIES,
                **meta: Any) -> "RunJournal":
         """Start a journal for a new run under ``<root>/<run-id>/``."""
         run_id = run_id or new_run_id()
@@ -118,13 +152,16 @@ class RunJournal:
                 "created": time.time(), **meta}
         (directory / "meta.json").write_text(
             json.dumps(meta, indent=2, sort_keys=True, default=repr))
-        journal = cls(directory=directory, run_id=run_id, meta=meta)
+        journal = cls(directory=directory, run_id=run_id, meta=meta,
+                      flush_interval=flush_interval,
+                      flush_max_entries=flush_max_entries)
         journal.path.touch()
         return journal
 
     @classmethod
     def resume(cls, root: str | Path, run_id: str,
-               fingerprint: str | None = None) -> "RunJournal":
+               fingerprint: str | None = None,
+               flush_interval: float = 0.0) -> "RunJournal":
         """Reload the journal of a prior run to continue it.
 
         *fingerprint*, when given, must equal the ``fingerprint`` the
@@ -166,7 +203,8 @@ class RunJournal:
         return len(self.completed)
 
     def record(self, key: str, value: Any) -> None:
-        """Durably append one completed item (fsync before returning).
+        """Append one completed item (fsynced before returning unless a
+        positive ``flush_interval`` is coalescing commits).
 
         A value that does not pickle is journaled as a miss (the item
         will re-execute on resume) rather than aborting the run —
@@ -185,15 +223,56 @@ class RunJournal:
             "sha256": hashlib.sha256(payload).hexdigest(),
             "data": base64.b64encode(payload).decode("ascii"),
         })
-        with open(self.path, "ab") as handle:
-            handle.write(line.encode("ascii") + b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._pending.append(line.encode("ascii") + b"\n")
         self.completed[key] = value
         self.stats.entries_recorded += 1
         obs.event("checkpoint", run_id=self.run_id, key=key,
                   seq=len(self.completed) - 1)
         obs.metric("supervisor.checkpoints")
+        if (self.flush_interval <= 0
+                or len(self._pending) >= self.flush_max_entries
+                or time.monotonic() - self._last_flush
+                >= self.flush_interval):
+            self.flush()
+
+    def flush(self) -> None:
+        """Commit every buffered entry in one write + fsync.
+
+        Idempotent and cheap when nothing is pending.  Entries that
+        have not been flushed are **not durable**: a hard kill loses
+        them, and resume re-executes exactly those items.
+        """
+        self._last_flush = time.monotonic()
+        if not self._pending:
+            return
+        with open(self.path, "ab") as handle:
+            handle.write(b"".join(self._pending))
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._pending.clear()
+        self.stats.fsyncs += 1
+        obs.metric("journal.fsyncs")
+
+    @contextmanager
+    def group_commit(self,
+                     interval: float = DEFAULT_GROUP_COMMIT_SECONDS):
+        """Coalesce fsyncs for the duration of a batched run.
+
+        Raises ``flush_interval`` to *interval* (only when the journal
+        is currently in fsync-per-record mode — an explicitly
+        configured interval is left alone), and guarantees a final
+        :meth:`flush` on exit, including when the block raises: a
+        parent that *can* unwind commits everything it recorded.
+        """
+        raised = self.flush_interval <= 0
+        if raised:
+            self.flush_interval = interval
+        try:
+            yield self
+        finally:
+            if raised:
+                self.flush_interval = 0.0
+            self.flush()
 
     # ------------------------------------------------------------------
     def _load(self) -> None:

@@ -37,6 +37,7 @@ Guarantees:
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
@@ -95,15 +96,29 @@ class WorkerFailure:
     def __reduce__(self):
         # The exception object may itself refuse to pickle; degrade to
         # a traceback-only failure rather than poisoning the pipe.
+        # Pickleability is probed here, lazily, and the probe's output
+        # is shipped as the payload: the old probe-then-repickle path
+        # serialized every exception twice per pipe crossing, and the
+        # parent-side rebuild now also survives payloads that pickle
+        # but refuse to *unpickle*.
         try:
-            import pickle
+            payload = pickle.dumps(self.exception)
+        except Exception:
+            payload = None
+        return (_rebuild_failure,
+                (payload, self.traceback_text, self.description))
 
-            pickle.dumps(self.exception)
-            exception = self.exception
+
+def _rebuild_failure(payload: bytes | None, traceback_text: str,
+                     description: str) -> WorkerFailure:
+    """Parent-side reconstructor for a pickled :class:`WorkerFailure`."""
+    exception = None
+    if payload is not None:
+        try:
+            exception = pickle.loads(payload)
         except Exception:
             exception = None
-        return (WorkerFailure,
-                (exception, self.traceback_text, self.description))
+    return WorkerFailure(exception, traceback_text, description)
 
 # Inherited by forked workers; never meaningful in the parent between
 # run_work_items calls.

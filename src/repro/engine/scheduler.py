@@ -1,0 +1,525 @@
+"""Adaptive batch scheduling over persistent supervised workers.
+
+The compiled kernels drove per-task cost down to fractions of a
+millisecond, at which point the task-mode supervisor's fork-per-attempt
+dispatch (one ``fork``, one pipe round-trip, one fsync per task)
+dominates wall-clock.  :class:`BatchScheduler` amortizes that overhead:
+it forks ``--jobs`` **persistent workers once**, then feeds each worker
+**batches** of task indices sized by a :class:`CostModel` so one pipe
+round-trip covers ~:data:`TARGET_BATCH_SECONDS` of useful work.
+
+Supervision stays at *task* granularity despite the batched transport:
+
+* every worker announces each task with a ``start`` message before
+  touching it — the heartbeat that arms the per-task timeout deadline
+  in the parent, exactly as precise as task mode's fork-time clock;
+* a worker death (segfault, OOM kill, injected SIGKILL) fails **only
+  the in-flight task** — that task re-enters the retry/backoff/degrade
+  ladder, while the not-yet-started remainder of the dead worker's
+  batch is **requeued without spending retry budget** (those tasks were
+  innocent bystanders, and charging them attempts would make batch
+  verdicts diverge from task mode under ``retries=0``);
+* deterministic worker exceptions latch into the shared
+  :class:`~repro.engine.supervisor.TaskLedger` and re-raise with the
+  remote traceback after in-flight work is stopped, and journal
+  checkpoints run under :meth:`RunJournal.group_commit` so completing a
+  batch costs ~one fsync instead of one per task.
+
+The cost model is deliberately boring: an exponentially weighted moving
+average of observed per-task seconds (seeded from the ambient obs run's
+``scheduler.task_seconds`` histogram when a prior stage already
+measured this workload), clamped so a batch targets
+:data:`TARGET_BATCH_SECONDS` of work.  Near the end of a run the fair-
+share cap ``ceil(remaining / workers / 2)`` overrides it, splitting the
+tail across workers instead of letting one worker hoard the last big
+batch while its siblings idle — each cap hit is counted as a *steal*
+(``scheduler.steals``), the work-stealing this design gets without a
+shared-memory deque.
+
+Workers inherit everything by fork — including kernels compiled by the
+parent's ``prewarm`` hook — so unpicklable workers/contexts/items are
+fine and nothing is recompiled per task; only results cross the pipe.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import time
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.engine.pool import WorkerFailure
+from repro.engine.supervisor import FaultPlan, TaskLedger, _bump, _Task
+from repro.obs import runtime as obs
+from repro.obs.trace import Span
+
+#: How much useful work one batch dispatch should cover.  Well above
+#: the ~0.1 ms cost of a pipe round-trip (so dispatch overhead is
+#: amortized to noise) and well below any sane ``--timeout`` (so a
+#: batch never delays fault detection noticeably).
+TARGET_BATCH_SECONDS = 0.1
+
+#: Hard ceiling on one batch regardless of how cheap tasks look — a
+#: mis-estimated EWMA must not assign half the run to one worker.
+MAX_BATCH_ITEMS = 256
+
+#: Weight of the newest sample in the per-task-seconds EWMA.  High
+#: enough to adapt within a few batches when per-K cost grows along a
+#: sweep, low enough not to chase single-task noise.
+EWMA_ALPHA = 0.25
+
+#: Samples below this are clamped before sizing (a 0-second clock tick
+#: must not produce a huge batch).
+MIN_TASK_SECONDS = 1e-6
+
+
+@dataclass
+class CostModel:
+    """Adaptive batch sizing from observed per-task durations.
+
+    ``fixed`` (the CLI's ``--batch-size``) bypasses adaptation.
+    Otherwise the first dispatch to each worker is a **probe** of one
+    task (no estimate yet → smallest possible commitment), and every
+    completed task updates the EWMA that sizes subsequent batches to
+    :data:`TARGET_BATCH_SECONDS` of estimated work.
+    """
+
+    fixed: int | None = None
+    ewma: float | None = None
+    target_seconds: float = TARGET_BATCH_SECONDS
+    max_items: int = MAX_BATCH_ITEMS
+
+    def __post_init__(self) -> None:
+        if self.fixed is not None and self.fixed < 1:
+            raise ValueError("batch size must be >= 1")
+
+    @classmethod
+    def from_ambient(cls, fixed: int | None = None) -> "CostModel":
+        """Seed the EWMA from the ambient run's task-duration histogram
+        (a resumed or multi-stage run already knows this workload)."""
+        model = cls(fixed=fixed)
+        run = obs.active()
+        if run is not None and "scheduler.task_seconds" in run.metrics:
+            sample = run.metrics.histogram("scheduler.task_seconds")
+            if sample.count:
+                model.ewma = max(sample.mean, MIN_TASK_SECONDS)
+        return model
+
+    def observe(self, seconds: float) -> None:
+        seconds = max(seconds, MIN_TASK_SECONDS)
+        if self.ewma is None:
+            self.ewma = seconds
+        else:
+            self.ewma = (EWMA_ALPHA * seconds
+                         + (1.0 - EWMA_ALPHA) * self.ewma)
+
+    def batch_size(self, remaining: int,
+                   workers: int) -> tuple[int, bool]:
+        """Size the next batch; returns ``(size, tail_limited)``.
+
+        *tail_limited* reports that the fair-share tail cap — not the
+        cost model — bounded the batch: the caller counts it as a
+        steal when other workers are still busy.
+        """
+        if remaining <= 0:
+            return 0, False
+        if self.fixed is not None:
+            return min(self.fixed, remaining), False
+        if self.ewma is None:
+            return 1, False  # probe: measure before committing
+        size = int(round(self.target_seconds / self.ewma))
+        size = max(1, min(size, self.max_items, remaining))
+        fair = max(1, math.ceil(remaining / max(1, workers) / 2))
+        if size > fair:
+            return fair, True
+        return size, False
+
+
+# ----------------------------------------------------------------------
+# child side: the persistent worker loop
+# ----------------------------------------------------------------------
+def _worker_main(worker, context, work: Sequence[Any],
+                 plan: FaultPlan | None, commands, results) -> None:
+    """Pull batches of ``(index, attempt)`` pairs until told to stop.
+
+    Per task: announce ``("start", index)`` (the heartbeat that arms
+    the parent-side deadline), run it, ship ``("done", index, outcome,
+    capture)``; after a whole batch, ``("idle",)`` asks for more.
+    ``None`` on the command pipe — or a vanished parent — ends the
+    loop.  Fault injection happens *after* the start heartbeat, like
+    task mode's fork-then-crash ordering, so the parent attributes the
+    death to the right task.
+    """
+    while True:
+        try:
+            batch = commands.recv()
+        except (EOFError, OSError):
+            break
+        if batch is None:
+            break
+        for index, attempt in batch:
+            try:
+                results.send(("start", index, None, None))
+            except Exception:
+                os._exit(1)
+            fault = (plan.child_fault(index, attempt)
+                     if plan is not None else None)
+            if fault == "crash":
+                os.kill(os.getpid(), signal.SIGKILL)
+            if fault == "hang":
+                time.sleep(plan.hang_seconds)
+            inherited = obs.fork_capture_begin()
+            try:
+                try:
+                    outcome: Any = ("ok", worker(context, work[index]))
+                except BaseException as exc:
+                    outcome = ("failed", WorkerFailure.capture(exc))
+            finally:
+                capture = obs.fork_capture_end(inherited)
+            try:
+                results.send(("done", index, outcome, capture))
+            except Exception as exc:
+                # Unpicklable result: report it as such so the parent
+                # degrades this task rather than suspecting a crash.
+                try:
+                    results.send((
+                        "done", index,
+                        ("unpicklable",
+                         f"{type(exc).__name__}: {exc}"), None))
+                except Exception:
+                    os._exit(1)
+        try:
+            results.send(("idle", None, None, None))
+        except Exception:
+            os._exit(1)
+    os._exit(0)
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class _Worker:
+    """Parent-side state of one persistent worker process."""
+
+    ident: int
+    process: Any
+    commands: Any  # parent → child: batches of (index, attempt)
+    results: Any   # child → parent: start / done / idle
+    assigned: deque = field(default_factory=deque)  # sent, not started
+    current: _Task | None = None                    # heartbeat received
+    deadline: float | None = None
+    started_at: float = 0.0
+    batch_began: float = 0.0        # wall clock, for the batch span
+    batch_items: int = 0
+    idle: bool = True
+
+    @property
+    def busy(self) -> bool:
+        return not self.idle
+
+    def casualty(self) -> _Task | None:
+        """The task a death should be charged to: the heartbeat-
+        confirmed one, else the first assigned (a worker that died
+        before its first heartbeat was necessarily on that task)."""
+        if self.current is not None:
+            task, self.current = self.current, None
+            return task
+        if self.assigned:
+            return self.assigned.popleft()
+        return None
+
+
+class BatchScheduler:
+    """Batch-mode execution strategy over a shared
+    :class:`~repro.engine.supervisor.TaskLedger` (see module docstring;
+    task-mode semantics, batched transport)."""
+
+    def __init__(self, ledger: TaskLedger, jobs: int = 1,
+                 batch_size: int | None = None) -> None:
+        self.ledger = ledger
+        self.jobs = max(1, jobs)
+        self.policy = ledger.policy
+        self.model = CostModel.from_ambient(fixed=batch_size)
+        self._mp = multiprocessing.get_context("fork")
+        self.workers: list[_Worker] = []
+        self.queue: deque = deque()      # ready tasks, FIFO
+        self.delayed: list[_Task] = []   # retries waiting out backoff
+        self._next_ident = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def run(self, pending: list[_Task]) -> None:
+        ledger = self.ledger
+        self.queue = deque(pending)
+        self.delayed = []
+        target = min(self.jobs, max(1, len(pending)))
+        if ledger.stats is not None and target > 1:
+            ledger.stats.parallel = True
+        commit = (ledger.journal.group_commit()
+                  if ledger.journal is not None else nullcontext())
+        with obs.span("scheduler.map", mode="batch", jobs=self.jobs,
+                      items=len(pending), timeout=self.policy.timeout,
+                      retries=self.policy.retries):
+            with commit:
+                try:
+                    self._loop(target)
+                finally:
+                    self._shutdown()
+
+    def _loop(self, target: int) -> None:
+        ledger = self.ledger
+        while ledger.failure is None and (
+                self.queue or self.delayed
+                or any(w.busy for w in self.workers)):
+            now = time.monotonic()
+            self._mature(now)
+            self._dispatch(target)
+            if not self.workers:
+                # Every worker died and nothing could be respawned
+                # (queue drained into `delayed` backoffs): sleep to the
+                # first retry and go around.
+                if self.delayed:
+                    wake = min(t.ready_at for t in self.delayed)
+                    time.sleep(max(0.0, min(wake - now, 0.25)))
+                continue
+            ready = multiprocessing.connection.wait(
+                [w.results for w in self.workers]
+                + [w.process.sentinel for w in self.workers],
+                timeout=self._wait_timeout(now))
+            self._service(set(ready))
+
+    def _mature(self, now: float) -> None:
+        """Move backoff-expired retries back into the ready queue."""
+        if not self.delayed:
+            return
+        still: list[_Task] = []
+        for task in self.delayed:
+            if task.ready_at <= now:
+                self.queue.append(task)
+            else:
+                still.append(task)
+        self.delayed = still
+
+    # -- dispatch ------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        ledger = self.ledger
+        cmd_recv, cmd_send = self._mp.Pipe(duplex=False)
+        res_recv, res_send = self._mp.Pipe(duplex=False)
+        process = self._mp.Process(
+            target=_worker_main,
+            args=(ledger.worker, ledger.context, ledger.work,
+                  ledger.plan, cmd_recv, res_send),
+            daemon=True)
+        process.start()
+        cmd_recv.close()  # child ends live in the child
+        res_send.close()
+        worker = _Worker(ident=self._next_ident, process=process,
+                         commands=cmd_send, results=res_recv)
+        self._next_ident += 1
+        self.workers.append(worker)
+        obs.gauge("scheduler.workers", len(self.workers))
+        return worker
+
+    def _dispatch(self, target: int) -> None:
+        """Feed every idle worker a batch while ready tasks remain."""
+        while self.queue:
+            worker = next((w for w in self.workers if w.idle), None)
+            if worker is None:
+                if len(self.workers) >= target:
+                    return
+                worker = self._spawn()
+            size, tail_limited = self.model.batch_size(
+                len(self.queue), max(1, len(self.workers)))
+            batch = [self.queue.popleft() for _ in range(size)]
+            try:
+                worker.commands.send(
+                    [(t.index, t.attempts) for t in batch])
+            except (BrokenPipeError, OSError):
+                # Found dead at dispatch time: nothing of this batch
+                # was in flight, so all of it goes back untouched.
+                self.queue.extendleft(reversed(batch))
+                self._worker_died(worker, drain=False)
+                continue
+            worker.assigned = deque(batch)
+            worker.idle = False
+            worker.batch_began = time.time()
+            worker.batch_items = len(batch)
+            _bump(self.ledger.stats, "scheduler_batches",
+                  "scheduler.batches")
+            _bump(self.ledger.stats, "scheduler_batch_items",
+                  "scheduler.batch_items", len(batch))
+            obs.observe("scheduler.batch_size", len(batch))
+            if tail_limited and any(w.busy for w in self.workers
+                                    if w is not worker):
+                # The fair-share tail cap bound this batch: work that
+                # the cost model would have assigned elsewhere was
+                # effectively stolen for this worker.
+                _bump(self.ledger.stats, "scheduler_steals",
+                      "scheduler.steals")
+
+    # -- servicing -----------------------------------------------------
+    def _service(self, ready: set) -> None:
+        now = time.monotonic()
+        for worker in list(self.workers):
+            # Drain buffered messages first: a dead worker's pipe may
+            # still hold completed results, and a readable sentinel
+            # must not outrank them.
+            try:
+                while worker.results.poll():
+                    self._handle(worker, worker.results.recv())
+            except (EOFError, OSError):
+                self._worker_died(worker)
+                continue
+            if not worker.process.is_alive():
+                if worker.busy:
+                    self._worker_died(worker)
+                else:
+                    self._discard(worker)
+            elif worker.deadline is not None and now >= worker.deadline:
+                self._expire(worker)
+
+    def _handle(self, worker: _Worker, message: tuple) -> None:
+        kind, index, payload, capture = message
+        ledger = self.ledger
+        if kind == "start":
+            task = worker.assigned.popleft()
+            assert task.index == index, "worker ran out of order"
+            worker.current = task
+            worker.started_at = time.monotonic()
+            worker.deadline = (worker.started_at + self.policy.timeout
+                               if self.policy.timeout is not None
+                               else None)
+        elif kind == "done":
+            task = worker.current
+            worker.current = None
+            worker.deadline = None
+            assert task is not None and task.index == index
+            elapsed = time.monotonic() - worker.started_at
+            self.model.observe(elapsed)
+            obs.observe("scheduler.task_seconds", elapsed)
+            obs.adopt_child(capture, f"item[{task.index}]",
+                            attempt=task.attempts)
+            status, value = payload
+            if status == "ok":
+                ledger.complete(task, value)
+            elif status == "failed":
+                ledger.record_failure(task, value)
+            else:  # unpicklable result
+                ledger.degrade(task, f"unpicklable-result ({value})")
+        else:  # idle: batch finished, synthesize its span
+            worker.idle = True
+            run = obs.active()
+            if run is not None and worker.batch_items:
+                span = Span("scheduler.batch",
+                            {"worker": worker.ident,
+                             "items": worker.batch_items},
+                            start=worker.batch_began,
+                            duration=time.time() - worker.batch_began,
+                            pid=worker.process.pid)
+                run.tracer.adopt([span])
+            worker.batch_items = 0
+
+    # -- fault handling ------------------------------------------------
+    def _retry(self, task: _Task, reason: str) -> None:
+        requeued = self.ledger.retry_or_degrade(task, reason)
+        if requeued is not None:
+            self.delayed.append(requeued)
+
+    def _requeue_survivors(self, worker: _Worker) -> None:
+        """Return a dead/killed worker's unstarted tasks to the queue —
+        front of the line, attempts untouched: they were never run."""
+        if not worker.assigned:
+            return
+        count = len(worker.assigned)
+        self.queue.extendleft(reversed(worker.assigned))
+        worker.assigned = deque()
+        _bump(self.ledger.stats, "scheduler_requeued",
+              "scheduler.requeued", count)
+        obs.event("batch-requeued", level="warning",
+                  worker=worker.ident, items=count)
+
+    def _worker_died(self, worker: _Worker, drain: bool = True) -> None:
+        if drain:
+            try:
+                while worker.results.poll():
+                    self._handle(worker, worker.results.recv())
+            except (EOFError, OSError):
+                pass
+        self._discard(worker)
+        casualty = worker.casualty()
+        self._requeue_survivors(worker)
+        if casualty is not None:
+            self._retry(casualty, "worker-died")
+
+    def _expire(self, worker: _Worker) -> None:
+        """Per-task deadline passed: kill the worker, retry the task."""
+        task = worker.current
+        worker.current = None
+        try:
+            worker.process.kill()
+        except Exception:
+            pass
+        self._discard(worker)
+        assert task is not None  # deadlines are only armed by a start
+        obs.event("task-timeout", level="warning", index=task.index,
+                  key=task.key, attempt=task.attempts,
+                  timeout_seconds=self.policy.timeout)
+        _bump(self.ledger.stats, "supervisor_timeouts",
+              "supervisor.timeouts")
+        self._requeue_survivors(worker)
+        self._retry(task, "timeout")
+
+    def _discard(self, worker: _Worker) -> None:
+        if worker in self.workers:
+            self.workers.remove(worker)
+        obs.gauge("scheduler.workers", len(self.workers))
+        for conn in (worker.commands, worker.results):
+            try:
+                conn.close()
+            except Exception:
+                pass
+        worker.process.join(timeout=5.0)
+
+    def _shutdown(self) -> None:
+        for worker in list(self.workers):
+            if worker.busy:
+                # Mid-batch at shutdown means the run is aborting (a
+                # latched failure): no point waiting the batch out.
+                try:
+                    worker.process.kill()
+                except Exception:
+                    pass
+            else:
+                try:
+                    worker.commands.send(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + 1.0
+        for worker in list(self.workers):
+            worker.process.join(
+                timeout=max(0.0, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                try:
+                    worker.process.kill()
+                except Exception:
+                    pass
+            self._discard(worker)
+
+    # -- pacing --------------------------------------------------------
+    def _wait_timeout(self, now: float) -> float:
+        horizon = 0.5
+        deadlines = [w.deadline for w in self.workers
+                     if w.deadline is not None]
+        if deadlines:
+            horizon = min(horizon, max(0.0, min(deadlines) - now))
+        if self.delayed:
+            wake = min(t.ready_at for t in self.delayed)
+            if wake > now:
+                horizon = min(horizon, wake - now)
+        return max(horizon, 0.005)

@@ -38,6 +38,10 @@ _COUNTER_METRICS = {
     "supervisor_degraded": "supervisor.degraded",
     "supervisor_resumed": "supervisor.resumed",
     "supervisor_checkpoints": "supervisor.checkpoints",
+    "scheduler_batches": "scheduler.batches",
+    "scheduler_batch_items": "scheduler.batch_items",
+    "scheduler_steals": "scheduler.steals",
+    "scheduler_requeued": "scheduler.requeued",
     "compile_seconds": "kernel.compile_seconds",
     "encode_seconds": "kernel.encode_seconds",
     "states_encoded": "kernel.states_encoded",
@@ -259,6 +263,12 @@ class EngineStats:
                 f"{self.supervisor_retries} retries, "
                 f"{self.supervisor_degraded} degraded, "
                 f"{self.supervisor_resumed} resumed")
+        if self.scheduler_batches:
+            parts.append(
+                f"scheduler {self.scheduler_batches} batches "
+                f"(mean {self.scheduler_batch_items / self.scheduler_batches:.1f}"
+                f" items), {self.scheduler_steals} steals, "
+                f"{self.scheduler_requeued} requeued")
         if self.states_encoded:
             kernel = (f"kernel compile {self.compile_seconds * 1e3:.1f} ms"
                       f", {self.states_encoded} states @ "

@@ -6,8 +6,8 @@ module makes it *survivable*.  Per-item cost in the workloads above it
 synthesis verdicts) is heavily skewed — one pathological instance can
 hang or OOM while its siblings finish in milliseconds — and with the
 plain pool a single crashed worker used to take the whole run with it.
-:func:`supervise_work_items` runs each work item in its own forked
-child under a :class:`SupervisorPolicy`:
+:func:`supervise_work_items` runs work under a
+:class:`SupervisorPolicy`:
 
 * **timeouts** — a task exceeding the per-task wall-clock budget is
   SIGKILLed and retried with exponential backoff;
@@ -26,12 +26,30 @@ child under a :class:`SupervisorPolicy`:
   ``task-degraded`` / ``task-resumed`` events, ``supervisor.*``
   counters, and per-item span adoption exactly like the plain pool.
 
+Two execution strategies provide those guarantees (``--schedule``):
+
+* **task mode** (:class:`_Supervisor`, the PR 5 design) forks one child
+  per task *attempt* — maximal isolation, one fork + one pipe
+  round-trip of overhead per task;
+* **batch mode** (:class:`repro.engine.scheduler.BatchScheduler`) keeps
+  a pool of persistent supervised workers pulling adaptively sized
+  batches from a shared queue — the same per-*task* supervision
+  semantics (heartbeat-armed timeouts, crash isolates to the in-flight
+  task, the rest of a dead worker's batch is requeued without spending
+  retry budget) at a fraction of the dispatch cost.
+
+``schedule="auto"`` (the default everywhere) picks batch mode whenever
+children would be forked anyway and there is more than one task.  Both
+strategies share one :class:`TaskLedger` — the resume/checkpoint/
+retry/degrade bookkeeping — so verdicts are identical by construction;
+the property-based differential harness checks it anyway.
+
 When no policy, journal or fault plan is given the call delegates to
 :func:`run_work_items` unchanged — supervision is strictly opt-in and
 the fast path stays the fast path.
 
 Unlike the pool (which pickles only item indices), the supervisor forks
-one child per task attempt, so worker, context and items may all hold
+children that inherit worker, context and items, so all three may hold
 unpicklable objects; only results cross the pipe.  A worker
 *exception* (as opposed to a death) is treated as deterministic: it is
 not retried but re-raised in the parent with the remote traceback
@@ -57,6 +75,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.engine.pool import (
     WorkerFailure,
+    _record_fallback,
     parallelism_available,
     run_work_items,
 )
@@ -64,6 +83,9 @@ from repro.obs import runtime as obs
 
 #: Environment variable read by :meth:`FaultPlan.from_env`.
 FAULT_ENV = "REPRO_INJECT_FAULT"
+
+#: Valid ``schedule=`` arguments of :func:`supervise_work_items`.
+SCHEDULES = ("auto", "batch", "task")
 
 
 class SupervisorError(Exception):
@@ -164,7 +186,7 @@ class FaultPlan:
 
 
 # ----------------------------------------------------------------------
-# child side
+# child side (task mode: one fork per attempt)
 # ----------------------------------------------------------------------
 def _child_main(worker, context, item, index: int, attempt: int,
                 conn, plan: FaultPlan | None) -> None:
@@ -228,16 +250,23 @@ def _bump(stats: Any, attribute: str, metric: str,
         setattr(stats, attribute, getattr(stats, attribute) + amount)
 
 
-class _Supervisor:
-    """One supervised batch (see :func:`supervise_work_items`)."""
+class TaskLedger:
+    """The supervision bookkeeping both execution strategies share.
 
-    def __init__(self, worker, work: Sequence[Any], jobs: int,
-                 context: Any, stats: Any, policy: SupervisorPolicy,
-                 journal, keys: Sequence[str] | None,
-                 fallback_worker, plan: FaultPlan | None) -> None:
+    Resume-from-journal, completion checkpointing, the retry/degrade
+    ladder, deterministic-failure latching and result ordering all live
+    here; :class:`_Supervisor` (task mode) and
+    :class:`repro.engine.scheduler.BatchScheduler` (batch mode) are
+    pure execution strategies over one ledger — which is what makes
+    their verdicts identical by construction.
+    """
+
+    def __init__(self, worker, work: Sequence[Any], context: Any,
+                 stats: Any, policy: SupervisorPolicy, journal,
+                 keys: Sequence[str] | None, fallback_worker,
+                 plan: FaultPlan | None) -> None:
         self.worker = worker
         self.work = work
-        self.jobs = max(1, jobs)
         self.context = context
         self.stats = stats
         self.policy = policy
@@ -247,18 +276,15 @@ class _Supervisor:
         self.plan = plan
         self.results: dict[int, Any] = {}
         self.failure: WorkerFailure | None = None
-        self._mp = (multiprocessing.get_context("fork")
-                    if parallelism_available() else None)
 
-    # -- shared bookkeeping -------------------------------------------
-    def _key(self, index: int) -> str | None:
+    def key(self, index: int) -> str | None:
         return self.keys[index] if self.keys is not None else None
 
-    def _resume_completed(self) -> list[_Task]:
+    def resume_completed(self) -> list[_Task]:
         """Split the batch into journal hits and tasks still to run."""
         pending: list[_Task] = []
         for index in range(len(self.work)):
-            key = self._key(index)
+            key = self.key(index)
             if self.journal is not None and key is not None \
                     and key in self.journal.completed:
                 self.results[index] = self.journal.completed[key]
@@ -269,7 +295,7 @@ class _Supervisor:
             pending.append(_Task(index=index, key=key))
         return pending
 
-    def _complete(self, task: _Task, result: Any) -> None:
+    def complete(self, task: _Task, result: Any) -> None:
         self.results[task.index] = result
         if self.journal is not None and task.key is not None:
             before = self.journal.stats.entries_recorded
@@ -280,10 +306,20 @@ class _Supervisor:
                 self.stats.supervisor_checkpoints += (
                     self.journal.stats.entries_recorded - before)
             if self.plan is not None:
+                # The injector's contract is "die after N *durable*
+                # checkpoints": commit any group-commit buffer before
+                # the (possibly hard) death so resume sees exactly N.
+                self.journal.flush()
                 self.plan.on_checkpoint(
                     self.journal.stats.entries_recorded)
 
-    def _degrade(self, task: _Task, reason: str) -> None:
+    def record_failure(self, task: _Task, failure: WorkerFailure) -> None:
+        """A deterministic worker exception: latch the first one."""
+        if self.failure is None:
+            self.failure = failure
+        self.results[task.index] = None
+
+    def degrade(self, task: _Task, reason: str) -> None:
         """Retry budget exhausted: run in-parent via the fallback."""
         if not self.policy.degrade:
             raise SupervisorError(
@@ -295,41 +331,60 @@ class _Supervisor:
         _bump(self.stats, "supervisor_degraded", "supervisor.degraded")
         with obs.span("supervisor.degraded", index=task.index,
                       reason=reason):
-            self._complete(task, self.fallback_worker(
+            self.complete(task, self.fallback_worker(
                 self.context, self.work[task.index]))
 
-    def _retry_or_degrade(self, task: _Task, reason: str,
-                          pending: list[_Task]) -> None:
+    def retry_or_degrade(self, task: _Task, reason: str) -> _Task | None:
+        """Spend one unit of *task*'s retry budget.
+
+        Returns the task (with its backoff ``ready_at`` stamped) when
+        it should be requeued, or ``None`` when it was degraded and is
+        already complete.
+        """
         task.attempts += 1
         if task.attempts > self.policy.retries:
-            self._degrade(task, reason)
-            return
+            self.degrade(task, reason)
+            return None
         delay = self.policy.delay_before(task.attempts)
         task.ready_at = time.monotonic() + delay
         obs.event("task-retry", level="warning", index=task.index,
                   key=task.key, attempt=task.attempts, reason=reason,
                   delay_seconds=delay)
         _bump(self.stats, "supervisor_retries", "supervisor.retries")
-        pending.append(task)
+        return task
 
     # -- serial mode (no children needed / no fork available) ----------
     def run_serial(self, pending: list[_Task], reason: str) -> None:
+        if reason == "no-fork":
+            _record_fallback(self.stats, reason, len(pending))
         obs.event("supervisor-serial", reason=reason,
                   items=len(pending))
         with obs.span("supervisor.serial", reason=reason,
                       items=len(pending)):
             for task in pending:
-                self._complete(task, self.worker(
+                self.complete(task, self.worker(
                     self.context, self.work[task.index]))
 
-    # -- supervised mode (one forked child per attempt) ----------------
+    def ordered_results(self) -> list[Any]:
+        return [self.results[i] for i in range(len(self.work))]
+
+
+class _Supervisor:
+    """Task-mode execution: one forked child per task attempt."""
+
+    def __init__(self, ledger: TaskLedger, jobs: int) -> None:
+        self.ledger = ledger
+        self.jobs = max(1, jobs)
+        self.policy = ledger.policy
+        self._mp = multiprocessing.get_context("fork")
+
     def _spawn(self, task: _Task) -> _Running:
-        assert self._mp is not None
+        ledger = self.ledger
         receiver, sender = self._mp.Pipe(duplex=False)
         process = self._mp.Process(
             target=_child_main,
-            args=(self.worker, self.context, self.work[task.index],
-                  task.index, task.attempts, sender, self.plan),
+            args=(ledger.worker, ledger.context, ledger.work[task.index],
+                  task.index, task.attempts, sender, ledger.plan),
             daemon=True)
         process.start()
         sender.close()  # the child's end lives in the child
@@ -349,6 +404,12 @@ class _Supervisor:
             pass
         self._reap(running)
 
+    def _requeue(self, task: _Task, reason: str,
+                 pending: list[_Task]) -> None:
+        requeued = self.ledger.retry_or_degrade(task, reason)
+        if requeued is not None:
+            pending.append(requeued)
+
     def _handle_message(self, running: _Running,
                         pending: list[_Task]) -> None:
         task = running.task
@@ -356,35 +417,34 @@ class _Supervisor:
             (status, value), capture = running.conn.recv()
         except (EOFError, OSError):
             self._reap(running)
-            self._retry_or_degrade(task, "worker-died", pending)
+            self._requeue(task, "worker-died", pending)
             return
         self._reap(running)
         obs.adopt_child(capture, f"item[{task.index}]",
                         attempt=task.attempts)
         if status == "ok":
-            self._complete(task, value)
+            self.ledger.complete(task, value)
         elif status == "failed":
             # Deterministic worker exception: no retry; re-raised (with
             # the remote traceback chained) once in-flight siblings are
             # drained.
-            if self.failure is None:
-                self.failure = value
-            self.results[task.index] = None
+            self.ledger.record_failure(task, value)
         else:  # unpicklable result
-            self._degrade(task, f"unpicklable-result ({value})")
+            self.ledger.degrade(task, f"unpicklable-result ({value})")
 
     def run_supervised(self, pending: list[_Task]) -> None:
+        ledger = self.ledger
         slots = min(self.jobs, max(1, len(pending)))
         queue = list(pending)
         running: list[_Running] = []
-        if self.stats is not None and slots > 1:
-            self.stats.parallel = True
+        if ledger.stats is not None and slots > 1:
+            ledger.stats.parallel = True
         with obs.span("supervisor.map", jobs=self.jobs,
                       items=len(queue),
                       timeout=self.policy.timeout,
                       retries=self.policy.retries):
             try:
-                while (queue or running) and self.failure is None:
+                while (queue or running) and ledger.failure is None:
                     now = time.monotonic()
                     # Launch every ready task into a free slot.
                     still_waiting: list[_Task] = []
@@ -414,8 +474,8 @@ class _Supervisor:
                         elif item.process.sentinel in ready_set:
                             # Child died without delivering a result.
                             self._reap(item)
-                            self._retry_or_degrade(
-                                item.task, "worker-died", queue)
+                            self._requeue(item.task, "worker-died",
+                                          queue)
                         elif item.deadline is not None \
                                 and now >= item.deadline:
                             self._kill(item)
@@ -424,18 +484,15 @@ class _Supervisor:
                                       key=item.task.key,
                                       attempt=item.task.attempts,
                                       timeout_seconds=self.policy.timeout)
-                            _bump(self.stats, "supervisor_timeouts",
+                            _bump(ledger.stats, "supervisor_timeouts",
                                   "supervisor.timeouts")
-                            self._retry_or_degrade(
-                                item.task, "timeout", queue)
+                            self._requeue(item.task, "timeout", queue)
                         else:
                             survivors.append(item)
                     running = survivors
             finally:
                 for item in running:
                     self._kill(item)
-        if self.failure is not None:
-            self.failure.reraise()
 
     def _wait_timeout(self, queue: list[_Task],
                       running: list[_Running], now: float) -> float:
@@ -461,45 +518,81 @@ def supervise_work_items(worker: Callable[[Any, Any], Any],
                          keys: Sequence[str] | None = None,
                          fallback_worker: Callable[[Any, Any], Any]
                          | None = None,
-                         plan: FaultPlan | None = None) -> list[Any]:
+                         plan: FaultPlan | None = None,
+                         schedule: str = "auto",
+                         batch_size: int | None = None,
+                         prewarm: Callable[[], None] | None = None,
+                         ) -> list[Any]:
     """Apply ``worker(context, item)`` to every item under supervision.
 
     Drop-in superset of :func:`repro.engine.run_work_items`: with no
-    *policy*, *journal* or fault plan the call delegates there
-    unchanged.  Otherwise each attempt runs in its own forked child
-    with the *policy*'s timeout/retry/degradation ladder, results come
-    back in item order, and — when *journal* and *keys* (one per item)
-    are given — completed items are checkpointed durably and journal
-    hits are returned without re-execution.
+    *policy*, *journal* or fault plan (and *schedule* not forced to
+    ``"batch"``) the call delegates there unchanged.  Otherwise work
+    runs under the *policy*'s timeout/retry/degradation ladder, results
+    come back in item order, and — when *journal* and *keys* (one per
+    item) are given — completed items are checkpointed durably and
+    journal hits are returned without re-execution.
+
+    *schedule* picks the execution strategy: ``"task"`` forks one child
+    per attempt (the PR 5 design), ``"batch"`` runs persistent workers
+    pulling adaptively sized batches (*batch_size* pins the size), and
+    ``"auto"`` — the default — uses batch mode whenever children would
+    be forked anyway and more than one task is pending.  Verdicts are
+    identical across schedules; only dispatch overhead differs.
+
+    *prewarm*, when given, is called once in the parent immediately
+    before children are forked — the engine call sites compile the
+    protocol's kernels here so every worker inherits hot caches through
+    fork instead of recompiling per task.
 
     *fallback_worker* is what a degraded task runs in-parent (the
     engine call sites pass the serial naive backend); it defaults to
     *worker*.  On a platform without ``fork`` everything runs serially
     in-parent (journaling still works; timeouts cannot be enforced and
-    a ``supervisor-serial`` event says so).
+    ``supervisor-serial`` / ``pool-fallback`` events say so).
     """
+    if schedule not in SCHEDULES:
+        raise ValueError(f"unknown schedule {schedule!r} "
+                         f"(expected one of {', '.join(SCHEDULES)})")
     work = list(items)
     if plan is None:
         plan = FaultPlan.from_env()
-    if policy is None and journal is None and plan is None:
+    supervised = (policy is not None or journal is not None
+                  or plan is not None)
+    if not supervised and schedule != "batch":
         return run_work_items(worker, work, jobs=jobs, context=context,
                               stats=stats)
     if journal is not None and (keys is None or len(keys) != len(work)):
         raise ValueError("journaling needs one key per work item")
     policy = policy or SupervisorPolicy()
 
-    supervisor = _Supervisor(worker, work, jobs, context, stats, policy,
-                             journal, keys, fallback_worker, plan)
-    pending = supervisor._resume_completed()
+    ledger = TaskLedger(worker, work, context, stats, policy, journal,
+                        keys, fallback_worker, plan)
+    pending = ledger.resume_completed()
     if pending:
-        needs_children = (policy.timeout is not None
-                          or jobs > 1
-                          or (plan is not None
-                              and (plan.crash_items or plan.hang_items)))
-        if supervisor._mp is not None and needs_children:
-            supervisor.run_supervised(pending)
+        fork = parallelism_available()
+        injected = plan is not None and (plan.crash_items
+                                         or plan.hang_items)
+        wants_children = (policy.timeout is not None or jobs > 1
+                          or injected)
+        use_batch = (fork and len(pending) > 1
+                     and (schedule == "batch"
+                          or (schedule == "auto" and wants_children)))
+        use_task = fork and wants_children and not use_batch
+        if (use_batch or use_task) and prewarm is not None:
+            with obs.span("scheduler.prewarm"):
+                prewarm()
+        if use_batch:
+            from repro.engine.scheduler import BatchScheduler
+
+            BatchScheduler(ledger, jobs=jobs,
+                           batch_size=batch_size).run(pending)
+        elif use_task:
+            _Supervisor(ledger, jobs).run_supervised(pending)
         else:
-            reason = ("no-fork" if supervisor._mp is None
-                      else "nothing-to-supervise")
-            supervisor.run_serial(pending, reason)
-    return [supervisor.results[i] for i in range(len(work))]
+            ledger.run_serial(
+                pending, "no-fork" if not fork else
+                "nothing-to-supervise")
+    if ledger.failure is not None:
+        ledger.failure.reraise()
+    return ledger.ordered_results()

@@ -160,6 +160,12 @@ def gauge(name: str, value: Any) -> None:
         _ACTIVE.metrics.gauge(name).set(value)
 
 
+def observe(name: str, value: float) -> None:
+    """Record a sample in an ambient histogram (no-op when inactive)."""
+    if _ACTIVE is not None:
+        _ACTIVE.metrics.histogram(name).observe(value)
+
+
 # ----------------------------------------------------------------------
 # Fork-pool capture protocol
 # ----------------------------------------------------------------------

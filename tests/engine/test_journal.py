@@ -106,6 +106,92 @@ class TestCorruptionTolerance:
         assert final.stats.corrupt_entries == 1
 
 
+class TestGroupCommit:
+    def test_default_interval_fsyncs_every_record(self, tmp_path):
+        journal = _make_run(tmp_path, run_id="eager", entries=3)
+        assert journal.stats.fsyncs == 3
+        assert journal._pending == []
+
+    def test_positive_interval_buffers_in_memory(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="lazy",
+                                    flush_interval=60.0)
+        for index in range(5):
+            journal.record(f"key-{index}", index)
+        # Nothing hit the disk yet: the file is still empty and a
+        # resume from another process would see zero entries.
+        assert journal.path.read_bytes() == b""
+        assert journal.stats.fsyncs == 0
+        assert len(journal._pending) == 5
+        journal.flush()
+        assert journal.stats.fsyncs == 1  # one sync for five records
+        assert RunJournal.resume(tmp_path, "lazy").completed == {
+            f"key-{i}": i for i in range(5)}
+
+    def test_full_buffer_forces_a_commit(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="bounded",
+                                    flush_interval=60.0,
+                                    flush_max_entries=4)
+        for index in range(4):
+            journal.record(f"key-{index}", index)
+        # The 4th record filled the buffer and committed despite the
+        # 60 s interval — the loss window is bounded in entries too.
+        assert journal.stats.fsyncs == 1
+        assert journal._pending == []
+
+    def test_mid_interval_kill_loses_only_the_uncommitted_window(
+            self, tmp_path):
+        # Simulate a hard kill: records 0-2 were flushed, records 3-4
+        # sat in the buffer when the process died (the buffer is simply
+        # never written — exactly what SIGKILL leaves behind).
+        journal = RunJournal.create(tmp_path, run_id="killed",
+                                    flush_interval=60.0)
+        for index in range(3):
+            journal.record(f"key-{index}", index)
+        journal.flush()
+        journal.record("key-3", 3)
+        journal.record("key-4", 4)
+        del journal  # hard kill: buffered tail abandoned, no flush
+
+        resumed = RunJournal.resume(tmp_path, "killed")
+        assert set(resumed.completed) == {"key-0", "key-1", "key-2"}
+        assert resumed.stats.corrupt_entries == 0  # clean loss, no tear
+        # The resumed run re-executes exactly the lost window.
+        for key in ("key-3", "key-4"):
+            if key not in resumed:
+                resumed.record(key, int(key[-1]))
+        assert set(RunJournal.resume(tmp_path, "killed").completed) == {
+            f"key-{i}" for i in range(5)}
+
+    def test_group_commit_coalesces_and_restores(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="grouped")
+        with journal.group_commit(interval=60.0):
+            for index in range(10):
+                journal.record(f"key-{index}", index)
+        assert journal.flush_interval == 0.0  # per-record mode restored
+        assert journal.stats.fsyncs == 1
+        assert journal.stats.entries_recorded == 10
+        assert len(RunJournal.resume(tmp_path, "grouped")) == 10
+
+    def test_group_commit_flushes_when_the_block_raises(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="raising")
+        with pytest.raises(RuntimeError):
+            with journal.group_commit(interval=60.0):
+                journal.record("done-before-crash", 1)
+                raise RuntimeError("worker failure propagating")
+        # A parent that can unwind commits everything it recorded.
+        assert RunJournal.resume(tmp_path, "raising").completed == {
+            "done-before-crash": 1}
+
+    def test_group_commit_respects_an_explicit_interval(self, tmp_path):
+        journal = RunJournal.create(tmp_path, run_id="explicit",
+                                    flush_interval=30.0)
+        with journal.group_commit(interval=60.0):
+            assert journal.flush_interval == 30.0  # left alone
+            journal.record("key", 1)
+        assert journal.flush_interval == 30.0  # and still left alone
+        assert journal._pending == []  # but the exit flush still ran
+
+
 class TestResumeGuards:
     def test_unknown_run_raises(self, tmp_path):
         _make_run(tmp_path, run_id="known")

@@ -108,3 +108,38 @@ class TestWorkerFailure:
         assert isinstance(clone.exception, ValueError)
         with pytest.raises(ValueError, match="plain"):
             clone.reraise()
+
+    def test_capture_does_not_pickle_and_serializes_exactly_once(self):
+        # Regression: capture() used to round-trip every exception
+        # through pickle.dumps eagerly, so the common success path paid
+        # a serialization even when the failure never crossed a pipe —
+        # and a shipped failure paid it twice (probe + re-pickle).
+        # Pickleability is now probed lazily, in __reduce__, once.
+        class CountingError(Exception):
+            reduce_calls = 0
+
+            def __reduce__(self):
+                CountingError.reduce_calls += 1
+                return (CountingError, ())
+
+        failure = WorkerFailure.capture(CountingError())
+        assert CountingError.reduce_calls == 0  # capture stays free
+        pickle.loads(pickle.dumps(failure))
+        assert CountingError.reduce_calls == 1  # probe IS the payload
+
+    def test_pickles_but_wont_unpickle_degrades_cleanly(self):
+        # The payload can also fail on the *parent* side: an exception
+        # whose __reduce__ succeeds but whose reconstructor raises.
+        def _explode():
+            raise TypeError("no unpickling, ever")
+
+        class OneWayError(Exception):
+            def __reduce__(self):
+                return (_explode, ())
+
+        failure = WorkerFailure.capture(OneWayError("one-way"))
+        clone = pickle.loads(pickle.dumps(failure))
+        assert clone.exception is None  # degraded, not raised mid-load
+        assert "OneWayError" in clone.traceback_text
+        with pytest.raises(RuntimeError, match="OneWayError"):
+            clone.reraise()

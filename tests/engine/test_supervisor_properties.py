@@ -13,6 +13,13 @@ supervised path under an injected failure mode, and every report tuple
 must compare equal (report equality ignores timing/stats fields by
 construction, so this is exactly verdict-and-witness equality).
 
+Both execution strategies are on the hook: even seeds run the injected
+fault through ``schedule="task"`` (one fork per attempt), odd seeds
+through ``schedule="batch"`` (persistent workers, adaptive batches) —
+same differential oracle, so the batch scheduler's crash-requeue,
+heartbeat-timeout and group-commit-resume paths must reproduce the
+serial verdicts exactly like task mode does.
+
 When a case ever diverges, :func:`shrink_failing_protocol` greedily
 removes actions while the divergence persists and the assertion message
 carries the minimized guarded-command listing — a failing seed should
@@ -62,27 +69,33 @@ def _reference(protocol):
     return sweep_verify(protocol, up_to=UP_TO, backend="naive", jobs=1)
 
 
-def _supervised(protocol, mode: str, tmp_path):
-    """Run the sweep under *mode*'s injected fault and return the
-    result (after a resume cycle for the kill mode)."""
+def _supervised(protocol, mode: str, tmp_path, schedule="task"):
+    """Run the sweep under *mode*'s injected fault and the given
+    execution strategy, and return the result (after a resume cycle
+    for the kill mode)."""
     policy = SupervisorPolicy(retries=2, backoff=0.01)
     if mode == "crash":
         return sweep_verify(
             protocol, up_to=UP_TO, jobs=2, policy=policy,
+            schedule=schedule,
             fault_plan=FaultPlan(crash_items=frozenset({0, 2})))
     if mode == "timeout":
         return sweep_verify(
             protocol, up_to=UP_TO, jobs=2,
             policy=SupervisorPolicy(timeout=0.5, retries=2,
                                     backoff=0.01),
+            schedule=schedule,
             fault_plan=FaultPlan(hang_items=frozenset({1}),
                                  hang_seconds=30.0))
     if mode == "kill-resume":
+        # In batch mode the dying run exercises group commit's unwind
+        # flush: the checkpoint that triggered the death must still be
+        # durable when the parent "dies" by stack unwind.
         journal = RunJournal.create(tmp_path, run_id="prop")
         with pytest.raises(ParentDown):
             sweep_verify(
                 protocol, up_to=UP_TO, jobs=1, policy=policy,
-                journal=journal,
+                journal=journal, schedule=schedule,
                 fault_plan=FaultPlan(
                     die_after_checkpoints=1,
                     die=lambda status: (_ for _ in ()).throw(
@@ -90,7 +103,8 @@ def _supervised(protocol, mode: str, tmp_path):
         rerun = RunJournal.resume(tmp_path, "prop")
         assert len(rerun) >= 1, "died before the first checkpoint"
         result = sweep_verify(protocol, up_to=UP_TO, jobs=2,
-                              policy=policy, journal=rerun)
+                              policy=policy, journal=rerun,
+                              schedule=schedule)
         # The resumed run answers every journaled item from the journal
         # (never re-executes it) and runs exactly the rest.
         assert result.stats.supervisor_resumed == \
@@ -131,43 +145,53 @@ def shrink_failing_protocol(protocol, still_fails):
     return current
 
 
-def _assert_no_divergence(protocol, mode, tmp_path):
+def _assert_no_divergence(protocol, mode, tmp_path, schedule="task"):
     reference = _reference(protocol)
     kernel = sweep_verify(protocol, up_to=UP_TO, backend="auto", jobs=1)
     assert kernel.reports == reference.reports, \
         "kernel backend diverged from the naive reference"
-    supervised = _supervised(protocol, mode, tmp_path)
+    supervised = _supervised(protocol, mode, tmp_path, schedule)
     if supervised.reports == reference.reports:
         return
 
     def diverges(candidate) -> bool:
         base = _reference(candidate)
         faulted = _supervised(candidate, mode,
-                              tmp_path / "shrink")
+                              tmp_path / "shrink", schedule)
         return faulted.reports != base.reports
 
     (tmp_path / "shrink").mkdir(exist_ok=True)
     minimal = shrink_failing_protocol(protocol, diverges)
     pytest.fail(
-        f"supervised sweep diverged from the serial reference under "
-        f"injected {mode}; minimized reproducer:\n{minimal.pretty()}")
+        f"supervised sweep ({schedule} schedule) diverged from the "
+        f"serial reference under injected {mode}; minimized "
+        f"reproducer:\n{minimal.pretty()}")
 
 
 # ----------------------------------------------------------------------
 # the properties
 # ----------------------------------------------------------------------
+def _schedule_for(seed: int) -> str:
+    """Even seeds exercise task mode, odd seeds batch mode — both
+    execution strategies face every failure mode without doubling the
+    (fork-heavy) test count."""
+    return "batch" if seed % 2 else "task"
+
+
 @pytest.mark.parametrize("seed", range(SEEDS_PER_MODE))
 class TestFaultsNeverChangeVerdicts:
     def test_worker_crashes(self, seed, tmp_path):
-        _assert_no_divergence(_sample("crash", seed), "crash", tmp_path)
+        _assert_no_divergence(_sample("crash", seed), "crash", tmp_path,
+                              _schedule_for(seed))
 
     def test_hangs_under_timeout(self, seed, tmp_path):
         _assert_no_divergence(_sample("timeout", seed), "timeout",
-                              tmp_path)
+                              tmp_path, _schedule_for(seed))
 
     def test_kill_resume_rerun(self, seed, tmp_path):
         _assert_no_divergence(_sample("kill-resume", seed),
-                              "kill-resume", tmp_path)
+                              "kill-resume", tmp_path,
+                              _schedule_for(seed))
 
 
 # ----------------------------------------------------------------------
@@ -196,7 +220,8 @@ class TestShrinker:
 
         from repro.checker.sweep import SweepResult
 
-        def corrupted_supervised(protocol, mode, path):
+        def corrupted_supervised(protocol, mode, path,
+                                 schedule="task"):
             genuine = _reference(protocol)
             return SweepResult(reports=genuine.reports[:-1],
                                elapsed_seconds=genuine.
