@@ -10,6 +10,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+import repro.engine.artifacts as artifact_plane
 from repro.checker.deadlock import illegitimate_deadlocks
 from repro.checker.livelock import has_livelock, livelock_cycles
 from repro.checker.statespace import StateGraph
@@ -97,6 +98,8 @@ def check_instance(instance, max_witnesses: int = 8,
     witnesses repetition up to rotation).
     """
     began = time.perf_counter()
+    plane = artifact_plane.ambient()
+    plane_before = plane.stats.snapshot() if plane is not None else None
     with obs.span("check", K=getattr(instance, "size", -1),
                   backend=backend, symmetry=symmetry) as span:
         graph = StateGraph(instance, backend=backend, symmetry=symmetry)
@@ -111,6 +114,8 @@ def check_instance(instance, max_witnesses: int = 8,
             span.attrs["states"] = len(graph)
     stats = EngineStats(work_items=1, states_explored=len(graph))
     stats.absorb_kernel(graph.kernel_stats)
+    if plane is not None:
+        stats.absorb_artifacts(plane.stats.delta_since(plane_before))
     stats.stage_seconds["check"] = time.perf_counter() - began
     return GlobalReport(
         ring_size=getattr(instance, "size", -1),

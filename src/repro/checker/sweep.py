@@ -25,10 +25,12 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+import repro.engine.artifacts as artifact_plane
 from repro.checker.convergence import GlobalReport, check_instance
 from repro.engine import EngineStats, ResultCache, analysis_key, \
     supervise_work_items
 from repro.engine.journal import RunJournal
+from repro.engine.pool import PortableContext
 from repro.engine.supervisor import FaultPlan, SupervisorPolicy
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -176,6 +178,15 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
     # the result equal to serial).
     reports: dict[int, GlobalReport] = {}
     timings: dict[int, float] = {}
+
+    def prewarm() -> None:
+        # Artifact traffic inside the per-K checks is attributed to the
+        # per-report stats (folded in check_instance, merged below);
+        # only the parent-side prewarm publishes are counted here, so
+        # nothing is counted twice.
+        with artifact_plane.absorb_into(stats):
+            _sweep_prewarm(protocol, backend)
+
     with stats.stage("sweep", start=first, up_to=up_to, jobs=jobs):
         pending = []
         for size in sizes:
@@ -211,8 +222,8 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
                 stats=stats, policy=policy, journal=journal,
                 keys=keys, fallback_worker=_sweep_fallback_worker,
                 plan=fault_plan, schedule=schedule,
-                batch_size=batch_size,
-                prewarm=lambda: _sweep_prewarm(protocol, backend))
+                batch_size=batch_size, prewarm=prewarm,
+                portable=_sweep_portable(protocol, backend, symmetry))
         else:
             outcomes = [_check_size(protocol, size, backend, symmetry)
                         for size in pending]
@@ -260,13 +271,50 @@ def _checked_size(protocol: "RingProtocol", size: int,
 
 def _sweep_prewarm(protocol: "RingProtocol", backend: str) -> None:
     """Compile the protocol's kernel once in the parent so forked
-    workers inherit a hot compile cache instead of recompiling per K."""
+    workers inherit a hot compile cache instead of recompiling per K —
+    and, with an artifact store active, so the compiled table is
+    *published* for spawn workers and later runs to attach.
+
+    The kernel-support probe runs on a throwaway smallest instance:
+    :func:`supports_kernel` classifies instances, not protocols.
+    """
     if backend not in ("auto", "kernel"):
         return
     from repro.engine.kernel import compile_protocol, supports_kernel
 
-    if supports_kernel(protocol):
+    try:
+        probe = protocol.instantiate(protocol.process.window_width)
+    except Exception:
+        return
+    if supports_kernel(probe):
         compile_protocol(protocol)
+
+
+def _rebuild_sweep_context(payload) -> tuple:
+    """Spawn-side builder: re-hydrate the sweep worker context."""
+    from repro.serialization import protocol_from_dict
+
+    data, backend, symmetry = payload
+    return (protocol_from_dict(data), backend, symmetry)
+
+
+def _sweep_portable(protocol: "RingProtocol", backend: str,
+                    symmetry: bool) -> PortableContext | None:
+    """A portable recipe for the sweep context, when one exists.
+
+    DSL-defined protocols round-trip through their serialized form;
+    protocols carrying opaque predicate callables (e.g. sampled ones)
+    do not, and return ``None`` — those keep the serial no-fork
+    fallback.
+    """
+    from repro.serialization import protocol_to_dict
+
+    try:
+        payload = protocol_to_dict(protocol)
+    except Exception:
+        return None
+    return PortableContext(_rebuild_sweep_context,
+                           (payload, backend, symmetry))
 
 
 def _sweep_worker(context, size: int) -> tuple[GlobalReport, float]:

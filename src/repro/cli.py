@@ -14,14 +14,18 @@
     repro simulate agreement-ss -K 8       # random-daemon convergence study
     repro fuzz --samples 50                # random-protocol theorem audit
     repro figures --out figures/           # DOT files for the paper figures
+    repro cache                            # on-disk cache/artifact stats
+    repro cache --clear
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
+import repro.engine.artifacts as artifact_plane
 from repro.checker import check_instance
 from repro.core import (
     build_ltg,
@@ -75,6 +79,19 @@ def _add_engine_options(parser: argparse.ArgumentParser,
         "--cache-dir", default=None, metavar="DIR",
         help="cache directory (default: .repro-cache/; implies --cache "
              "unless --no-cache is given)")
+    parser.add_argument(
+        "--artifacts", choices=("auto", "off", "rw", "ro"),
+        default="auto", metavar="MODE",
+        help="zero-copy compiled-artifact store under "
+             "<cache-dir>/artifacts/ (auto|off|rw|ro): compiled kernels "
+             "and state graphs are mmap-attached across runs and worker "
+             "processes; auto activates it together with --cache, rw/ro "
+             "force it on, off disables it")
+    parser.add_argument(
+        "--cache-limit", type=int, default=1024, metavar="MIB",
+        help="combined size cap in MiB for the on-disk result cache and "
+             "the artifact store, enforced LRU-by-mtime "
+             "(default: 1024; 0 = unbounded)")
 
 
 def _add_backend_options(parser: argparse.ArgumentParser) -> None:
@@ -195,7 +212,52 @@ def _engine_cache(args: argparse.Namespace):
         return None
     from repro.engine import DEFAULT_CACHE_DIR, ResultCache
 
-    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR)
+    return ResultCache(args.cache_dir or DEFAULT_CACHE_DIR,
+                       limit_bytes=_cache_limit_bytes(args))
+
+
+def _cache_limit_bytes(args: argparse.Namespace) -> int | None:
+    """The ``--cache-limit`` flag in bytes, ``None`` when unbounded."""
+    limit = getattr(args, "cache_limit", 0)
+    return limit << 20 if limit else None
+
+
+@contextlib.contextmanager
+def _artifact_store(args: argparse.Namespace):
+    """Activate the ambient artifact plane for one command.
+
+    Resolves ``--artifacts`` against the cache flags (``auto`` follows
+    ``--cache``), installs the store process-globally for the engine
+    layers to attach/publish through, and on the way out enforces the
+    shared ``--cache-limit`` budget across *both* disk layers (result
+    pickles and artifact files age out of one LRU together).
+    """
+    mode = getattr(args, "artifacts", None)
+    if mode is None:  # command without engine options
+        yield None
+        return
+    from repro.engine import DEFAULT_CACHE_DIR
+
+    cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    cache_requested = not (args.cache is False
+                           or (args.cache is None
+                               and args.cache_dir is None))
+    store = artifact_plane.open_store(cache_dir, mode=mode,
+                                      cache_requested=cache_requested)
+    with artifact_plane.plane(store):
+        try:
+            yield store
+        finally:
+            if store is not None:
+                limit = _cache_limit_bytes(args)
+                if limit is not None:
+                    from repro.engine.cache import ENTRY_SUFFIX
+
+                    artifact_plane.enforce_directory_limit(
+                        Path(cache_dir), limit,
+                        suffix=(ENTRY_SUFFIX,
+                                artifact_plane.ARTIFACT_SUFFIX))
+                store.close()
 
 
 def _print_stats(stats, cache) -> None:
@@ -435,6 +497,56 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (or clear) the two on-disk layers under the cache root:
+    pickled result entries and mmap-attachable artifact files."""
+    from repro.engine import DEFAULT_CACHE_DIR
+    from repro.engine.cache import ENTRY_SUFFIX
+
+    root = Path(args.cache_dir or DEFAULT_CACHE_DIR)
+    art_root = root / artifact_plane.DEFAULT_SUBDIR
+    if args.clear:
+        removed = artifact_plane.enforce_directory_limit(
+            root, 0, suffix=(ENTRY_SUFFIX,
+                             artifact_plane.ARTIFACT_SUFFIX))
+        print(f"cleared {removed} entries under {root}")
+        return 0
+
+    results = list(artifact_plane._iter_files(root, ENTRY_SUFFIX))
+    result_bytes = artifact_plane.directory_bytes(root,
+                                                  suffix=ENTRY_SUFFIX)
+    artifacts = list(artifact_plane._iter_files(
+        art_root, artifact_plane.ARTIFACT_SUFFIX))
+    artifact_bytes = artifact_plane.directory_bytes(
+        art_root, suffix=artifact_plane.ARTIFACT_SUFFIX)
+    valid = 0
+    for path in artifacts:
+        try:
+            artifact_plane.attach_artifact(path).close()
+            valid += 1
+        except (artifact_plane.ArtifactFormatError, OSError, ValueError):
+            pass
+    limit = _cache_limit_bytes(args)
+    print(f"cache root: {root}")
+    print(f"  results:   {len(results)} entries, "
+          f"{result_bytes / 2**20:.1f} MiB")
+    line = (f"  artifacts: {len(artifacts)} files, "
+            f"{artifact_bytes / 2**20:.1f} MiB")
+    if artifacts:
+        line += (f" ({valid} valid"
+                 + (f", {len(artifacts) - valid} corrupt" if
+                    valid != len(artifacts) else "")
+                 + ")")
+    print(line)
+    total = result_bytes + artifact_bytes
+    budget = ("unbounded" if limit is None
+              else f"{total / limit:.0%} of {limit >> 20} MiB cap")
+    print(f"  total:     {total / 2**20:.1f} MiB ({budget})")
+    print("  (hit/miss rates are per-run; see the engine summary each "
+          "command prints, or 'repro report' on a --log-json file)")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     protocol = get_protocol(args.protocol)
     instance = protocol.instantiate(args.ring_size)
@@ -610,6 +722,21 @@ def build_parser() -> argparse.ArgumentParser:
     figures.add_argument("--out", default="figures")
     figures.set_defaults(func=_cmd_figures)
 
+    cache = sub.add_parser("cache", help="inspect or clear the on-disk "
+                                         "result cache and artifact "
+                                         "store")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache directory (default: .repro-cache/)")
+    cache.add_argument("--cache-limit", type=int, default=1024,
+                       metavar="MIB",
+                       help="cap to report utilisation against "
+                            "(default: 1024; 0 = unbounded)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every result entry and artifact "
+                            "file under the cache root (journals under "
+                            "runs/ are kept)")
+    cache.set_defaults(func=_cmd_cache)
+
     report = sub.add_parser("report", help="render or validate "
                                            "observability artifacts "
                                            "(--trace / --log-json files)")
@@ -628,13 +755,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected command, inside an observability run when the
-    ``--trace`` / ``--log-json`` flags ask for one; artifacts are
-    written even when the command fails."""
+    ``--trace`` / ``--log-json`` flags ask for one (trace files are
+    written even when the command fails) and inside the ambient
+    artifact plane when ``--artifacts`` resolves to a store."""
     trace = getattr(args, "trace", None)
     log_json = getattr(args, "log_json", None)
-    if not trace and not log_json:
-        return args.func(args)
+    with _artifact_store(args):
+        if not trace and not log_json:
+            return args.func(args)
+        return _dispatch_traced(args, trace, log_json)
 
+
+def _dispatch_traced(args: argparse.Namespace, trace: str | None,
+                     log_json: str | None) -> int:
     from repro.obs import export
 
     run_ctx = None

@@ -39,9 +39,21 @@ identical work.  This package supplies the three missing pieces:
   :func:`supervise_work_items`: persistent supervised workers pulling
   adaptively sized batches (cost-model driven, heartbeat timeouts,
   requeue-on-crash) so micro-task sweeps stop paying one fork and one
-  fsync per task (CLI ``--schedule`` / ``--batch-size``).
+  fsync per task (CLI ``--schedule`` / ``--batch-size``);
+* :mod:`repro.engine.artifacts` — the zero-copy artifact plane:
+  compiled kernels, localkernel skeletons and per-``(protocol, K)``
+  packed state graphs serialized into a content-addressed store under
+  ``.repro-cache/artifacts/`` and mmap-attached by later runs, spawn
+  workers and batch workers as typed memoryviews — warm starts without
+  recompilation (CLI ``--artifacts`` / ``--cache-limit`` /
+  ``repro cache``).
 """
 
+from repro.engine.artifacts import (
+    ArtifactStats,
+    ArtifactStore,
+    open_store,
+)
 from repro.engine.cache import (
     DEFAULT_CACHE_DIR,
     CacheStats,
@@ -65,10 +77,12 @@ from repro.engine.journal import (
     runs_root,
 )
 from repro.engine.pool import (
+    PortableContext,
     WorkerFailure,
     WorkerTraceback,
     parallelism_available,
     run_work_items,
+    spawn_dispatch_available,
 )
 from repro.engine.stats import EngineStats
 from repro.engine.supervisor import (
@@ -89,10 +103,13 @@ from repro.engine.localkernel import (
 )
 
 __all__ = [
+    "ArtifactStats",
+    "ArtifactStore",
     "BatchScheduler",
     "CostModel",
     "DEFAULT_CACHE_DIR",
     "CacheStats",
+    "PortableContext",
     "CompiledProtocol",
     "EngineStats",
     "FaultPlan",
@@ -114,9 +131,11 @@ __all__ = [
     "list_runs",
     "local_kernel_for",
     "new_run_id",
+    "open_store",
     "parallelism_available",
     "protocol_fingerprint",
     "run_work_items",
+    "spawn_dispatch_available",
     "runs_root",
     "supervise_work_items",
     "supports_kernel",

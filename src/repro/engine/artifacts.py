@@ -1,0 +1,518 @@
+"""Zero-copy artifact plane: mmap-shared compiled engine structures.
+
+Every hot structure the engine builds — the window-indexed transition
+tables of :func:`repro.engine.kernel.compile_protocol`, the localkernel
+bitmask skeletons, and the per-``(protocol, K)`` packed-state-graph CSR
+buffers — is a flat ``array('q')``/``bytearray`` at heart.  This module
+gives those buffers a life outside one process's heap: a
+content-addressed store under ``<cache-dir>/artifacts/`` serializes
+them into a fixed binary layout, and readers attach the files with
+``mmap`` and hand out typed :class:`memoryview` sections — no
+deserialization, no copy, and (via the page cache) no duplication
+across processes attaching the same artifact.
+
+Binary layout (all integers little-endian)::
+
+    offset 0   magic            8 bytes  b"REPROART"
+    offset 8   format version   u32
+    offset 12  section count    u32
+    offset 16  fingerprint      64 bytes (ascii hex, NUL-padded)
+    offset 80  section table    48 bytes per entry:
+                   name   24 bytes ascii, NUL-padded
+                   kind    8 bytes ascii memoryview format ("q", "B"),
+                           NUL-padded
+                   offset  u64 (from file start, 8-byte aligned)
+                   length  u64 (bytes)
+    ...        section payloads, each 8-byte aligned
+    end - 32   SHA-256 over every preceding byte
+
+Attach validates magic, version, fingerprint and the trailing digest
+before exposing a single view; any mismatch is *corruption*, handled by
+the store as discard + rebuild + one ``artifact-corrupt`` event — it
+never raises out of :meth:`ArtifactStore.attach`.
+
+The store is threaded through the engine ambiently (mirroring
+``repro.obs.runtime``): :func:`activate` installs a process-global
+store that :func:`ambient` hands to ``compile_protocol`` /
+``build_space`` / ``local_kernel_for`` deep inside the call stacks.
+Fork workers inherit the activation; spawn workers re-activate from the
+picklable :meth:`ArtifactStore.spec`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import mmap
+import os
+import struct
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Mapping
+
+from repro.obs import runtime as obs
+
+MAGIC = b"REPROART"
+FORMAT_VERSION = 1
+ARTIFACT_SUFFIX = ".art"
+DEFAULT_SUBDIR = "artifacts"
+
+_HEADER = struct.Struct("<8sII64s")
+_SECTION = struct.Struct("<24s8sQQ")
+_DIGEST_SIZE = 32
+_ALIGN = 8
+
+#: Store modes.  ``rw`` attaches and publishes, ``ro`` only attaches,
+#: ``off`` disables the plane entirely; ``auto`` resolves to ``rw`` at
+#: the CLI layer (it is never seen by :class:`ArtifactStore` itself).
+MODES = ("auto", "off", "rw", "ro")
+
+
+class ArtifactFormatError(Exception):
+    """An artifact file failed structural validation."""
+
+
+def _pad(length: int) -> int:
+    return (-length) % _ALIGN
+
+
+def write_artifact_bytes(fingerprint: str,
+                         sections: Mapping[str, tuple[str, bytes]],
+                         ) -> bytes:
+    """Serialize *sections* into the artifact wire format.
+
+    ``sections`` maps names to ``(kind, payload)`` where *kind* is the
+    :class:`memoryview` cast format readers should apply (``"q"`` for
+    ``array('q')`` data, ``"B"`` for raw bytes).
+    """
+    if len(fingerprint) > 64:
+        raise ArtifactFormatError("fingerprint longer than 64 bytes")
+    names = list(sections)
+    header = _HEADER.pack(MAGIC, FORMAT_VERSION, len(names),
+                          fingerprint.encode("ascii"))
+    table_size = _SECTION.size * len(names)
+    cursor = len(header) + table_size
+    cursor += _pad(cursor)
+    table = bytearray()
+    payloads = bytearray()
+    base = len(header) + table_size
+    payload_cursor = base + _pad(base)
+    payloads.extend(b"\x00" * _pad(base))
+    for name in names:
+        kind, payload = sections[name]
+        raw = bytes(payload)
+        encoded = name.encode("ascii")
+        if len(encoded) > 24:
+            raise ArtifactFormatError(f"section name too long: {name!r}")
+        table.extend(_SECTION.pack(encoded, kind.encode("ascii"),
+                                   payload_cursor, len(raw)))
+        payloads.extend(raw)
+        payload_cursor += len(raw)
+        padding = _pad(len(raw))
+        payloads.extend(b"\x00" * padding)
+        payload_cursor += padding
+    body = header + bytes(table) + bytes(payloads)
+    return body + hashlib.sha256(body).digest()
+
+
+class AttachedArtifact:
+    """One mmap'd artifact exposing its sections as typed views.
+
+    Keeps the mapping alive for as long as any handed-out view lives;
+    :meth:`close` releases the views and the mapping (and is safe to
+    call with views still referenced elsewhere — release then fails
+    silently and the mapping dies with the last view).
+    """
+
+    def __init__(self, path: Path, fingerprint: str,
+                 sections: dict[str, memoryview],
+                 mapping: mmap.mmap, nbytes: int) -> None:
+        self.path = path
+        self.fingerprint = fingerprint
+        self.sections = sections
+        self.nbytes = nbytes
+        self._mapping = mapping
+
+    def view(self, name: str, kind: str | None = None) -> memoryview:
+        """The typed view of section *name* (validated against *kind*)."""
+        try:
+            section = self.sections[name]
+        except KeyError:
+            raise ArtifactFormatError(f"missing section {name!r}") from None
+        if kind is not None and section.format != kind:
+            raise ArtifactFormatError(
+                f"section {name!r} has kind {section.format!r}, "
+                f"expected {kind!r}")
+        return section
+
+    def ints(self, name: str) -> memoryview:
+        return self.view(name, "q")
+
+    def close(self) -> None:
+        for view in self.sections.values():
+            with contextlib.suppress(BufferError):
+                view.release()
+        self.sections = {}
+        with contextlib.suppress(BufferError, ValueError):
+            self._mapping.close()
+
+    def __enter__(self) -> "AttachedArtifact":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def attach_artifact(path: Path,
+                    expect_fingerprint: str | None = None,
+                    ) -> AttachedArtifact:
+    """mmap *path*, validate it end to end and expose typed sections.
+
+    Raises :class:`ArtifactFormatError` (or :class:`OSError` for plain
+    I/O failures) on any structural problem: bad magic, stale format
+    version, fingerprint mismatch, checksum mismatch, truncation or a
+    malformed section table.
+    """
+    with open(path, "rb") as handle:
+        size = os.fstat(handle.fileno()).st_size
+        if size < _HEADER.size + _DIGEST_SIZE:
+            raise ArtifactFormatError("truncated artifact (no header)")
+        mapping = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    try:
+        magic, version, count, fingerprint_raw = _HEADER.unpack_from(
+            mapping, 0)
+        if magic != MAGIC:
+            raise ArtifactFormatError("bad magic")
+        if version != FORMAT_VERSION:
+            raise ArtifactFormatError(
+                f"format version {version} != {FORMAT_VERSION}")
+        fingerprint = fingerprint_raw.rstrip(b"\x00").decode(
+            "ascii", "replace")
+        if (expect_fingerprint is not None
+                and fingerprint != expect_fingerprint):
+            raise ArtifactFormatError("fingerprint mismatch")
+        digest = hashlib.sha256(
+            memoryview(mapping)[:size - _DIGEST_SIZE]).digest()
+        if digest != bytes(mapping[size - _DIGEST_SIZE:size]):
+            raise ArtifactFormatError("checksum mismatch")
+        table_end = _HEADER.size + _SECTION.size * count
+        if table_end > size - _DIGEST_SIZE:
+            raise ArtifactFormatError("truncated section table")
+        base = memoryview(mapping)
+        sections: dict[str, memoryview] = {}
+        for index in range(count):
+            raw_name, raw_kind, offset, length = _SECTION.unpack_from(
+                mapping, _HEADER.size + _SECTION.size * index)
+            name = raw_name.rstrip(b"\x00").decode("ascii", "replace")
+            kind = raw_kind.rstrip(b"\x00").decode("ascii", "replace")
+            if offset % _ALIGN or offset + length > size - _DIGEST_SIZE:
+                raise ArtifactFormatError(
+                    f"section {name!r} out of bounds")
+            view = base[offset:offset + length]
+            if kind != "B":
+                view = view.cast(kind)
+            sections[name] = view
+    except Exception:
+        with contextlib.suppress(BufferError, ValueError):
+            mapping.close()
+        raise
+    return AttachedArtifact(path, fingerprint, sections, mapping, size)
+
+
+# ----------------------------------------------------------------------
+# The store
+# ----------------------------------------------------------------------
+
+@dataclass
+class ArtifactStats:
+    """Lifetime counters of one :class:`ArtifactStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    evictions: int = 0
+    attach_seconds: float = 0.0
+    store_seconds: float = 0.0
+
+    def snapshot(self) -> "ArtifactStats":
+        return ArtifactStats(hits=self.hits, misses=self.misses,
+                             stores=self.stores, corrupt=self.corrupt,
+                             evictions=self.evictions,
+                             attach_seconds=self.attach_seconds,
+                             store_seconds=self.store_seconds)
+
+    def delta_since(self, earlier: "ArtifactStats") -> "ArtifactStats":
+        return ArtifactStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            stores=self.stores - earlier.stores,
+            corrupt=self.corrupt - earlier.corrupt,
+            evictions=self.evictions - earlier.evictions,
+            attach_seconds=self.attach_seconds - earlier.attach_seconds,
+            store_seconds=self.store_seconds - earlier.store_seconds)
+
+    def summary(self) -> str:
+        return (f"artifacts: {self.hits} attached, {self.misses} misses, "
+                f"{self.stores} stored, {self.corrupt} corrupt discarded")
+
+
+class ArtifactStore:
+    """Content-addressed artifact files under one root directory.
+
+    Keys are derived from an artifact *kind* (``"kernel"``,
+    ``"space"``, ``"localkernel"``), the protocol fingerprint and any
+    discriminating parameters (ring size, symmetry); the fingerprint is
+    additionally embedded in the file header so a key collision or a
+    renamed file can never satisfy the wrong protocol.
+    """
+
+    def __init__(self, root: str | Path, mode: str = "rw") -> None:
+        if mode not in ("rw", "ro"):
+            raise ValueError(f"unsupported store mode {mode!r}")
+        self.root = Path(root)
+        self.mode = mode
+        self.stats = ArtifactStats()
+        self._attached: list[AttachedArtifact] = []
+
+    # -- identity -------------------------------------------------------
+    def spec(self) -> tuple[str, str]:
+        """A picklable description spawn workers re-activate from."""
+        return (str(self.root), self.mode)
+
+    @staticmethod
+    def key(kind: str, fingerprint: str, **params: object) -> str:
+        material = [kind, fingerprint]
+        for name in sorted(params):
+            material.append(f"{name}={params[name]!r}")
+        return hashlib.sha256("\x1f".join(material).encode()).hexdigest()
+
+    def path_for(self, kind: str, fingerprint: str,
+                 **params: object) -> Path:
+        key = self.key(kind, fingerprint, **params)
+        return self.root / key[:2] / f"{key}{ARTIFACT_SUFFIX}"
+
+    # -- attach / publish ----------------------------------------------
+    def attach(self, kind: str, fingerprint: str,
+               **params: object) -> AttachedArtifact | None:
+        """Attach the artifact for ``(kind, fingerprint, params)``.
+
+        Returns ``None`` on a plain miss *and* on corruption; corrupt
+        files are deleted, counted and reported with exactly one
+        ``artifact-corrupt`` event so callers always rebuild cleanly.
+        """
+        path = self.path_for(kind, fingerprint, **params)
+        if not path.exists():
+            self.stats.misses += 1
+            obs.metric("artifacts.misses")
+            return None
+        began = time.perf_counter()
+        try:
+            attached = attach_artifact(path, fingerprint)
+        except (ArtifactFormatError, OSError, ValueError) as exc:
+            self.stats.corrupt += 1
+            obs.metric("artifacts.corrupt")
+            obs.event("artifact-corrupt", level="warning", artifact=kind,
+                      path=str(path), reason=str(exc))
+            with contextlib.suppress(OSError):
+                path.unlink()
+            self.stats.misses += 1
+            obs.metric("artifacts.misses")
+            return None
+        self.stats.attach_seconds += time.perf_counter() - began
+        self.stats.hits += 1
+        obs.metric("artifacts.hits")
+        self._attached.append(attached)
+        return attached
+
+    def publish(self, kind: str, fingerprint: str,
+                sections: Mapping[str, tuple[str, bytes]],
+                **params: object) -> bool:
+        """Write one artifact atomically (no-op in read-only mode).
+
+        Publish failures are non-fatal: the build result is already in
+        the caller's hands, persistence is best effort.
+        """
+        if self.mode == "ro":
+            return False
+        path = self.path_for(kind, fingerprint, **params)
+        began = time.perf_counter()
+        try:
+            blob = write_artifact_bytes(fingerprint, sections)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temporary = path.with_suffix(".tmp")
+            temporary.write_bytes(blob)
+            temporary.replace(path)
+        except (OSError, ArtifactFormatError):
+            return False
+        self.stats.store_seconds += time.perf_counter() - began
+        self.stats.stores += 1
+        obs.metric("artifacts.stores")
+        obs.metric("artifacts.bytes_stored", len(blob))
+        return True
+
+    # -- housekeeping ---------------------------------------------------
+    def close(self) -> None:
+        for attached in self._attached:
+            attached.close()
+        self._attached = []
+
+    def disk_bytes(self) -> int:
+        return directory_bytes(self.root)
+
+    def enforce_limit(self, limit_bytes: int) -> int:
+        """Evict oldest-mtime artifacts until the root fits *limit_bytes*.
+
+        Returns the number of files removed.  Shared with the result
+        cache via :func:`enforce_directory_limit` — this wrapper only
+        adds the store's eviction counter.
+        """
+        removed = enforce_directory_limit(self.root, limit_bytes,
+                                          suffix=ARTIFACT_SUFFIX)
+        self.stats.evictions += removed
+        if removed:
+            obs.metric("artifacts.evictions", removed)
+        return removed
+
+
+# ----------------------------------------------------------------------
+# Shared size-cap enforcement (result cache + artifact store)
+# ----------------------------------------------------------------------
+
+def _iter_files(root: Path,
+                suffix: str | tuple[str, ...] | None) -> Iterator[Path]:
+    if isinstance(suffix, str):
+        suffix = (suffix,)
+    if not root.is_dir():
+        return
+    for path in root.rglob("*"):
+        if not path.is_file():
+            continue
+        if suffix is not None and path.suffix not in suffix:
+            continue
+        yield path
+
+
+def directory_bytes(root: Path,
+                    suffix: str | tuple[str, ...] | None = None) -> int:
+    """Total size in bytes of the (matching) files under *root*."""
+    total = 0
+    for path in _iter_files(root, suffix):
+        with contextlib.suppress(OSError):
+            total += path.stat().st_size
+    return total
+
+
+def enforce_directory_limit(root: Path, limit_bytes: int,
+                            suffix: str | tuple[str, ...] | None = None,
+                            ) -> int:
+    """LRU-by-mtime eviction: delete oldest files until under the cap.
+
+    Missing files (raced deletions) are skipped silently; empty
+    subdirectories left behind are pruned.  Returns the removal count.
+    """
+    entries: list[tuple[float, int, Path]] = []
+    total = 0
+    for path in _iter_files(root, suffix):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((stat.st_mtime, stat.st_size, path))
+        total += stat.st_size
+    if total <= limit_bytes:
+        return 0
+    entries.sort()  # oldest mtime first
+    removed = 0
+    for _, size, path in entries:
+        if total <= limit_bytes:
+            break
+        with contextlib.suppress(OSError):
+            path.unlink()
+            total -= size
+            removed += 1
+            parent = path.parent
+            if parent != root and not any(parent.iterdir()):
+                parent.rmdir()
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Ambient activation (the plane)
+# ----------------------------------------------------------------------
+
+_ACTIVE: ArtifactStore | None = None
+
+
+def activate(store: ArtifactStore | None) -> ArtifactStore | None:
+    """Install *store* as the ambient plane; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = store
+    return previous
+
+
+def ambient() -> ArtifactStore | None:
+    """The process-global artifact store, or ``None`` when inactive."""
+    return _ACTIVE
+
+
+def activate_from_spec(spec: tuple[str, str] | None) -> None:
+    """Re-activate a parent's store in a spawned worker."""
+    if spec is None:
+        activate(None)
+        return
+    root, mode = spec
+    activate(ArtifactStore(root, mode=mode))
+
+
+@contextlib.contextmanager
+def plane(store: ArtifactStore | None) -> Iterator[ArtifactStore | None]:
+    """``with plane(store):`` — scoped ambient activation."""
+    previous = activate(store)
+    try:
+        yield store
+    finally:
+        activate(previous)
+
+
+@contextlib.contextmanager
+def absorb_into(stats: object) -> Iterator[None]:
+    """Fold the ambient store's activity inside the block into *stats*.
+
+    *stats* is an :class:`repro.engine.EngineStats` (anything with
+    ``absorb_artifacts``); a ``None`` stats or an inactive plane makes
+    this a no-op, so entry points can wrap their whole analysis
+    unconditionally.
+    """
+    store = ambient()
+    before = store.stats.snapshot() if store is not None else None
+    try:
+        yield
+    finally:
+        if store is not None and stats is not None:
+            stats.absorb_artifacts(store.stats.delta_since(before))
+
+
+def open_store(cache_dir: str | Path | None,
+               mode: str = "auto",
+               cache_requested: bool = False,
+               ) -> ArtifactStore | None:
+    """Resolve a ``--artifacts`` flag value into a store (or ``None``).
+
+    ``off`` always disables the plane.  ``rw``/``ro`` force it on,
+    rooted under ``<cache-dir>/artifacts``.  ``auto`` follows the
+    result cache: the plane activates exactly when on-disk caching was
+    requested, so ``repro sweep --cache`` warm-starts across runs while
+    a bare invocation leaves the filesystem untouched.
+    """
+    if mode not in MODES:
+        raise ValueError(f"unknown artifacts mode {mode!r}")
+    if mode == "off":
+        return None
+    if mode == "auto" and not cache_requested:
+        return None
+    root = Path(cache_dir if cache_dir is not None else ".repro-cache")
+    return ArtifactStore(root / DEFAULT_SUBDIR,
+                         mode="ro" if mode == "ro" else "rw")

@@ -20,7 +20,20 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.engine.artifacts import (
+    ARTIFACT_SUFFIX,
+    directory_bytes,
+    enforce_directory_limit,
+)
+from repro.obs import runtime as obs
+
 DEFAULT_CACHE_DIR = ".repro-cache"
+DEFAULT_CACHE_LIMIT = 1 << 30  # 1 GiB, shared with the artifact store
+ENTRY_SUFFIX = ".pkl"
+
+#: Disk stores between LRU size-cap sweeps (a sweep stats every cached
+#: file, so enforcing on every put would be quadratic in cache size).
+_SWEEP_INTERVAL = 32
 
 _MISS = object()
 
@@ -34,6 +47,7 @@ class CacheStats:
     stores: int = 0
     disk_hits: int = 0
     corrupt_entries: int = 0
+    evictions: int = 0
 
     def summary(self) -> str:
         return (f"cache: {self.hits} hits ({self.disk_hits} from disk), "
@@ -49,11 +63,18 @@ class ResultCache:
     directory:
         Root of the on-disk layer; ``None`` keeps the cache purely
         in-memory.  The directory is created lazily on the first store.
+    limit_bytes:
+        Size cap of the disk layer (LRU-by-mtime eviction; the artifact
+        store under the same root is capped by the same budget at the
+        CLI layer).  ``None`` leaves the layer unbounded.
     """
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    def __init__(self, directory: str | Path | None = None,
+                 limit_bytes: int | None = None) -> None:
         self.directory = Path(directory) if directory is not None else None
+        self.limit_bytes = limit_bytes
         self._memory: dict[str, Any] = {}
+        self._stores_since_sweep = 0
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -65,10 +86,13 @@ class ResultCache:
             if value is not _MISS:
                 self._memory[key] = value
                 self.stats.disk_hits += 1
+                obs.metric("cache.disk_hits")
         if value is _MISS:
             self.stats.misses += 1
+            obs.metric("cache.misses")
             return default
         self.stats.hits += 1
+        obs.metric("cache.hits")
         return value
 
     def __contains__(self, key: str) -> bool:
@@ -80,6 +104,7 @@ class ResultCache:
         """Store *value* in both layers (disk failures are non-fatal)."""
         self._memory[key] = value
         self.stats.stores += 1
+        obs.metric("cache.stores")
         if self.directory is None:
             return
         try:
@@ -94,11 +119,40 @@ class ResultCache:
             temporary.write_bytes(digest.encode("ascii") + b"\n" + payload)
             temporary.replace(path)  # atomic within a filesystem
         except OSError:
-            pass
+            return
+        self._stores_since_sweep += 1
+        if (self.limit_bytes is not None
+                and self._stores_since_sweep >= _SWEEP_INTERVAL):
+            self.enforce_limit()
 
     def clear_memory(self) -> None:
         """Drop the in-memory layer (the disk layer stays intact)."""
         self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def disk_bytes(self) -> int:
+        """Total size of the disk layer's entries (0 when memory-only)."""
+        if self.directory is None:
+            return 0
+        return directory_bytes(self.directory, suffix=ENTRY_SUFFIX)
+
+    def enforce_limit(self, limit_bytes: int | None = None) -> int:
+        """LRU-by-mtime eviction down to the size cap; returns removals.
+
+        Only ``.pkl`` entries are candidates — journals and artifacts
+        sharing the cache root are never touched here (the artifact
+        store runs its own sweep against the shared budget).
+        """
+        limit = self.limit_bytes if limit_bytes is None else limit_bytes
+        if self.directory is None or limit is None:
+            return 0
+        self._stores_since_sweep = 0
+        removed = enforce_directory_limit(self.directory, limit,
+                                          suffix=ENTRY_SUFFIX)
+        if removed:
+            self.stats.evictions += removed
+            obs.metric("cache.evictions", removed)
+        return removed
 
     # ------------------------------------------------------------------
     def _entry_path(self, key: str) -> Path:
@@ -119,6 +173,7 @@ class ResultCache:
         except Exception:
             # Corrupted entry: count it, drop it, report a miss.
             self.stats.corrupt_entries += 1
+            obs.metric("cache.corrupt_entries")
             try:
                 path.unlink()
             except OSError:

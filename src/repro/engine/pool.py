@@ -37,16 +37,48 @@ Guarantees:
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
 import traceback
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+import repro.engine.artifacts as artifact_plane
 from repro.obs import runtime as obs
 
 Item = TypeVar("Item")
 Result = TypeVar("Result")
+
+#: Environment override for the dispatch start method.  ``spawn``
+#: forces every fork-only path into its fallback (and lets portable
+#: contexts exercise spawn dispatch on platforms that *do* have fork —
+#: how the benchmarks measure spawn-mode parity on Linux); ``fork``
+#: pins fork.  Unset picks fork whenever the platform offers it.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+
+@dataclass(frozen=True)
+class PortableContext:
+    """A picklable recipe for rebuilding a worker context after spawn.
+
+    Fork workers inherit *worker*/*context*/*items* through module
+    globals; spawn workers get nothing for free, and the live contexts
+    (protocols carrying closure predicates) do not pickle.  A
+    ``PortableContext`` carries a module-level *builder* (pickled by
+    qualified name) plus a picklable *payload* — e.g. the
+    ``protocol_to_dict`` form of a DSL protocol — from which the
+    spawned worker rebuilds the context once at startup.  Callers pass
+    one only when their context genuinely round-trips; everything else
+    keeps the serial no-fork fallback.
+    """
+
+    builder: Callable[[Any], Any]
+    payload: Any = None
+
+    def build(self) -> Any:
+        return self.builder(self.payload)
 
 
 class WorkerTraceback(Exception):
@@ -127,9 +159,51 @@ _CONTEXT: Any = None
 _ITEMS: Sequence[Any] = ()
 
 
+def start_method() -> str | None:
+    """The effective dispatch start method (``fork``/``spawn``/``None``).
+
+    Respects ``REPRO_START_METHOD`` when it names an available method;
+    otherwise fork wins whenever the platform offers it (spawn dispatch
+    needs a :class:`PortableContext`, so it is never the silent
+    default).
+    """
+    methods = multiprocessing.get_all_start_methods()
+    forced = os.environ.get(START_METHOD_ENV, "").strip().lower()
+    if forced in ("fork", "spawn"):
+        return forced if forced in methods else None
+    if "fork" in methods:
+        return "fork"
+    return "spawn" if "spawn" in methods else None
+
+
 def parallelism_available() -> bool:
     """Whether the fork-based pool can run on this platform."""
-    return "fork" in multiprocessing.get_all_start_methods()
+    return start_method() == "fork"
+
+
+def spawn_dispatch_available() -> bool:
+    """Whether portable-context spawn dispatch can run here."""
+    return "spawn" in multiprocessing.get_all_start_methods()
+
+
+def _spawn_init(worker: Callable[[Any, Any], Any],
+                portable: PortableContext | None,
+                items: Sequence[Any],
+                artifact_spec: tuple[str, str] | None) -> None:
+    """Bootstrap one spawned pool worker.
+
+    Rebuilds what a forked worker would have inherited: the worker
+    payload globals, the ambient artifact store (so compiled kernels
+    are attached by fingerprint instead of recompiled per worker) and
+    an observability run so per-item captures flow back to the parent.
+    """
+    global _WORKER, _CONTEXT, _ITEMS
+    artifact_plane.activate_from_spec(artifact_spec)
+    if obs.active() is None:
+        obs.start("spawn-worker")
+    _WORKER = worker
+    _CONTEXT = portable.build() if portable is not None else None
+    _ITEMS = items
 
 
 def _run_indexed(index: int) -> tuple[Any, "obs.ChildCapture | None"]:
@@ -170,7 +244,8 @@ def run_work_items(worker: Callable[[Any, Item], Result],
                    items: Iterable[Item],
                    jobs: int = 1,
                    context: Any = None,
-                   stats: Any = None) -> list[Result]:
+                   stats: Any = None,
+                   portable: PortableContext | None = None) -> list[Result]:
     """Apply ``worker(context, item)`` to every item, results in order.
 
     *worker* must be a module-level function (it is looked up by
@@ -184,23 +259,42 @@ def run_work_items(worker: Callable[[Any, Item], Result],
     *stats*, when given, is an :class:`repro.engine.EngineStats`: the
     pool sets ``stats.parallel`` when it actually ran and counts every
     serial fallback in ``stats.pool_fallbacks``.
+
+    *portable*, when given, unlocks spawn dispatch on platforms (or
+    under ``REPRO_START_METHOD=spawn``) where fork is unavailable: the
+    spawned workers rebuild the context from the portable recipe,
+    re-activate the ambient artifact store and attach compiled kernels
+    by fingerprint instead of recompiling.  Items must then pickle too;
+    any spawn-path failure still degrades to the serial loop.
     """
     work = list(items)
     if jobs <= 1:
         return _run_serial(worker, work, context, stats, "jobs<=1")
     if len(work) <= 1:
         return _run_serial(worker, work, context, stats, "single-item")
-    if not parallelism_available():
+    method = start_method()
+    if method != "fork" and not (method == "spawn"
+                                 and portable is not None):
         return _run_serial(worker, work, context, stats, "no-fork")
 
     global _WORKER, _CONTEXT, _ITEMS
-    _WORKER, _CONTEXT, _ITEMS = worker, context, work
+    if method == "fork":
+        _WORKER, _CONTEXT, _ITEMS = worker, context, work
+        initializer, initargs = None, ()
+    else:
+        store = artifact_plane.ambient()
+        initializer = _spawn_init
+        initargs = (worker, portable, work,
+                    store.spec() if store is not None else None)
     try:
-        pool_context = multiprocessing.get_context("fork")
+        pool_context = multiprocessing.get_context(method)
         failure: WorkerFailure | None = None
-        with obs.span("pool.map", jobs=jobs, items=len(work)):
+        with obs.span("pool.map", jobs=jobs, items=len(work),
+                      method=method):
             with ProcessPoolExecutor(max_workers=min(jobs, len(work)),
-                                     mp_context=pool_context) as pool:
+                                     mp_context=pool_context,
+                                     initializer=initializer,
+                                     initargs=initargs) as pool:
                 outcomes = list(pool.map(_run_indexed, range(len(work))))
             results = []
             for index, ((status, value), capture) in enumerate(outcomes):

@@ -54,7 +54,8 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
-from repro.engine.pool import WorkerFailure
+import repro.engine.artifacts as artifact_plane
+from repro.engine.pool import PortableContext, WorkerFailure
 from repro.engine.supervisor import FaultPlan, TaskLedger, _bump, _Task
 from repro.obs import runtime as obs
 from repro.obs.trace import Span
@@ -201,6 +202,26 @@ def _worker_main(worker, context, work: Sequence[Any],
     os._exit(0)
 
 
+def _spawn_worker_main(worker, portable: PortableContext | None,
+                       work: Sequence[Any], plan: FaultPlan | None,
+                       commands, results,
+                       artifact_spec: tuple[str, str] | None) -> None:
+    """Spawn-mode bootstrap around :func:`_worker_main`.
+
+    A spawned worker inherits nothing, so this re-creates what fork
+    would have provided: the ambient artifact store (compiled kernels
+    and packed spaces attach by fingerprint — the spawn counterpart of
+    the parent-side ``prewarm`` + fork inheritance), an observability
+    run so per-task captures ship back, and the worker context rebuilt
+    from its portable recipe.
+    """
+    artifact_plane.activate_from_spec(artifact_spec)
+    if obs.active() is None:
+        obs.start("spawn-worker")
+    context = portable.build() if portable is not None else None
+    _worker_main(worker, context, work, plan, commands, results)
+
+
 # ----------------------------------------------------------------------
 # parent side
 # ----------------------------------------------------------------------
@@ -242,12 +263,18 @@ class BatchScheduler:
     task-mode semantics, batched transport)."""
 
     def __init__(self, ledger: TaskLedger, jobs: int = 1,
-                 batch_size: int | None = None) -> None:
+                 batch_size: int | None = None,
+                 start_method: str = "fork",
+                 portable: PortableContext | None = None) -> None:
+        if start_method not in ("fork", "spawn"):
+            raise ValueError(f"unknown start method {start_method!r}")
         self.ledger = ledger
         self.jobs = max(1, jobs)
         self.policy = ledger.policy
         self.model = CostModel.from_ambient(fixed=batch_size)
-        self._mp = multiprocessing.get_context("fork")
+        self.start_method = start_method
+        self.portable = portable
+        self._mp = multiprocessing.get_context(start_method)
         self.workers: list[_Worker] = []
         self.queue: deque = deque()      # ready tasks, FIFO
         self.delayed: list[_Task] = []   # retries waiting out backoff
@@ -264,7 +291,8 @@ class BatchScheduler:
         commit = (ledger.journal.group_commit()
                   if ledger.journal is not None else nullcontext())
         with obs.span("scheduler.map", mode="batch", jobs=self.jobs,
-                      items=len(pending), timeout=self.policy.timeout,
+                      method=self.start_method, items=len(pending),
+                      timeout=self.policy.timeout,
                       retries=self.policy.retries):
             with commit:
                 try:
@@ -311,11 +339,20 @@ class BatchScheduler:
         ledger = self.ledger
         cmd_recv, cmd_send = self._mp.Pipe(duplex=False)
         res_recv, res_send = self._mp.Pipe(duplex=False)
-        process = self._mp.Process(
-            target=_worker_main,
-            args=(ledger.worker, ledger.context, ledger.work,
-                  ledger.plan, cmd_recv, res_send),
-            daemon=True)
+        if self.start_method == "fork":
+            process = self._mp.Process(
+                target=_worker_main,
+                args=(ledger.worker, ledger.context, ledger.work,
+                      ledger.plan, cmd_recv, res_send),
+                daemon=True)
+        else:
+            store = artifact_plane.ambient()
+            process = self._mp.Process(
+                target=_spawn_worker_main,
+                args=(ledger.worker, self.portable, ledger.work,
+                      ledger.plan, cmd_recv, res_send,
+                      store.spec() if store is not None else None),
+                daemon=True)
         process.start()
         cmd_recv.close()  # child ends live in the child
         res_send.close()

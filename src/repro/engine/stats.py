@@ -42,6 +42,11 @@ _COUNTER_METRICS = {
     "scheduler_batch_items": "scheduler.batch_items",
     "scheduler_steals": "scheduler.steals",
     "scheduler_requeued": "scheduler.requeued",
+    "artifact_hits": "artifacts.hits",
+    "artifact_misses": "artifacts.misses",
+    "artifact_stores": "artifacts.stores",
+    "artifact_corrupt": "artifacts.corrupt",
+    "artifact_evictions": "artifacts.evictions",
     "compile_seconds": "kernel.compile_seconds",
     "encode_seconds": "kernel.encode_seconds",
     "states_encoded": "kernel.states_encoded",
@@ -61,7 +66,8 @@ _STAGE_PREFIX = "stage."
 #: run: every kernel-family counter plus the per-stage timings (child
 #: stage time used to vanish, systematically under-reporting sweeps).
 _CHILD_METRIC_SELECTORS = (
-    "kernel.", "localkernel.", "fvs.", "synthesis.", _STAGE_PREFIX)
+    "kernel.", "localkernel.", "fvs.", "synthesis.", "artifacts.",
+    _STAGE_PREFIX)
 
 
 class _StageSeconds(MutableMapping):
@@ -206,6 +212,18 @@ class EngineStats:
         self.mask_evaluations += kernel_stats.mask_evaluations
         self.trail_cache_hits += kernel_stats.trail_cache_hits
 
+    def absorb_artifacts(self, delta) -> None:
+        """Accumulate an :class:`repro.engine.artifacts.ArtifactStats`
+        delta (or ``None``, when no artifact plane is active) into
+        these counters."""
+        if delta is None:
+            return
+        self.artifact_hits += delta.hits
+        self.artifact_misses += delta.misses
+        self.artifact_stores += delta.stores
+        self.artifact_corrupt += delta.corrupt
+        self.artifact_evictions += delta.evictions
+
     def absorb_fvs(self, fvs_stats) -> None:
         """Accumulate a :class:`repro.graphs.fvs.FvsStats` (or ``None``)
         into these counters."""
@@ -284,6 +302,14 @@ class EngineStats:
                 f"{self.mask_evaluations} mask evals, "
                 f"{self.trail_cache_hits} trail memo hits, "
                 f"{self.verdict_cache_hits} verdict memo hits")
+        if (self.artifact_hits or self.artifact_misses
+                or self.artifact_stores or self.artifact_corrupt):
+            artifacts = (f"artifacts {self.artifact_hits} attached / "
+                         f"{self.artifact_misses} misses, "
+                         f"{self.artifact_stores} stored")
+            if self.artifact_corrupt:
+                artifacts += f", {self.artifact_corrupt} corrupt discarded"
+            parts.append(artifacts)
         if self.fvs_nodes_explored:
             parts.append(f"fvs {self.fvs_nodes_explored} nodes "
                          f"({self.fvs_nodes_pruned} pruned)")

@@ -78,6 +78,8 @@ from repro.engine.pool import (
     _record_fallback,
     parallelism_available,
     run_work_items,
+    spawn_dispatch_available,
+    start_method,
 )
 from repro.obs import runtime as obs
 
@@ -508,6 +510,25 @@ class _Supervisor:
         return max(horizon, 0.005)
 
 
+def _spawn_dispatchable(ledger: "TaskLedger", portable) -> bool:
+    """Whether spawn-mode batch dispatch can carry this workload.
+
+    Spawn workers receive their payload by pickle, so beyond the
+    platform offering the spawn method the worker function, the
+    portable context recipe, the item list and the fault plan must all
+    round-trip; anything that does not keeps the serial fallback.
+    """
+    if start_method() != "spawn" or not spawn_dispatch_available():
+        return False
+    import pickle
+
+    try:
+        pickle.dumps((ledger.worker, portable, ledger.work, ledger.plan))
+    except Exception:
+        return False
+    return True
+
+
 def supervise_work_items(worker: Callable[[Any, Any], Any],
                          items: Iterable[Any],
                          jobs: int = 1,
@@ -522,6 +543,7 @@ def supervise_work_items(worker: Callable[[Any, Any], Any],
                          schedule: str = "auto",
                          batch_size: int | None = None,
                          prewarm: Callable[[], None] | None = None,
+                         portable=None,
                          ) -> list[Any]:
     """Apply ``worker(context, item)`` to every item under supervision.
 
@@ -549,7 +571,12 @@ def supervise_work_items(worker: Callable[[Any, Any], Any],
     engine call sites pass the serial naive backend); it defaults to
     *worker*.  On a platform without ``fork`` everything runs serially
     in-parent (journaling still works; timeouts cannot be enforced and
-    ``supervisor-serial`` / ``pool-fallback`` events say so).
+    ``supervisor-serial`` / ``pool-fallback`` events say so) — unless
+    *portable* (a :class:`repro.engine.pool.PortableContext`) is given
+    and the whole worker payload pickles, in which case batch mode runs
+    over **spawned** persistent workers that rebuild the context from
+    the portable recipe and attach the parent's published artifacts by
+    fingerprint instead of recompiling.
     """
     if schedule not in SCHEDULES:
         raise ValueError(f"unknown schedule {schedule!r} "
@@ -561,7 +588,7 @@ def supervise_work_items(worker: Callable[[Any, Any], Any],
                   or plan is not None)
     if not supervised and schedule != "batch":
         return run_work_items(worker, work, jobs=jobs, context=context,
-                              stats=stats)
+                              stats=stats, portable=portable)
     if journal is not None and (keys is None or len(keys) != len(work)):
         raise ValueError("journaling needs one key per work item")
     policy = policy or SupervisorPolicy()
@@ -571,22 +598,28 @@ def supervise_work_items(worker: Callable[[Any, Any], Any],
     pending = ledger.resume_completed()
     if pending:
         fork = parallelism_available()
+        spawn = (not fork and portable is not None
+                 and _spawn_dispatchable(ledger, portable))
         injected = plan is not None and (plan.crash_items
                                          or plan.hang_items)
         wants_children = (policy.timeout is not None or jobs > 1
                           or injected)
-        use_batch = (fork and len(pending) > 1
+        use_batch = ((fork or spawn) and len(pending) > 1
                      and (schedule == "batch"
                           or (schedule == "auto" and wants_children)))
         use_task = fork and wants_children and not use_batch
         if (use_batch or use_task) and prewarm is not None:
+            # Fork workers inherit what prewarm compiles; spawn workers
+            # attach what prewarm *publishes* to the artifact store.
             with obs.span("scheduler.prewarm"):
                 prewarm()
         if use_batch:
             from repro.engine.scheduler import BatchScheduler
 
-            BatchScheduler(ledger, jobs=jobs,
-                           batch_size=batch_size).run(pending)
+            BatchScheduler(ledger, jobs=jobs, batch_size=batch_size,
+                           start_method="fork" if fork else "spawn",
+                           portable=portable if not fork else None,
+                           ).run(pending)
         elif use_task:
             _Supervisor(ledger, jobs).run_supervised(pending)
         else:

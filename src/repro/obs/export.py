@@ -130,6 +130,34 @@ def _span_line(name: str, duration: float | None, depth: int,
     return f"{ms}  {'  ' * depth}{name}{_format_attrs(attrs)}"
 
 
+def _cache_effectiveness_lines(metrics: dict[str, Any]) -> list[str]:
+    """Hit/miss summaries of the two warm-start layers, from their
+    dotted counters (empty when neither layer saw any traffic)."""
+    lines: list[str] = []
+    for label, prefix, hit_word, store_word in (
+            ("results", "cache.", "hits", "stores"),
+            ("artifacts", "artifacts.", "attached", "stored")):
+        hits = metrics.get(f"{prefix}hits", 0)
+        misses = metrics.get(f"{prefix}misses", 0)
+        if not hits and not misses:
+            continue
+        rate = hits / (hits + misses)
+        line = (f"  {label}: {hits} {hit_word} / {misses} misses "
+                f"({rate:.0%} hit rate), "
+                f"{metrics.get(f'{prefix}stores', 0)} {store_word}")
+        corrupt = (metrics.get(f"{prefix}corrupt", 0)
+                   or metrics.get(f"{prefix}corrupt_entries", 0))
+        if corrupt:
+            line += f", {corrupt} corrupt discarded"
+        evictions = metrics.get(f"{prefix}evictions", 0)
+        if evictions:
+            line += f", {evictions} evicted"
+        lines.append(line)
+    if lines:
+        lines.insert(0, "cache effectiveness:")
+    return lines
+
+
 def render_report(records: list[dict[str, Any]]) -> str:
     """Render run-log *records* (see :func:`run_log_records`) as text."""
     lines: list[str] = []
@@ -160,6 +188,7 @@ def render_report(records: list[dict[str, Any]]) -> str:
             lines.append(f"  [{record.get('level', 'info')}] "
                          f"{record.get('kind')}"
                          + (f" {detail}" if detail else ""))
+    lines.extend(_cache_effectiveness_lines(metrics))
     if metrics:
         lines.append("metrics:")
         for name in sorted(metrics):

@@ -1,0 +1,154 @@
+"""Spawn-mode dispatch: portable contexts + artifact attach parity.
+
+Before the artifact plane, a platform without ``fork`` (or a forced
+``REPRO_START_METHOD=spawn``) silently degraded every fan-out to the
+serial fallback — and any spawned worker would have recompiled every
+kernel from scratch.  These tests pin the new contract: with a
+:class:`PortableContext` the pool and the batch scheduler really run
+spawned workers, those workers *attach* the parent's published
+artifacts instead of compiling (the ``kernel.compile`` span never
+opens), and verdicts are byte-identical to fork and to ``--artifacts
+off`` in every combination.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+
+import pytest
+
+import repro.engine.artifacts as ap
+from repro.checker.sweep import sweep_verify
+from repro.engine.pool import (
+    START_METHOD_ENV,
+    PortableContext,
+    run_work_items,
+    start_method,
+)
+from repro.obs import runtime as obs
+from repro.protocols import generalizable_matching
+from repro.serialization import global_report_to_dict
+
+needs_spawn = pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn start method unavailable")
+
+UP_TO = 6
+
+
+def _verdict_bytes(result) -> list[str]:
+    out = []
+    for report in result.reports:
+        data = global_report_to_dict(report)
+        data.pop("stats", None)
+        out.append(json.dumps(data, sort_keys=True))
+    return out
+
+
+def _warm_store(tmp_path) -> ap.ArtifactStore:
+    """Publish the kernel and every per-K space with a serial sweep."""
+    store = ap.ArtifactStore(tmp_path / "artifacts")
+    with ap.plane(store):
+        sweep_verify(generalizable_matching(), up_to=UP_TO, jobs=1)
+    assert store.stats.stores > 0
+    return store
+
+
+# ----------------------------------------------------------------------
+# The regression: spawn workers must attach, not recompile
+# ----------------------------------------------------------------------
+@needs_spawn
+def test_spawn_workers_attach_instead_of_compiling(tmp_path, monkeypatch):
+    store = _warm_store(tmp_path)
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    assert start_method() == "spawn"
+    with ap.plane(store), obs.run("spawn-sweep") as run_ctx:
+        result = sweep_verify(generalizable_matching(), up_to=UP_TO,
+                              jobs=2)
+    stats = result.stats
+    assert stats.parallel, "spawn dispatch did not run"
+    assert stats.pool_fallbacks == 0
+    # Workers mapped the parent's artifacts: attaches happened, and not
+    # one kernel.compile span opened anywhere in the run.
+    assert stats.artifact_hits > 0
+    assert stats.artifact_misses == 0
+    assert stats.compile_seconds == 0.0
+    assert run_ctx.metrics.value("kernel.compiles", default=0) == 0
+    assert run_ctx.metrics.value("artifacts.hits") > 0
+    store.close()
+
+
+@needs_spawn
+def test_batch_scheduler_runs_spawn_workers(tmp_path, monkeypatch):
+    store = _warm_store(tmp_path)
+    reference = sweep_verify(generalizable_matching(), up_to=UP_TO)
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    with ap.plane(store), obs.run("spawn-batch") as run_ctx:
+        result = sweep_verify(generalizable_matching(), up_to=UP_TO,
+                              jobs=2, schedule="batch")
+    assert result.stats.scheduler_batches > 0
+    assert result.stats.artifact_hits > 0
+    assert run_ctx.metrics.value("kernel.compiles", default=0) == 0
+    assert _verdict_bytes(result) == _verdict_bytes(reference)
+    store.close()
+
+
+# ----------------------------------------------------------------------
+# Differential: verdict bytes across start methods and artifact modes
+# ----------------------------------------------------------------------
+@needs_spawn
+def test_verdicts_identical_across_methods_and_modes(tmp_path, monkeypatch):
+    configurations = []
+    for method in ("fork", "spawn"):
+        if method not in multiprocessing.get_all_start_methods():
+            continue
+        for artifacts in ("off", "rw"):
+            configurations.append((method, artifacts))
+    assert ("spawn", "rw") in configurations
+
+    baseline = None
+    for method, artifacts in configurations:
+        monkeypatch.setenv(START_METHOD_ENV, method)
+        store = (ap.ArtifactStore(tmp_path / f"{method}-{artifacts}")
+                 if artifacts == "rw" else None)
+        with ap.plane(store):
+            result = sweep_verify(generalizable_matching(),
+                                  up_to=UP_TO, jobs=2)
+        if store is not None:
+            store.close()
+        verdicts = _verdict_bytes(result)
+        if baseline is None:
+            baseline = verdicts
+        assert verdicts == baseline, (method, artifacts)
+
+
+# ----------------------------------------------------------------------
+# Guard rails around the portable recipe
+# ----------------------------------------------------------------------
+def _double(context, item):
+    return (context or 1) * item * 2
+
+
+def _build_context(payload):
+    return payload["factor"]
+
+
+@needs_spawn
+def test_pool_spawn_dispatch_with_portable(monkeypatch):
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    portable = PortableContext(_build_context, {"factor": 3})
+    results = run_work_items(_double, [1, 2, 3], jobs=2, context=None,
+                             portable=portable)
+    assert results == [6, 12, 18]
+
+
+@needs_spawn
+def test_pool_spawn_without_portable_falls_back_serially(monkeypatch):
+    monkeypatch.setenv(START_METHOD_ENV, "spawn")
+    with obs.run("fallback") as run_ctx:
+        results = run_work_items(_double, [1, 2, 3], jobs=2, context=4)
+    assert results == [8, 16, 24]
+    reasons = [e.get("reason") for e in run_ctx.events
+               if e.get("kind") == "pool-fallback"]
+    assert reasons == ["no-fork"]

@@ -59,7 +59,7 @@ def test_parallel_run_yields_one_deterministic_span_tree():
 
     pool_span = run_ctx.spans[0].children[0]
     assert pool_span.name == "pool.map"
-    assert pool_span.attrs == {"jobs": 2, "items": 3}
+    assert pool_span.attrs == {"jobs": 2, "items": 3, "method": "fork"}
     # Adoption is by item index, so the tree is deterministic no matter
     # which worker finished first.
     assert [c.name for c in pool_span.children] == [
