@@ -16,11 +16,13 @@ acceptance bound).
 
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
 from repro.engine import EngineStats, SupervisorPolicy, \
     supervise_work_items
+from repro.obs import live
 from repro.protocols import generalizable_matching
 from repro.serialization import global_report_to_dict
 
@@ -33,6 +35,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: ≥5× is the acceptance bound on full runs; CI's 200-item run gates at
 #: ≥3× (same effect, more headroom against shared-runner noise).
 MIN_SPEEDUP = 5.0 if ITEMS >= 500 else 3.0
+#: Publishing live status snapshots must stay within 2% of the batch
+#: run's wall clock.  Only gated on the full 500-item configuration —
+#: shorter CI runs are too noisy for a 2% bound to mean anything.
+MAX_LIVE_OVERHEAD = 1.02
 
 
 def _micro_worker(context, size: int):
@@ -56,25 +62,39 @@ def _verdict_bytes(reports) -> bytes:
     return json.dumps(rows, sort_keys=True).encode("ascii")
 
 
-def _run(schedule: str):
+def _run(schedule: str, live_dir=None):
     protocol = generalizable_matching()
     sizes = [MICRO_SIZES[i % len(MICRO_SIZES)] for i in range(ITEMS)]
     stats = EngineStats(jobs=JOBS)
+    live_run = None
+    if live_dir is not None:
+        live_run = live.LiveRun(live_dir, "bench-dispatch-live",
+                                command="bench")
+        live.activate(live_run)
     began = time.perf_counter()
-    results = supervise_work_items(
-        _micro_worker, sizes, jobs=JOBS, context=protocol,
-        stats=stats, policy=SupervisorPolicy(timeout=60, retries=2),
-        schedule=schedule)
-    elapsed = time.perf_counter() - began
-    return results, elapsed, stats
+    try:
+        results = supervise_work_items(
+            _micro_worker, sizes, jobs=JOBS, context=protocol,
+            stats=stats, policy=SupervisorPolicy(timeout=60, retries=2),
+            schedule=schedule)
+    finally:
+        elapsed = time.perf_counter() - began
+        if live_run is not None:
+            live_run.finish()
+            live.deactivate(live_run)
+    return results, elapsed, stats, live_run
 
 
 def collect():
-    task_results, task_s, _task_stats = _run("task")
-    batch_results, batch_s, batch_stats = _run("batch")
+    task_results, task_s, _task_stats, _ = _run("task")
+    batch_results, batch_s, batch_stats, _ = _run("batch")
+    with tempfile.TemporaryDirectory() as scratch:
+        live_results, live_s, _live_stats, live_run = _run(
+            "batch", live_dir=scratch)
     return {
         "task": (task_results, task_s),
         "batch": (batch_results, batch_s),
+        "live": (live_results, live_s, live_run.snapshots),
         "batch_stats": batch_stats,
     }
 
@@ -83,12 +103,25 @@ def test_dispatch_perf_smoke(benchmark, write_artifact):
     outcome = benchmark.pedantic(collect, rounds=1, iterations=1)
     task_results, task_s = outcome["task"]
     batch_results, batch_s = outcome["batch"]
+    live_results, live_s, live_snapshots = outcome["live"]
     stats = outcome["batch_stats"]
     speedup = task_s / batch_s
+    live_overhead = live_s / batch_s
 
     # Byte-identical verdicts across schedules — the whole point of
     # sharing one TaskLedger between the execution strategies.
     assert _verdict_bytes(batch_results) == _verdict_bytes(task_results)
+    # The live telemetry plane observes but never participates: with a
+    # publisher active the verdicts stay byte-identical ...
+    assert _verdict_bytes(live_results) == _verdict_bytes(batch_results)
+    assert live_snapshots > 0, "live plane never published a snapshot"
+    # ... and (on the full configuration, where noise is amortized)
+    # publishing costs under 2% of wall clock.
+    if ITEMS >= 500:
+        assert live_overhead <= MAX_LIVE_OVERHEAD, (
+            f"live plane cost {(live_overhead - 1) * 100:.1f}% over the "
+            f"plain batch run (budget "
+            f"{(MAX_LIVE_OVERHEAD - 1) * 100:.0f}%)")
     # The batch scheduler actually batched (not 1 task per dispatch).
     assert stats.scheduler_batches > 0
     assert stats.scheduler_batch_items == ITEMS
@@ -108,6 +141,9 @@ def test_dispatch_perf_smoke(benchmark, write_artifact):
         "batch_s": round(batch_s, 4),
         "speedup": round(speedup, 2),
         "min_speedup_gate": MIN_SPEEDUP,
+        "live_s": round(live_s, 4),
+        "live_overhead": round(live_overhead, 4),
+        "live_snapshots": live_snapshots,
         "scheduler": {
             "batches": stats.scheduler_batches,
             "batch_items": stats.scheduler_batch_items,
@@ -126,4 +162,7 @@ def test_dispatch_perf_smoke(benchmark, write_artifact):
         f"  schedule=task  {task_s * 1e3:9.1f} ms\n"
         f"  schedule=batch {batch_s * 1e3:9.1f} ms  "
         f"({speedup:.1f}x, {payload['scheduler']['batches']} batches, "
-        f"mean {payload['scheduler']['mean_batch_size']} items)")
+        f"mean {payload['scheduler']['mean_batch_size']} items)\n"
+        f"  batch + live   {live_s * 1e3:9.1f} ms  "
+        f"({(live_overhead - 1) * 100:+.1f}%, "
+        f"{live_snapshots} snapshots)")

@@ -31,7 +31,10 @@ def obs_run_report(request, artifact_dir):
     Each benchmark runs under an ambient observability run; the JSONL
     run log (spans, metrics, events — identical schema to the CLI's
     ``--log-json``) lands next to the figure artifacts in
-    ``benchmarks/out/`` as ``<test>.runlog.jsonl``.
+    ``benchmarks/out/`` as ``<test>.runlog.jsonl``, and the run's final
+    counters and timings are folded into ``benchmarks/out/ledger.jsonl``
+    so ``repro runs diff`` can compare benchmark runs across commits
+    the same way it compares CLI runs.
     """
     if obs.active() is not None:  # pragma: no cover - nested runs
         yield
@@ -41,6 +44,13 @@ def obs_run_report(request, artifact_dir):
         yield
     safe = re.sub(r"[^A-Za-z0-9._-]+", "_", request.node.name)
     export.write_run_log(artifact_dir / f"{safe}.runlog.jsonl", run_ctx)
+    from repro.engine.journal import new_run_id
+    from repro.obs import ledger
+
+    record = export.ledger_record_from_run(
+        run_ctx, new_run_id(), command=f"bench:{safe}",
+        flags={"benchmark": request.node.nodeid})
+    ledger.append(artifact_dir / "ledger.jsonl", record)
 
 
 @pytest.fixture

@@ -32,6 +32,7 @@ from repro.engine import EngineStats, ResultCache, analysis_key, \
 from repro.engine.journal import RunJournal
 from repro.engine.pool import PortableContext
 from repro.engine.supervisor import FaultPlan, SupervisorPolicy
+from repro.obs import live
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.protocol.ring import RingProtocol
@@ -161,12 +162,15 @@ def sweep_verify(protocol: "RingProtocol", up_to: int,
         # Serial: check sizes in order so stop_on_failure exits early.
         kept_reports: list[GlobalReport] = []
         kept_timings: list[float] = []
+        live.begin_stage("sweep", total=len(sizes))
         with stats.stage("sweep", start=first, up_to=up_to, jobs=jobs):
             for size in sizes:
                 report, elapsed = _checked_size(protocol, size, cache,
                                                 stats, backend, symmetry)
                 kept_reports.append(report)
                 kept_timings.append(elapsed)
+                live.note(done=1)
+                live.tick(lambda: live.cache_payload(stats))
                 if stop_on_failure and not report.self_stabilizing:
                     break
         return SweepResult(reports=tuple(kept_reports),

@@ -16,13 +16,19 @@
     repro figures --out figures/           # DOT files for the paper figures
     repro cache                            # on-disk cache/artifact stats
     repro cache --clear
+    repro ps                               # live/recent runs on this host
+    repro top <run-id> --follow            # refreshing view of one run
+    repro runs list                        # cross-run ledger
+    repro runs diff <run-id> [baseline]    # regression check between runs
 """
 
 from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
+import time
 from pathlib import Path
 
 import repro.engine.artifacts as artifact_plane
@@ -53,15 +59,23 @@ def _resolve_protocol(name: str):
 
 
 def _annotate_protocol(protocol) -> None:
-    """Stamp the protocol identity onto the ambient obs run."""
-    if obs.active() is None:
+    """Stamp the protocol identity onto the ambient obs run and the
+    ambient live plane (so ``repro ps`` can show a PROTOCOL column)."""
+    from repro.obs import live as live_mod
+
+    live_run = live_mod.active()
+    if obs.active() is None and live_run is None:
         return
     from repro.engine.fingerprint import protocol_fingerprint
 
     fingerprint = protocol_fingerprint(protocol)
-    obs.annotate(protocol=protocol.name, fingerprint=fingerprint)
-    obs.gauge("protocol.name", protocol.name)
-    obs.gauge("protocol.fingerprint", fingerprint)
+    if live_run is not None:
+        live_run.annotate(protocol=protocol.name,
+                          fingerprint=fingerprint)
+    if obs.active() is not None:
+        obs.annotate(protocol=protocol.name, fingerprint=fingerprint)
+        obs.gauge("protocol.name", protocol.name)
+        obs.gauge("protocol.fingerprint", fingerprint)
 
 
 def _add_engine_options(parser: argparse.ArgumentParser,
@@ -181,7 +195,11 @@ def _run_journal(args: argparse.Namespace, fingerprint: str):
         print(f"resuming run {journal.run_id}: {len(journal)} "
               f"completed items in the journal", file=sys.stderr)
     else:
-        journal = RunJournal.create(root, run_id=args.run_id,
+        # Share the identity the live plane picked, so the journal
+        # and status.json land in the same runs/<run-id>/ directory.
+        journal = RunJournal.create(root,
+                                    run_id=args.run_id
+                                    or getattr(args, "live_run_id", None),
                                     command=args.command,
                                     fingerprint=fingerprint)
         print(f"checkpointing to run {journal.run_id} "
@@ -191,7 +209,8 @@ def _run_journal(args: argparse.Namespace, fingerprint: str):
 
 
 def _add_obs_options(parser: argparse.ArgumentParser) -> None:
-    """The observability flags (``--trace``, ``--log-json``)."""
+    """The observability flags (``--trace``, ``--log-json``,
+    ``--live``, ``--ledger``)."""
     parser.add_argument(
         "--trace", default=None, metavar="FILE",
         help="write a Chrome trace-format span tree of this run "
@@ -200,6 +219,16 @@ def _add_obs_options(parser: argparse.ArgumentParser) -> None:
         "--log-json", default=None, metavar="FILE",
         help="write a JSONL run log (spans, events, metrics); "
              "render it with 'repro report FILE'")
+    parser.add_argument(
+        "--live", action=argparse.BooleanOptionalAction, default=True,
+        help="publish rate-limited status.json snapshots under "
+             "<cache-dir>/runs/<run-id>/ for 'repro ps' and "
+             "'repro top' (default: on)")
+    parser.add_argument(
+        "--ledger", action=argparse.BooleanOptionalAction, default=True,
+        help="append this run's final record (verdict digest, "
+             "counters, timings) to <cache-dir>/ledger.jsonl for "
+             "'repro runs list|diff' (default: on)")
 
 
 def _engine_cache(args: argparse.Namespace):
@@ -260,6 +289,102 @@ def _artifact_store(args: argparse.Namespace):
                 store.close()
 
 
+#: ``args`` attributes recorded as the ledger identity's flags.  The
+#: run-identity flags (``--run-id``, ``--resume``, ``--checkpoint``)
+#: and output flags are deliberately excluded: two runs of the same
+#: analysis must diff as equals regardless of where they journal.
+_LEDGER_FLAG_KEYS = (
+    "jobs", "backend", "symmetry", "schedule", "batch_size",
+    "timeout", "retries", "cache", "artifacts",
+    "max_ring_size", "up_to", "ring_size", "samples", "seed",
+    "stop_on_failure",
+)
+
+
+def _ledger_flags(args: argparse.Namespace) -> dict:
+    flags = {}
+    for key in _LEDGER_FLAG_KEYS:
+        value = getattr(args, key, None)
+        if value is not None and value is not False:
+            flags[key] = value
+    return flags
+
+
+def _note_ledger(args: argparse.Namespace, *, protocol=None,
+                 fingerprint=None, verdict=None, stats=None) -> None:
+    """Stash one command's outcome for the ledger record that
+    :func:`_dispatch` appends after the command returns."""
+    args._ledger_note = {"protocol": protocol, "fingerprint": fingerprint,
+                         "verdict": verdict or {}, "stats": stats}
+
+
+def _record_ledger(args: argparse.Namespace, exit_status: int,
+                   wall_seconds: float, started: float,
+                   live_run) -> None:
+    """Append this run's final record to ``<cache-dir>/ledger.jsonl``."""
+    if not getattr(args, "ledger", False):
+        return
+    note = getattr(args, "_ledger_note", None)
+    if note is None:  # the command has no ledger-worthy verdict
+        return
+    from repro.engine import DEFAULT_CACHE_DIR
+    from repro.obs import ledger as ledger_mod
+
+    stats = note.get("stats")
+    counters: dict = {}
+    stage_seconds: dict = {}
+    if stats is not None:
+        data = stats.to_dict()
+        stage_seconds = {name: round(seconds, 6) for name, seconds
+                         in (data.pop("stage_seconds", None) or {}).items()}
+        data.pop("metrics", None)
+        counters = {name: value for name, value in data.items()
+                    if isinstance(value, (int, float))
+                    and not isinstance(value, bool)}
+    if live_run is not None:
+        counters["live_snapshots"] = live_run.snapshots
+    record = ledger_mod.make_record(
+        getattr(args, "live_run_id", None) or "adhoc",
+        args.command,
+        protocol=note.get("protocol"),
+        fingerprint=note.get("fingerprint"),
+        flags=_ledger_flags(args),
+        verdict=note.get("verdict"),
+        exit_status=exit_status,
+        wall_seconds=round(wall_seconds, 6),
+        started=started,
+        counters=counters,
+        stage_seconds=stage_seconds)
+    ledger_mod.append(ledger_mod.ledger_path(
+        getattr(args, "cache_dir", None) or DEFAULT_CACHE_DIR), record)
+
+
+@contextlib.contextmanager
+def _live_plane(args: argparse.Namespace):
+    """Activate the ambient live plane for one command.
+
+    Only the engine commands carry the ``--live`` flag; everything else
+    (and ``--no-live``) runs without a publisher.  The run directory is
+    the same ``runs/<run-id>/`` a checkpoint journal would use.
+    """
+    if not getattr(args, "live", False):
+        yield None
+        return
+    from repro.engine.journal import runs_root
+    from repro.obs import live as live_mod
+
+    directory = runs_root(getattr(args, "cache_dir", None)) \
+        / args.live_run_id
+    live_run = live_mod.LiveRun(directory, args.live_run_id,
+                                command=args.command)
+    live_mod.activate(live_run)
+    live_run.publish(force=True)
+    try:
+        yield live_run
+    finally:
+        live_mod.deactivate(live_run)
+
+
 def _print_stats(stats, cache) -> None:
     if stats is not None:
         print(stats.summary())
@@ -300,9 +425,13 @@ def _cmd_verify(args: argparse.Namespace) -> int:
                                 policy=_supervisor_policy(args),
                                 schedule=args.schedule,
                                 batch_size=args.batch_size)
-    if args.json:
-        import json
+    from repro.engine.fingerprint import protocol_fingerprint
 
+    _note_ledger(args, protocol=protocol.name,
+                 fingerprint=protocol_fingerprint(protocol),
+                 verdict={"verdict": report.verdict.value},
+                 stats=report.stats)
+    if args.json:
         from repro.serialization import convergence_report_to_dict
 
         print(json.dumps(convergence_report_to_dict(report), indent=2))
@@ -363,8 +492,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     protocol = _resolve_protocol(args.protocol)
     cache = _engine_cache(args)
-    journal = _run_journal(args, sweep_fingerprint(
-        protocol, args.up_to, symmetry=args.symmetry))
+    fingerprint = sweep_fingerprint(protocol, args.up_to,
+                                    symmetry=args.symmetry)
+    journal = _run_journal(args, fingerprint)
     result = sweep_verify(protocol, up_to=args.up_to,
                           stop_on_failure=args.stop_on_failure,
                           jobs=args.jobs, cache=cache,
@@ -373,6 +503,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                           journal=journal,
                           schedule=args.schedule,
                           batch_size=args.batch_size)
+    _note_ledger(args, protocol=protocol.name, fingerprint=fingerprint,
+                 verdict={
+                     "all_self_stabilizing": result.all_self_stabilizing,
+                     "failing_sizes": list(result.failing_sizes),
+                     "sizes": list(result.sizes),
+                 },
+                 stats=result.stats)
     print(f"== per-size sweep of {protocol.name} ==")
     print(result.summary())
     if journal is not None:
@@ -393,6 +530,10 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                             policy=_supervisor_policy(args),
                             schedule=args.schedule,
                             batch_size=args.batch_size)
+    _note_ledger(args,
+                 verdict={"clean": report.clean,
+                          "discrepancies": len(report.discrepancies)},
+                 stats=report.stats)
     print(report.summary())
     _print_stats(report.stats, cache)
     for discrepancy in report.discrepancies:
@@ -436,9 +577,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
                 backend=args.backend, symmetry=args.symmetry)
         if cache is not None:
             cache.put(key, report)
-    if args.json:
-        import json
+    from repro.engine.fingerprint import protocol_fingerprint
 
+    _note_ledger(args, protocol=protocol.name,
+                 fingerprint=protocol_fingerprint(protocol),
+                 verdict={"self_stabilizing": report.self_stabilizing,
+                          "ring_size": args.ring_size},
+                 stats=getattr(report, "stats", None))
+    if args.json:
         from repro.serialization import global_report_to_dict
 
         print(json.dumps(global_report_to_dict(report), indent=2))
@@ -455,8 +601,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     protocol = get_protocol(args.protocol)
     _annotate_protocol(protocol)
     cache = _engine_cache(args)
-    journal = _run_journal(args, synthesis_fingerprint(
-        protocol, args.max_ring_size))
+    fingerprint = synthesis_fingerprint(protocol, args.max_ring_size)
+    journal = _run_journal(args, fingerprint)
     result = synthesize_convergence(protocol,
                                     max_ring_size=args.max_ring_size,
                                     backend=args.backend,
@@ -465,6 +611,9 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
                                     journal=journal,
                                     schedule=args.schedule,
                                     batch_size=args.batch_size)
+    _note_ledger(args, protocol=protocol.name, fingerprint=fingerprint,
+                 verdict={"succeeded": result.succeeded},
+                 stats=result.stats)
     print(f"== synthesis for {protocol.name} ==")
     print(result.summary())
     if result.succeeded and result.protocol is not None:
@@ -545,6 +694,112 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     print("  (hit/miss rates are per-run; see the engine summary each "
           "command prints, or 'repro report' on a --log-json file)")
     return 0
+
+
+def _cmd_ps(args: argparse.Namespace) -> int:
+    """List runs publishing (or having published) live snapshots."""
+    from repro.engine.journal import runs_root
+    from repro.obs import live as live_mod
+
+    statuses = live_mod.scan_runs(runs_root(args.cache_dir))
+    if args.json:
+        print(json.dumps(statuses, indent=2, default=str))
+        return 0
+    print(live_mod.render_ps(statuses))
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Render one run's live snapshot (optionally refreshing)."""
+    from repro.engine.journal import runs_root
+    from repro.obs import live as live_mod
+
+    root = runs_root(args.cache_dir)
+    directory = root / args.run_id
+    status = live_mod.load_status(directory)
+    if status is None:
+        known = ", ".join(
+            s.get("run_id", "?") for s in live_mod.scan_runs(root))
+        print(f"error: no status snapshot for run {args.run_id!r} "
+              f"(runs with snapshots: {known or 'none'})",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(status, indent=2, default=str))
+        return 0
+    if args.once or not args.follow:
+        print(live_mod.render_top(status))
+        return 0
+    try:
+        while True:
+            sys.stdout.write("\x1b[H\x1b[2J"
+                             + live_mod.render_top(status) + "\n")
+            sys.stdout.flush()
+            if live_mod.liveness(status) != "live":
+                return 0
+            time.sleep(args.interval)
+            status = live_mod.load_status(directory) or status
+    except KeyboardInterrupt:
+        return 0
+
+
+def _load_ledger(args: argparse.Namespace):
+    from repro.engine import DEFAULT_CACHE_DIR
+    from repro.obs import ledger as ledger_mod
+
+    path = ledger_mod.ledger_path(args.cache_dir or DEFAULT_CACHE_DIR)
+    records, skipped = ledger_mod.load(path)
+    return ledger_mod, records, skipped
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    ledger_mod, records, skipped = _load_ledger(args)
+    if args.json:
+        print(json.dumps(records, indent=2, default=str))
+        return 0
+    print(ledger_mod.render_list(records, skipped))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    ledger_mod, records, _skipped = _load_ledger(args)
+    record = ledger_mod.find_run(records, args.run_id)
+    if record is None:
+        print(f"error: no ledger record for run {args.run_id!r}",
+              file=sys.stderr)
+        return 2
+    print(json.dumps(record, indent=2, sort_keys=True, default=str))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    """Exit 0 = no regressions, 1 = regressions, 2 = unusable input."""
+    ledger_mod, records, _skipped = _load_ledger(args)
+    candidate = ledger_mod.find_run(records, args.candidate)
+    if candidate is None:
+        print(f"error: no ledger record for run {args.candidate!r}",
+              file=sys.stderr)
+        return 2
+    if args.baseline is not None:
+        baseline = ledger_mod.find_run(records, args.baseline)
+        if baseline is None:
+            print(f"error: no ledger record for baseline "
+                  f"{args.baseline!r}", file=sys.stderr)
+            return 2
+    else:
+        baseline = ledger_mod.latest_matching(records, candidate)
+        if baseline is None:
+            print(f"error: no earlier run matches {args.candidate!r}'s "
+                  "identity (command + fingerprint + flags); name a "
+                  "baseline explicitly", file=sys.stderr)
+            return 2
+    result = ledger_mod.diff(candidate, baseline,
+                             threshold=args.threshold)
+    if args.json:
+        print(json.dumps(result, indent=2, default=str))
+    else:
+        print(ledger_mod.render_diff(result))
+    return 1 if result["regressions"] else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -737,6 +992,67 @@ def build_parser() -> argparse.ArgumentParser:
                             "runs/ are kept)")
     cache.set_defaults(func=_cmd_cache)
 
+    ps = sub.add_parser("ps", help="list runs publishing live status "
+                                   "snapshots (running, finished, or "
+                                   "killed)")
+    ps.add_argument("--cache-dir", default=None, metavar="DIR",
+                    help="cache directory (default: .repro-cache/)")
+    ps.add_argument("--json", action="store_true",
+                    help="emit the raw snapshots as JSON")
+    ps.set_defaults(func=_cmd_ps)
+
+    top = sub.add_parser("top", help="live view of one run's progress, "
+                                     "workers and cache hit rates")
+    top.add_argument("run_id", metavar="RUN-ID",
+                     help="a run id from 'repro ps'")
+    top.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="cache directory (default: .repro-cache/)")
+    top.add_argument("--follow", action="store_true",
+                     help="refresh the view until the run leaves the "
+                          "'live' state (Ctrl-C to stop)")
+    top.add_argument("--once", action="store_true",
+                     help="render a single snapshot and exit (the "
+                          "default; overrides --follow)")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw snapshot JSON once (for "
+                          "scripting; implies --once)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="--follow refresh period (default: 1.0)")
+    top.set_defaults(func=_cmd_top)
+
+    runs = sub.add_parser("runs", help="cross-run ledger: list, show "
+                                       "and diff finished runs")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="all ledger records, "
+                                                 "newest first")
+    runs_list.set_defaults(func=_cmd_runs_list)
+    runs_show = runs_sub.add_parser("show", help="one run's full "
+                                                 "ledger record")
+    runs_show.add_argument("run_id", metavar="RUN-ID")
+    runs_show.set_defaults(func=_cmd_runs_show)
+    runs_diff = runs_sub.add_parser(
+        "diff", help="flag verdict/timing/health regressions of a run "
+                     "against a baseline (exit 1 when any are found)")
+    runs_diff.add_argument("candidate", metavar="RUN-ID")
+    runs_diff.add_argument("baseline", nargs="?", default=None,
+                           metavar="BASELINE-ID",
+                           help="baseline run id (default: the latest "
+                                "earlier run with the same command, "
+                                "fingerprint and flags)")
+    runs_diff.add_argument(
+        "--threshold", type=float, default=0.25, metavar="FRACTION",
+        help="relative growth beyond which a timing is a regression "
+             "(default: 0.25)")
+    runs_diff.set_defaults(func=_cmd_runs_diff)
+    for runs_parser in (runs_list, runs_show, runs_diff):
+        runs_parser.add_argument("--cache-dir", default=None,
+                                 metavar="DIR",
+                                 help="cache directory (default: "
+                                      ".repro-cache/)")
+        runs_parser.add_argument("--json", action="store_true",
+                                 help="emit JSON instead of the table")
+
     report = sub.add_parser("report", help="render or validate "
                                            "observability artifacts "
                                            "(--trace / --log-json files)")
@@ -756,24 +1072,52 @@ def build_parser() -> argparse.ArgumentParser:
 def _dispatch(args: argparse.Namespace) -> int:
     """Run the selected command, inside an observability run when the
     ``--trace`` / ``--log-json`` flags ask for one (trace files are
-    written even when the command fails) and inside the ambient
-    artifact plane when ``--artifacts`` resolves to a store."""
+    written even when the command fails), inside the ambient artifact
+    plane when ``--artifacts`` resolves to a store, and inside the
+    ambient live plane unless ``--no-live``.  The final verdict and
+    counters of a ledger-worthy command are appended to the cross-run
+    ledger on the way out (``--no-ledger`` opts out)."""
     trace = getattr(args, "trace", None)
     log_json = getattr(args, "log_json", None)
-    with _artifact_store(args):
-        if not trace and not log_json:
-            return args.func(args)
-        return _dispatch_traced(args, trace, log_json)
+    if hasattr(args, "live"):
+        from repro.engine.journal import new_run_id
+        from repro.engine.pool import reset_fallback_warnings
+
+        # One identity per command invocation, shared by the live
+        # plane, the checkpoint journal and the ledger record.
+        args.live_run_id = (getattr(args, "resume", None)
+                            or getattr(args, "run_id", None)
+                            or new_run_id())
+        reset_fallback_warnings()
+    started = time.time()
+    clock = time.perf_counter()
+    with _artifact_store(args), _live_plane(args) as live_run:
+        try:
+            if not trace and not log_json:
+                code = args.func(args)
+            else:
+                code = _dispatch_traced(args, trace, log_json)
+        except BaseException:
+            if live_run is not None:
+                live_run.finish(state="failed")
+            raise
+        if live_run is not None:
+            live_run.finish(state="finished", exit_status=code)
+        _record_ledger(args, code, time.perf_counter() - clock,
+                       started, live_run)
+        return code
 
 
 def _dispatch_traced(args: argparse.Namespace, trace: str | None,
                      log_json: str | None) -> int:
     from repro.obs import export
 
+    attrs = {"command": args.command}
+    if getattr(args, "live_run_id", None):
+        attrs["run_id"] = args.live_run_id
     run_ctx = None
     try:
-        with obs.run(f"repro {args.command}",
-                     command=args.command) as run_ctx:
+        with obs.run(f"repro {args.command}", **attrs) as run_ctx:
             return args.func(args)
     finally:
         if run_ctx is not None:

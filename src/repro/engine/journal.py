@@ -104,14 +104,22 @@ def new_run_id() -> str:
     return f"{stamp}-{secrets.token_hex(3)}"
 
 
-def list_runs(root: str | Path) -> list[str]:
+def list_runs(root: str | Path,
+              require_journal: bool = True) -> list[str]:
     """Run ids found under *root*, newest last (lexicographic order —
-    ids start with a timestamp)."""
+    ids start with a timestamp).
+
+    By default only journaled (resumable) runs are listed; with
+    ``require_journal=False`` any run directory counts — ad-hoc runs
+    publish a live ``status.json`` but no journal, and ``repro ps``
+    must see them too.
+    """
     directory = Path(root)
     if not directory.is_dir():
         return []
     return sorted(p.name for p in directory.iterdir()
-                  if (p / "journal.jsonl").exists())
+                  if (p / "journal.jsonl").exists()
+                  or (not require_journal and p.is_dir()))
 
 
 @dataclass

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 import repro.engine.artifacts as artifact_plane
+from repro.obs import live
 from repro.obs import runtime as obs
 
 Item = TypeVar("Item")
@@ -232,12 +233,43 @@ def _record_fallback(stats: Any, reason: str, items: int) -> None:
         stats.pool_fallbacks += 1
 
 
+# (run identity, cause) pairs that already raised a RuntimeWarning: a
+# sweep whose every batch degrades for the same reason warns once per
+# run instead of once per batch.  The per-occurrence `pool-fallback`
+# events and `pool.fallbacks` counters are NOT deduplicated — only the
+# stderr noise is.  The run identity pairs the ambient run's id() with
+# its start stamp so a recycled id() cannot suppress a fresh run's
+# first warning; with no run active, dedup is process-wide per cause
+# until :func:`reset_fallback_warnings`.
+_WARNED_FALLBACKS: set[tuple] = set()
+
+
+def reset_fallback_warnings() -> None:
+    """Forget which (run, cause) pairs have warned (CLI entry, tests)."""
+    _WARNED_FALLBACKS.clear()
+
+
+def _warn_fallback_once(message: str, cause: str) -> None:
+    run = obs.active()
+    key = ((id(run), run.started, cause) if run is not None
+           else (None, None, cause))
+    if key in _WARNED_FALLBACKS:
+        return
+    _WARNED_FALLBACKS.add(key)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def _run_serial(worker: Callable[[Any, Item], Result],
                 work: Sequence[Item], context: Any,
                 stats: Any, reason: str) -> list[Result]:
     _record_fallback(stats, reason, len(work))
     with obs.span("pool.serial", reason=reason, items=len(work)):
-        return [worker(context, item) for item in work]
+        results = []
+        for item in work:
+            results.append(worker(context, item))
+            live.note(done=1)
+            live.tick()
+        return results
 
 
 def run_work_items(worker: Callable[[Any, Item], Result],
@@ -268,6 +300,8 @@ def run_work_items(worker: Callable[[Any, Item], Result],
     any spawn-path failure still degrades to the serial loop.
     """
     work = list(items)
+    live.begin_stage(getattr(worker, "__name__", "pool.map"),
+                     total=len(work))
     if jobs <= 1:
         return _run_serial(worker, work, context, stats, "jobs<=1")
     if len(work) <= 1:
@@ -295,7 +329,12 @@ def run_work_items(worker: Callable[[Any, Item], Result],
                                      mp_context=pool_context,
                                      initializer=initializer,
                                      initargs=initargs) as pool:
-                outcomes = list(pool.map(_run_indexed, range(len(work))))
+                outcomes = []
+                for outcome in pool.map(_run_indexed,
+                                        range(len(work))):
+                    outcomes.append(outcome)
+                    live.note(done=1)
+                    live.tick()
             results = []
             for index, ((status, value), capture) in enumerate(outcomes):
                 obs.adopt_child(capture, f"item[{index}]")
@@ -309,10 +348,10 @@ def run_work_items(worker: Callable[[Any, Item], Result],
         # error in the parent.  Ordinary worker exceptions never reach
         # here — they come back as WorkerFailure values.
         reason = f"pool-error:{type(exc).__name__}"
-        warnings.warn(
+        _warn_fallback_once(
             f"process pool failed ({type(exc).__name__}: {exc}); "
             f"recomputing {len(work)} work items serially",
-            RuntimeWarning, stacklevel=2)
+            reason)
         return _run_serial(worker, work, context, stats, reason)
     finally:
         _WORKER, _CONTEXT, _ITEMS = None, None, ()

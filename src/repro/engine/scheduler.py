@@ -57,7 +57,9 @@ from typing import Any, Sequence
 import repro.engine.artifacts as artifact_plane
 from repro.engine.pool import PortableContext, WorkerFailure
 from repro.engine.supervisor import FaultPlan, TaskLedger, _bump, _Task
+from repro.obs import live
 from repro.obs import runtime as obs
+from repro.obs.metrics import Histogram
 from repro.obs.trace import Span
 
 #: How much useful work one batch dispatch should cover.  Well above
@@ -175,6 +177,8 @@ def _worker_main(worker, context, work: Sequence[Any],
                 os.kill(os.getpid(), signal.SIGKILL)
             if fault == "hang":
                 time.sleep(plan.hang_seconds)
+            if plan is not None:
+                plan.child_delay()
             inherited = obs.fork_capture_begin()
             try:
                 try:
@@ -279,6 +283,8 @@ class BatchScheduler:
         self.queue: deque = deque()      # ready tasks, FIFO
         self.delayed: list[_Task] = []   # retries waiting out backoff
         self._next_ident = 0
+        # Local (not ambient) so stall detection works without --trace.
+        self.durations = Histogram("scheduler.task_seconds")
 
     # -- lifecycle -----------------------------------------------------
     def run(self, pending: list[_Task]) -> None:
@@ -321,6 +327,7 @@ class BatchScheduler:
                 + [w.process.sentinel for w in self.workers],
                 timeout=self._wait_timeout(now))
             self._service(set(ready))
+            live.tick(self._live_payload)
 
     def _mature(self, now: float) -> None:
         """Move backoff-expired retries back into the ready queue."""
@@ -439,6 +446,7 @@ class BatchScheduler:
             assert task is not None and task.index == index
             elapsed = time.monotonic() - worker.started_at
             self.model.observe(elapsed)
+            self.durations.observe(elapsed)
             obs.observe("scheduler.task_seconds", elapsed)
             obs.adopt_child(capture, f"item[{task.index}]",
                             attempt=task.attempts)
@@ -478,6 +486,7 @@ class BatchScheduler:
         worker.assigned = deque()
         _bump(self.ledger.stats, "scheduler_requeued",
               "scheduler.requeued", count)
+        live.note(requeued=count)
         obs.event("batch-requeued", level="warning",
                   worker=worker.ident, items=count)
 
@@ -547,6 +556,43 @@ class BatchScheduler:
                 except Exception:
                     pass
             self._discard(worker)
+
+    # -- live telemetry ------------------------------------------------
+    def _live_payload(self) -> dict[str, Any]:
+        """Extra snapshot fields for the live plane (built only when a
+        snapshot is actually due — see :func:`repro.obs.live.tick`)."""
+        now = time.monotonic()
+        p95 = self.durations.quantile(0.95)
+        threshold = live.stall_threshold(p95)
+        workers = []
+        in_flight = 0
+        assigned = 0
+        for worker in self.workers:
+            entry: dict[str, Any] = {"ident": worker.ident,
+                                     "pid": worker.process.pid,
+                                     "busy": worker.busy}
+            assigned += len(worker.assigned)
+            if worker.current is not None:
+                in_flight += 1
+                age = now - worker.started_at
+                entry.update(task=worker.current.index,
+                             age_seconds=round(age, 3),
+                             stalled=age > threshold)
+            workers.append(entry)
+        remaining = (len(self.queue) + len(self.delayed)
+                     + assigned + in_flight)
+        stage: dict[str, Any] = {"mode": "batch"}
+        if self.model.ewma is not None:
+            stage["ewma_task_seconds"] = self.model.ewma
+            stage["eta_seconds"] = round(
+                remaining * self.model.ewma
+                / max(1, len(self.workers) or self.jobs), 3)
+        if p95 is not None:
+            stage["p95_task_seconds"] = p95
+        payload = {"workers": workers, "stage": stage,
+                   "tasks": {"in_flight": in_flight + assigned}}
+        payload.update(live.cache_payload(self.ledger.stats))
+        return payload
 
     # -- pacing --------------------------------------------------------
     def _wait_timeout(self, now: float) -> float:

@@ -42,6 +42,7 @@ _COUNTER_METRICS = {
     "scheduler_batch_items": "scheduler.batch_items",
     "scheduler_steals": "scheduler.steals",
     "scheduler_requeued": "scheduler.requeued",
+    "live_snapshots": "live.snapshots",
     "artifact_hits": "artifacts.hits",
     "artifact_misses": "artifacts.misses",
     "artifact_stores": "artifacts.stores",

@@ -81,7 +81,9 @@ from repro.engine.pool import (
     spawn_dispatch_available,
     start_method,
 )
+from repro.obs import live
 from repro.obs import runtime as obs
+from repro.obs.metrics import Histogram
 
 #: Environment variable read by :meth:`FaultPlan.from_env`.
 FAULT_ENV = "REPRO_INJECT_FAULT"
@@ -134,13 +136,17 @@ class FaultPlan:
     timeout); retries run clean, so a supervised run always converges.
     ``die_after_checkpoints`` hard-kills the parent after that many
     journal checkpoints — the ``kill -9`` of the whole run that
-    ``--resume`` exists for.  ``die`` is patchable so in-process tests
-    can observe the death without losing the interpreter.
+    ``--resume`` exists for.  ``delay_seconds`` slows **every** task
+    attempt down by a uniform sleep — the deliberately-degraded run the
+    cross-run ledger's ``repro runs diff`` must flag as a timing
+    regression.  ``die`` is patchable so in-process tests can observe
+    the death without losing the interpreter.
     """
 
     crash_items: frozenset = frozenset()
     hang_items: frozenset = frozenset()
     die_after_checkpoints: int | None = None
+    delay_seconds: float = 0.0
     hang_seconds: float = 3600.0
     die: Callable[[int], Any] = field(default=os._exit, repr=False)
 
@@ -153,6 +159,10 @@ class FaultPlan:
             return "hang"
         return None
 
+    def child_delay(self) -> None:
+        if self.delay_seconds > 0:
+            time.sleep(self.delay_seconds)
+
     def on_checkpoint(self, count: int) -> None:
         if self.die_after_checkpoints is not None \
                 and count >= self.die_after_checkpoints:
@@ -161,13 +171,15 @@ class FaultPlan:
     @classmethod
     def from_env(cls, environ=None) -> "FaultPlan | None":
         """Parse ``REPRO_INJECT_FAULT`` (``;``-separated clauses:
-        ``crash:<i,j>``, ``hang:<i,j>``, ``die-after:<n>``)."""
+        ``crash:<i,j>``, ``hang:<i,j>``, ``die-after:<n>``,
+        ``delay:<seconds>``)."""
         spec = (environ or os.environ).get(FAULT_ENV)
         if not spec:
             return None
         crash: set[int] = set()
         hang: set[int] = set()
         die_after: int | None = None
+        delay = 0.0
         for clause in spec.split(";"):
             clause = clause.strip()
             if not clause:
@@ -179,12 +191,15 @@ class FaultPlan:
                 hang.update(int(i) for i in arg.split(",") if i)
             elif kind == "die-after":
                 die_after = int(arg)
+            elif kind == "delay":
+                delay = float(arg)
             else:
                 raise ValueError(
                     f"unknown {FAULT_ENV} clause {clause!r}")
         return cls(crash_items=frozenset(crash),
                    hang_items=frozenset(hang),
-                   die_after_checkpoints=die_after)
+                   die_after_checkpoints=die_after,
+                   delay_seconds=delay)
 
 
 # ----------------------------------------------------------------------
@@ -203,6 +218,8 @@ def _child_main(worker, context, item, index: int, attempt: int,
         os.kill(os.getpid(), signal.SIGKILL)
     if fault == "hang":
         time.sleep(plan.hang_seconds)
+    if plan is not None:
+        plan.child_delay()
     inherited = obs.fork_capture_begin()
     try:
         try:
@@ -243,6 +260,7 @@ class _Running:
     process: Any
     conn: Any
     deadline: float | None
+    started: float = 0.0
 
 
 def _bump(stats: Any, attribute: str, metric: str,
@@ -298,6 +316,7 @@ class TaskLedger:
         return pending
 
     def complete(self, task: _Task, result: Any) -> None:
+        live.note(done=1)
         self.results[task.index] = result
         if self.journal is not None and task.key is not None:
             before = self.journal.stats.entries_recorded
@@ -331,6 +350,7 @@ class TaskLedger:
         obs.event("task-degraded", level="warning", index=task.index,
                   key=task.key, attempts=task.attempts, reason=reason)
         _bump(self.stats, "supervisor_degraded", "supervisor.degraded")
+        live.note(degraded=1)
         with obs.span("supervisor.degraded", index=task.index,
                       reason=reason):
             self.complete(task, self.fallback_worker(
@@ -353,6 +373,7 @@ class TaskLedger:
                   key=task.key, attempt=task.attempts, reason=reason,
                   delay_seconds=delay)
         _bump(self.stats, "supervisor_retries", "supervisor.retries")
+        live.note(retried=1)
         return task
 
     # -- serial mode (no children needed / no fork available) ----------
@@ -364,8 +385,11 @@ class TaskLedger:
         with obs.span("supervisor.serial", reason=reason,
                       items=len(pending)):
             for task in pending:
+                if self.plan is not None:
+                    self.plan.child_delay()
                 self.complete(task, self.worker(
                     self.context, self.work[task.index]))
+                live.tick()
 
     def ordered_results(self) -> list[Any]:
         return [self.results[i] for i in range(len(self.work))]
@@ -379,6 +403,8 @@ class _Supervisor:
         self.jobs = max(1, jobs)
         self.policy = ledger.policy
         self._mp = multiprocessing.get_context("fork")
+        # Local (not ambient) so stall detection works without --trace.
+        self.durations = Histogram("supervisor.task_seconds")
 
     def _spawn(self, task: _Task) -> _Running:
         ledger = self.ledger
@@ -393,7 +419,7 @@ class _Supervisor:
         deadline = (time.monotonic() + self.policy.timeout
                     if self.policy.timeout is not None else None)
         return _Running(task=task, process=process, conn=receiver,
-                        deadline=deadline)
+                        deadline=deadline, started=time.monotonic())
 
     def _reap(self, running: _Running) -> None:
         running.conn.close()
@@ -422,6 +448,7 @@ class _Supervisor:
             self._requeue(task, "worker-died", pending)
             return
         self._reap(running)
+        self.durations.observe(time.monotonic() - running.started)
         obs.adopt_child(capture, f"item[{task.index}]",
                         attempt=task.attempts)
         if status == "ok":
@@ -492,9 +519,40 @@ class _Supervisor:
                         else:
                             survivors.append(item)
                     running = survivors
+                    live.tick(lambda: self._live_payload(
+                        running, len(queue)))
             finally:
                 for item in running:
                     self._kill(item)
+
+    def _live_payload(self, running: list[_Running],
+                      queued: int) -> dict[str, Any]:
+        """Extra snapshot fields for the live plane (built only when a
+        snapshot is actually due — see :func:`repro.obs.live.tick`)."""
+        now = time.monotonic()
+        p95 = self.durations.quantile(0.95)
+        threshold = live.stall_threshold(p95)
+        workers = []
+        for item in running:
+            age = now - item.started
+            workers.append({
+                "ident": item.process.pid, "pid": item.process.pid,
+                "busy": True, "task": item.task.index,
+                "age_seconds": round(age, 3),
+                "stalled": age > threshold})
+        mean = self.durations.mean if self.durations.count else None
+        remaining = queued + len(running)
+        stage: dict[str, Any] = {"mode": "task"}
+        if mean is not None:
+            stage["ewma_task_seconds"] = mean
+            stage["eta_seconds"] = round(
+                remaining * mean / max(1, self.jobs), 3)
+        if p95 is not None:
+            stage["p95_task_seconds"] = p95
+        payload = {"workers": workers, "stage": stage,
+                   "tasks": {"in_flight": len(running)}}
+        payload.update(live.cache_payload(self.ledger.stats))
+        return payload
 
     def _wait_timeout(self, queue: list[_Task],
                       running: list[_Running], now: float) -> float:
@@ -596,12 +654,17 @@ def supervise_work_items(worker: Callable[[Any, Any], Any],
     ledger = TaskLedger(worker, work, context, stats, policy, journal,
                         keys, fallback_worker, plan)
     pending = ledger.resume_completed()
+    live.begin_stage(getattr(worker, "__name__", "supervised.map"),
+                     total=len(work),
+                     resumed=len(work) - len(pending))
+    live.tick()
     if pending:
         fork = parallelism_available()
         spawn = (not fork and portable is not None
                  and _spawn_dispatchable(ledger, portable))
         injected = plan is not None and (plan.crash_items
-                                         or plan.hang_items)
+                                         or plan.hang_items
+                                         or plan.delay_seconds)
         wants_children = (policy.timeout is not None or jobs > 1
                           or injected)
         use_batch = ((fork or spawn) and len(pending) > 1

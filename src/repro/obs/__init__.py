@@ -12,8 +12,10 @@ through it nearly every module) imports this package, so it must sit at
 the bottom of the dependency graph.
 """
 
+from repro.obs import ledger, live
 from repro.obs.export import (
     chrome_trace,
+    ledger_record_from_run,
     load_run_log,
     render_report,
     render_run,
@@ -21,6 +23,7 @@ from repro.obs.export import (
     write_chrome_trace,
     write_run_log,
 )
+from repro.obs.live import LiveRun
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.runtime import (
     ChildCapture,
@@ -42,7 +45,9 @@ from repro.obs.trace import Span, Tracer
 from repro.obs.validate import (
     ValidationError,
     validate_chrome_trace,
+    validate_ledger,
     validate_run_log,
+    validate_status,
 )
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LiveRun",
     "MetricsRegistry",
     "ObsRun",
     "Span",
@@ -64,6 +70,9 @@ __all__ = [
     "fork_capture_begin",
     "fork_capture_end",
     "gauge",
+    "ledger",
+    "ledger_record_from_run",
+    "live",
     "load_run_log",
     "metric",
     "render_report",
@@ -73,7 +82,9 @@ __all__ = [
     "span",
     "start",
     "validate_chrome_trace",
+    "validate_ledger",
     "validate_run_log",
+    "validate_status",
     "write_chrome_trace",
     "write_run_log",
 ]

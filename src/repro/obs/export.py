@@ -115,6 +115,43 @@ def load_run_log(path) -> list[dict[str, Any]]:
 
 
 # ----------------------------------------------------------------------
+# Cross-run ledger records
+# ----------------------------------------------------------------------
+def ledger_record_from_run(run: ObsRun, run_id: str, *,
+                           command: str,
+                           verdict: dict[str, Any] | None = None,
+                           **extra: Any) -> dict[str, Any]:
+    """Fold a finished :class:`ObsRun` into one cross-run ledger record.
+
+    The benchmark harness uses this to feed ``benchmarks/out/``'s
+    ledger the same way the CLI feeds ``.repro-cache/ledger.jsonl``.
+    Counter names are the registry's dotted metric names; ``stage.*``
+    counters become the record's ``stage_seconds``.
+    """
+    from repro.obs import ledger
+
+    counters: dict[str, Any] = {}
+    stage_seconds: dict[str, float] = {}
+    for name, value in run.metrics.as_dict().items():
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        if name.startswith("stage."):
+            stage_seconds[name[len("stage."):]] = round(value, 6)
+        else:
+            counters[name] = value
+    return ledger.make_record(
+        run_id, command,
+        protocol=run.attrs.get("protocol"),
+        fingerprint=run.attrs.get("fingerprint"),
+        verdict=verdict,
+        wall_seconds=run.wall_seconds,
+        started=run.started,
+        counters=counters,
+        stage_seconds=stage_seconds,
+        **extra)
+
+
+# ----------------------------------------------------------------------
 # Human tree report
 # ----------------------------------------------------------------------
 def _format_attrs(attrs: dict[str, Any]) -> str:

@@ -2,9 +2,10 @@
 
 Used by the test suite and the CI smoke job (as
 ``python -m repro.obs.validate trace.json run.jsonl``) to check that a
-``--trace`` file is valid Chrome Trace Event Format and a
-``--log-json`` file is a well-formed JSONL run log, without pulling in
-a JSON-schema dependency.
+``--trace`` file is valid Chrome Trace Event Format, a ``--log-json``
+file is a well-formed JSONL run log, a live-plane ``status.json`` is a
+well-formed snapshot and ``ledger.jsonl`` holds well-formed run
+records, without pulling in a JSON-schema dependency.
 """
 
 from __future__ import annotations
@@ -14,6 +15,8 @@ import sys
 from typing import Any
 
 from repro.obs.export import RUN_LOG_VERSION, load_run_log
+from repro.obs.ledger import LEDGER_VERSION
+from repro.obs.live import STATUS_VERSION
 
 
 class ValidationError(ValueError):
@@ -71,6 +74,38 @@ def validate_chrome_trace(path) -> dict[str, int]:
 # ----------------------------------------------------------------------
 _SPAN_KEYS = ("name", "depth", "start", "pid", "attrs")
 
+#: Required fields per known structured-event kind.  Unknown kinds are
+#: allowed (forward compatibility); known kinds missing their payload
+#: are a validation failure — this is what keeps ``repro report
+#: --validate`` honest about the event vocabulary the supervision and
+#: artifact layers added after the original exporter.
+_EVENT_REQUIRED_FIELDS = {
+    "pool-fallback": ("reason", "items"),
+    "supervisor-serial": ("reason", "items"),
+    "task-timeout": ("index", "attempt", "timeout_seconds"),
+    "task-retry": ("index", "attempt", "reason", "delay_seconds"),
+    "task-degraded": ("index", "attempts", "reason"),
+    "task-resumed": ("index", "key"),
+    "checkpoint": ("run_id", "key", "seq"),
+    "batch-requeued": ("worker", "items"),
+    "artifact-corrupt": ("artifact", "path", "reason"),
+}
+
+_EVENT_LEVELS = ("info", "warning", "error")
+
+
+def _validate_event(record: dict[str, Any], where: str) -> None:
+    kind = record.get("kind")
+    _require(isinstance(kind, str) and kind,
+             f"{where} lacks a non-empty 'kind'")
+    _require(record.get("level") in _EVENT_LEVELS,
+             f"{where} level must be one of {_EVENT_LEVELS}")
+    _require(isinstance(record.get("ts"), (int, float)),
+             f"{where} lacks a numeric 'ts'")
+    for field in _EVENT_REQUIRED_FIELDS.get(kind, ()):
+        _require(field in record,
+                 f"{where} ({kind!r} event) lacks {field!r}")
+
 
 def validate_run_log_records(records: list[dict[str, Any]]) -> dict[str, int]:
     """Validate parsed run-log records; returns per-type counts."""
@@ -100,6 +135,8 @@ def validate_run_log_records(records: list[dict[str, Any]]) -> dict[str, int]:
         elif kind == "metrics":
             _require(isinstance(record.get("values"), dict),
                      f"metrics record {i} lacks a 'values' object")
+        elif kind == "event":
+            _validate_event(record, f"event record {i}")
     _require(counts.get("run", 0) == 1, "expected exactly one 'run' record")
     _require(counts.get("end", 0) == 1, "expected exactly one 'end' record")
     _require(counts.get("metrics", 0) == 1,
@@ -116,8 +153,98 @@ def validate_run_log(path) -> dict[str, int]:
     return validate_run_log_records(records)
 
 
+# ----------------------------------------------------------------------
+# Live-plane status snapshots
+# ----------------------------------------------------------------------
+def validate_status_data(data: Any) -> dict[str, int]:
+    """Validate a parsed ``status.json`` snapshot; returns counts."""
+    _require(isinstance(data, dict), "status must be a JSON object")
+    _require(data.get("version") == STATUS_VERSION,
+             f"status version must be {STATUS_VERSION}")
+    _require(isinstance(data.get("run_id"), str) and data["run_id"],
+             "status lacks a run_id")
+    _require(isinstance(data.get("pid"), int), "status pid must be an int")
+    _require(isinstance(data.get("state"), str), "status lacks a state")
+    for key in ("started", "updated"):
+        _require(isinstance(data.get(key), (int, float)),
+                 f"status {key} must be a number")
+    tasks = data.get("tasks")
+    _require(isinstance(tasks, dict), "status lacks a 'tasks' object")
+    for name, value in tasks.items():
+        _require(isinstance(value, int) and value >= 0,
+                 f"status tasks[{name!r}] must be a non-negative int")
+    workers = data.get("workers", [])
+    _require(isinstance(workers, list), "status workers must be a list")
+    for i, worker in enumerate(workers):
+        _require(isinstance(worker, dict) and "ident" in worker
+                 and isinstance(worker.get("busy"), bool),
+                 f"status workers[{i}] lacks ident/busy")
+    events = data.get("events", [])
+    _require(isinstance(events, list), "status events must be a list")
+    for i, record in enumerate(events):
+        _validate_event(record, f"status events[{i}]")
+    return {"workers": len(workers), "events": len(events),
+            "snapshots": int(data.get("snapshots", 0))}
+
+
+def validate_status(path) -> dict[str, int]:
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{path}: not valid JSON: {exc}") from exc
+    return validate_status_data(data)
+
+
+# ----------------------------------------------------------------------
+# Cross-run ledger
+# ----------------------------------------------------------------------
+def validate_ledger_records(
+        records: list[dict[str, Any]]) -> dict[str, int]:
+    """Validate parsed ledger records; returns record counts."""
+    _require(bool(records), "ledger is empty")
+    for i, record in enumerate(records):
+        where = f"ledger record {i}"
+        _require(isinstance(record, dict), f"{where} must be an object")
+        _require(record.get("v") == LEDGER_VERSION,
+                 f"{where} version must be {LEDGER_VERSION}")
+        _require(isinstance(record.get("run_id"), str) and record["run_id"],
+                 f"{where} lacks a run_id")
+        _require(isinstance(record.get("command"), str),
+                 f"{where} lacks a command")
+        for key in ("flags", "verdict", "counters", "stage_seconds"):
+            _require(isinstance(record.get(key), dict),
+                     f"{where} {key!r} must be an object")
+        digest = record.get("verdict_digest")
+        _require(isinstance(digest, str) and len(digest) == 16,
+                 f"{where} verdict_digest must be a 16-char digest")
+    return {"records": len(records)}
+
+
+def validate_ledger(path) -> dict[str, int]:
+    from repro.obs import ledger as ledger_mod
+
+    records, skipped = ledger_mod.load(path)
+    _require(skipped == 0,
+             f"{path}: {skipped} unparseable ledger line(s)")
+    return validate_ledger_records(records)
+
+
+def _validator_for(path: str):
+    name = str(path)
+    base = name.rsplit("/", 1)[-1]
+    if base == "status.json" or base.endswith(".status.json"):
+        return validate_status
+    if base.endswith("ledger.jsonl"):
+        return validate_ledger
+    if name.endswith(".jsonl"):
+        return validate_run_log
+    return validate_chrome_trace
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Validate each path by suffix: ``.jsonl`` = run log, else trace."""
+    """Validate each path by name: ``status.json`` = live snapshot,
+    ``*ledger.jsonl`` = ledger, other ``.jsonl`` = run log, else trace."""
     paths = sys.argv[1:] if argv is None else argv
     if not paths:
         print("usage: python -m repro.obs.validate ARTIFACT...",
@@ -126,10 +253,7 @@ def main(argv: list[str] | None = None) -> int:
     status = 0
     for path in paths:
         try:
-            if str(path).endswith(".jsonl"):
-                counts = validate_run_log(path)
-            else:
-                counts = validate_chrome_trace(path)
+            counts = _validator_for(path)(path)
         except (OSError, ValidationError) as exc:
             print(f"FAIL {path}: {exc}", file=sys.stderr)
             status = 1

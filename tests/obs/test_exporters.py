@@ -13,7 +13,8 @@ def sample_run():
         with obs.span("sweep", jobs=2):
             with obs.span("check", K=3):
                 obs.metric("engine.work_items")
-            obs.event("pool-fallback", level="warning", reason="no-fork")
+            obs.event("pool-fallback", level="warning", reason="no-fork",
+                      items=1)
     return run_ctx
 
 
@@ -27,9 +28,11 @@ def test_chrome_trace_schema(sample_run, tmp_path):
     data = json.loads(path.read_text())
     spans = {e["name"]: e for e in data["traceEvents"] if e["ph"] == "X"}
     # Children nest inside their parent on the timeline.
-    assert spans["check"]["ts"] >= spans["sweep"]["ts"]
+    # Starts are wall clock, durations are perf_counter deltas — the
+    # two clocks can disagree by a few microseconds at this scale.
+    assert spans["check"]["ts"] >= spans["sweep"]["ts"] - 10
     assert (spans["check"]["ts"] + spans["check"]["dur"]
-            <= spans["sweep"]["ts"] + spans["sweep"]["dur"] + 1e-3)
+            <= spans["sweep"]["ts"] + spans["sweep"]["dur"] + 10)
     assert spans["check"]["args"] == {"K": 3}
     assert data["otherData"]["metrics"]["engine.work_items"] == 1
 
@@ -87,3 +90,76 @@ def test_validator_main_accepts_good_artifacts(sample_run, tmp_path):
     export.write_chrome_trace(trace, sample_run)
     export.write_run_log(log, sample_run)
     assert validate.main([str(trace), str(log)]) == 0
+
+
+# ----------------------------------------------------------------------
+# event-kind vocabulary
+# ----------------------------------------------------------------------
+def _event(kind, **fields):
+    return {"type": "event", "ts": 1.0, "kind": kind, "level": "warning",
+            **fields}
+
+
+@pytest.mark.parametrize("kind,fields", [
+    ("task-timeout", {"index": 0, "attempt": 1, "timeout_seconds": 5}),
+    ("task-retry", {"index": 0, "attempt": 1, "reason": "crash",
+                    "delay_seconds": 0.1}),
+    ("task-degraded", {"index": 0, "attempts": 3, "reason": "timeout"}),
+    ("task-resumed", {"index": 0, "key": "k"}),
+    ("checkpoint", {"run_id": "r", "key": "k", "seq": 0}),
+    ("batch-requeued", {"worker": 1, "items": 2}),
+    ("artifact-corrupt", {"artifact": "kernel", "path": "/x",
+                          "reason": "truncated"}),
+    ("supervisor-serial", {"reason": "jobs<=1", "items": 4}),
+    ("some-future-kind", {}),  # unknown kinds pass (forward compat)
+])
+def test_event_vocabulary_accepts_complete_events(kind, fields):
+    validate._validate_event(_event(kind, **fields), "event")
+
+
+@pytest.mark.parametrize("record,complaint", [
+    (_event("task-timeout", index=0, attempt=1), "timeout_seconds"),
+    (_event("checkpoint", run_id="r", key="k"), "seq"),
+    (_event("batch-requeued", worker=1), "items"),
+    ({"type": "event", "ts": 1.0, "kind": "x", "level": "loud"},
+     "level"),
+    ({"type": "event", "kind": "x", "level": "info"}, "ts"),
+    ({"type": "event", "ts": 1.0, "level": "info"}, "kind"),
+])
+def test_event_vocabulary_rejects_incomplete_events(record, complaint):
+    with pytest.raises(validate.ValidationError, match=complaint):
+        validate._validate_event(record, "event")
+
+
+def test_validator_main_dispatches_by_artifact_name(tmp_path):
+    assert validate._validator_for("a/b/status.json") \
+        is validate.validate_status
+    assert validate._validator_for("run-7.status.json") \
+        is validate.validate_status
+    assert validate._validator_for(".repro-cache/ledger.jsonl") \
+        is validate.validate_ledger
+    assert validate._validator_for("out/bench.ledger.jsonl") \
+        is validate.validate_ledger
+    assert validate._validator_for("run.jsonl") \
+        is validate.validate_run_log
+    assert validate._validator_for("trace.json") \
+        is validate.validate_chrome_trace
+
+
+def test_status_validator_rejects_malformed_snapshots():
+    good = {"version": 1, "run_id": "r", "pid": 1, "state": "running",
+            "started": 1.0, "updated": 2.0,
+            "tasks": {"total": 4, "done": 1},
+            "workers": [{"ident": 0, "busy": True}],
+            "events": [_event("task-resumed", index=0, key="k")]}
+    counts = validate.validate_status_data(good)
+    assert counts == {"workers": 1, "events": 1, "snapshots": 0}
+    for mutation, complaint in [
+        ({"version": 99}, "version"),
+        ({"run_id": ""}, "run_id"),
+        ({"tasks": {"done": -1}}, "non-negative"),
+        ({"workers": [{"ident": 0}]}, "ident/busy"),
+        ({"events": [{"kind": "x"}]}, "level"),
+    ]:
+        with pytest.raises(validate.ValidationError, match=complaint):
+            validate.validate_status_data({**good, **mutation})

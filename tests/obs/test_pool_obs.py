@@ -130,6 +130,49 @@ def test_fallback_without_stats_or_run_is_quiet():
         assert run_work_items(_square, [3], jobs=1) == [9]
 
 
+@needs_fork
+def test_fallback_warning_deduped_within_a_run():
+    """One RuntimeWarning per run+cause; counters and events intact."""
+    from repro.engine.pool import reset_fallback_warnings
+
+    stats = EngineStats(jobs=2)
+    with obs.run("dedup-test") as run_ctx:
+        with pytest.warns(RuntimeWarning, match="recomputing") as caught:
+            run_work_items(_unpicklable, [1, 2], jobs=2, stats=stats)
+            # Same cause, same run: the second fallback stays quiet ...
+            run_work_items(_unpicklable, [3, 4], jobs=2, stats=stats)
+    assert len(caught) == 1
+    # ... but the telemetry still sees both degradations.
+    assert stats.pool_fallbacks == 2
+    events = [e for e in run_ctx.events if e["kind"] == "pool-fallback"]
+    assert len(events) == 2
+    assert run_ctx.metrics.value("pool.fallbacks") == 2
+
+    # A fresh run is a fresh dedup scope: the user at the next command
+    # still gets told.
+    with obs.run("dedup-test-2"):
+        with pytest.warns(RuntimeWarning, match="recomputing"):
+            run_work_items(_unpicklable, [5, 6], jobs=2,
+                           stats=EngineStats(jobs=2))
+
+    # And without any run, reset_fallback_warnings() (called at every
+    # CLI dispatch) reopens the gate.
+    try:
+        with pytest.warns(RuntimeWarning, match="recomputing"):
+            run_work_items(_unpicklable, [7, 8], jobs=2,
+                           stats=EngineStats(jobs=2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # deduped: stays quiet
+            run_work_items(_unpicklable, [7, 8], jobs=2,
+                           stats=EngineStats(jobs=2))
+        reset_fallback_warnings()
+        with pytest.warns(RuntimeWarning, match="recomputing"):
+            run_work_items(_unpicklable, [7, 8], jobs=2,
+                           stats=EngineStats(jobs=2))
+    finally:
+        reset_fallback_warnings()
+
+
 # ----------------------------------------------------------------------
 # EngineStats on the metrics registry
 # ----------------------------------------------------------------------
