@@ -294,7 +294,7 @@ def _artifact_store(args: argparse.Namespace):
 #: and output flags are deliberately excluded: two runs of the same
 #: analysis must diff as equals regardless of where they journal.
 _LEDGER_FLAG_KEYS = (
-    "jobs", "backend", "symmetry", "schedule", "batch_size",
+    "jobs", "backend", "symmetry", "schedule", "batch_size", "search",
     "timeout", "retries", "cache", "artifacts",
     "max_ring_size", "up_to", "ring_size", "samples", "seed",
     "stop_on_failure",
@@ -610,7 +610,8 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
                                     policy=_supervisor_policy(args),
                                     journal=journal,
                                     schedule=args.schedule,
-                                    batch_size=args.batch_size)
+                                    batch_size=args.batch_size,
+                                    search=args.search)
     _note_ledger(args, protocol=protocol.name, fingerprint=fingerprint,
                  verdict={"succeeded": result.succeeded},
                  stats=result.stats)
@@ -959,6 +960,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-evaluation engine: the compiled bitmask "
              "local-reasoning kernel (default) or the naive Digraph "
              "reference pipeline")
+    synth.add_argument(
+        "--search", choices=("lattice", "flat"), default="lattice",
+        help="candidate enumeration strategy: the incremental "
+             "lattice walk with monotone up-set pruning and delta "
+             "trail search (default; kernel backend only) or the "
+             "flat per-combo oracle every verdict is differentially "
+             "checked against in CI")
     _add_engine_options(synth)
     _add_supervisor_options(synth, resume=True)
     _add_obs_options(synth)

@@ -160,10 +160,14 @@ class Synthesizer:
                  policy: SupervisorPolicy | None = None,
                  journal: RunJournal | None = None,
                  schedule: str = "auto",
-                 batch_size: int | None = None) -> None:
+                 batch_size: int | None = None,
+                 search: str = "lattice",
+                 fault_plan=None) -> None:
         resolved = "kernel" if backend == "auto" else backend
         if resolved not in ("kernel", "naive"):
             raise ValueError(f"unknown synthesis backend {backend!r}")
+        if search not in ("lattice", "flat"):
+            raise ValueError(f"unknown synthesis search {search!r}")
         self.protocol = protocol
         self.max_ring_size = max_ring_size
         self.max_resolve_sets = max_resolve_sets
@@ -184,11 +188,17 @@ class Synthesizer:
         combinations from the journal instead of re-searching."""
         self.schedule = schedule
         self.batch_size = batch_size
+        self.fault_plan = fault_plan
+        """Deterministic fault injection
+        (:class:`repro.engine.supervisor.FaultPlan`) for the property
+        harness — sabotages supervised work-unit attempts, exactly as
+        in :func:`repro.checker.sweep.sweep_verify`."""
         self.stats = EngineStats(jobs=jobs)
         self._verdict_memo: dict[frozenset[LocalTransition],
                                  str | None] = {}
         self._kernel = None
         self._kernel_base = None
+        self._lattice = None
         if resolved == "kernel":
             from repro.engine.localkernel import local_kernel_for
 
@@ -196,6 +206,13 @@ class Synthesizer:
             self._kernel_base = self._kernel.stats.snapshot()
             self._base_transitions = tuple(protocol.space.transitions)
             self._base_deadlocks = frozenset(protocol.space.deadlocks())
+        self.search = search if resolved == "kernel" else "flat"
+        """Combination search strategy: ``"lattice"`` (the default)
+        walks the candidate lattice incrementally
+        (:mod:`repro.engine.synthsearch`) with verdicts byte-identical
+        to ``"flat"``, which re-judges every combination from scratch
+        and is kept as the differential oracle.  The naive backend has
+        no kernel to delta against and always searches flat."""
 
     # ------------------------------------------------------------------
     def candidate_transitions(
@@ -425,8 +442,12 @@ class Synthesizer:
         if pending:
             supervised = (self.policy is not None
                           or self.journal is not None
+                          or self.fault_plan is not None
                           or self.schedule == "batch")
-            if supervised or (self.jobs > 1 and len(pending) > 1):
+            if self.search == "lattice":
+                computed = self._lattice_verdicts(
+                    [combos[i] for i in pending])
+            elif supervised or (self.jobs > 1 and len(pending) > 1):
                 keys = ([self._verdict_key(combos[i]) for i in pending]
                         if self.journal is not None else None)
                 # No prewarm hook: __init__ already compiled the local
@@ -438,6 +459,7 @@ class Synthesizer:
                     stats=self.stats, policy=self.policy,
                     journal=self.journal, keys=keys,
                     fallback_worker=_combo_verdict_worker,
+                    plan=self.fault_plan,
                     schedule=self.schedule, batch_size=self.batch_size)
             else:
                 computed = [self._evaluate_verdict(combos[i])
@@ -452,13 +474,33 @@ class Synthesizer:
         return [reasons[i] for i in range(len(combos))]
 
     def _verdict_key(self, combo) -> str:
-        # Backend-independent on purpose: both backends produce the
-        # same verdict strings, so cached entries are shared.
+        # Backend- and search-independent on purpose: every strategy
+        # produces the same verdict strings, so cached entries are
+        # shared.  The combination is keyed on its canonical t-arc
+        # bitmask over local-state indices — distinct combinations
+        # whose ``str()`` renderings collide (labels truncate string
+        # cell values to their first character) must not share a key.
+        space = self.protocol.space
+        n = len(space.states)
+        mask = 0
+        for transition in combo:
+            mask |= 1 << (space.index(transition.source) * n
+                          + space.index(transition.target))
         return analysis_key(
             "synthesis-verdict", self.protocol,
             max_ring_size=self.max_ring_size,
             accept_contiguous_only=self.accept_contiguous_only,
-            combo=sorted(str(t) for t in combo))
+            combo=f"{mask:x}")
+
+    def _lattice_verdicts(self, combos: list[tuple[LocalTransition, ...]],
+                          ) -> list[str | None]:
+        """Judge the pending combinations through the incremental
+        lattice engine (see :mod:`repro.engine.synthsearch`)."""
+        if self._lattice is None:
+            from repro.engine.synthsearch import LatticeSearch
+
+            self._lattice = LatticeSearch(self)
+        return self._lattice.verdicts(combos)
 
     # ------------------------------------------------------------------
     def _livelock_verdict(

@@ -60,6 +60,7 @@ from repro.core.trail import (
 from repro.protocol.actions import LocalTransition
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.protocol.localstate import LocalState
     from repro.protocol.ring import RingProtocol
 
 _T, _S, _S_SEGMENT = 0, 1, 2
@@ -195,10 +196,22 @@ class LocalKernel:
 
     # ------------------------------------------------------------------
     def find_trail(self, t_arc_support: Iterable[LocalTransition],
-                   max_ring_size: int) -> TrailWitness | None:
+                   max_ring_size: int,
+                   root_states: Iterable["LocalState"] | None = None,
+                   ) -> TrailWitness | None:
         """Kernel counterpart of
         :meth:`repro.core.trail.ContiguousTrailSearcher.find_trail`:
-        same ``(K, |E|)`` scan order, first witness wins."""
+        same ``(K, |E|)`` scan order, first witness wins.
+
+        *root_states*, when given, restricts the Tarjan roots to the
+        support arcs sourced at those local states — the lattice
+        synthesis engine passes the one arc its delta step added.
+        Every matching SCC uses *each* support arc on some T layer, so
+        any single arc's (source, T-phase) product nodes still reach
+        every candidate component: whether a witness exists, and its
+        ``(K, |E|)``, are unchanged; only the ``states`` of the
+        first-found witness may differ from an unrestricted search.
+        """
         support = frozenset(t_arc_support)
         if not support:
             return None
@@ -232,6 +245,13 @@ class LocalKernel:
         for source, _target in arcs:
             tsrc_mask |= 1 << source
         sources = sorted({source for source, _target in arcs})
+        if root_states is not None:
+            index = self.index
+            rooted = {index[state] for state in root_states
+                      if state in index}
+            rooted.intersection_update(sources)
+            if rooted:
+                sources = sorted(rooted)
 
         with obs.span("trail.search", support=len(arcs),
                       start=start, max_K=max_ring_size) as span:

@@ -57,6 +57,13 @@ _COUNTER_METRICS = {
     "mask_evaluations": "localkernel.mask_evaluations",
     "trail_cache_hits": "localkernel.trail_cache_hits",
     "verdict_cache_hits": "synthesis.verdict_cache_hits",
+    "combos_pruned": "synthsearch.combos_pruned",
+    "full_evaluations": "synthsearch.full_evaluations",
+    "delta_reuses": "synthsearch.delta_reuses",
+    "checkpoint_bytes": "synthsearch.checkpoint_bytes",
+    "blocked_hits": "synthsearch.blocked_hits",
+    "board_loaded": "synthsearch.board_loaded",
+    "board_published": "synthsearch.board_published",
     "fvs_nodes_explored": "fvs.nodes_explored",
     "fvs_nodes_pruned": "fvs.nodes_pruned",
 }
@@ -67,8 +74,8 @@ _STAGE_PREFIX = "stage."
 #: run: every kernel-family counter plus the per-stage timings (child
 #: stage time used to vanish, systematically under-reporting sweeps).
 _CHILD_METRIC_SELECTORS = (
-    "kernel.", "localkernel.", "fvs.", "synthesis.", "artifacts.",
-    _STAGE_PREFIX)
+    "kernel.", "localkernel.", "fvs.", "synthesis.", "synthsearch.",
+    "artifacts.", _STAGE_PREFIX)
 
 
 class _StageSeconds(MutableMapping):
@@ -303,6 +310,17 @@ class EngineStats:
                 f"{self.mask_evaluations} mask evals, "
                 f"{self.trail_cache_hits} trail memo hits, "
                 f"{self.verdict_cache_hits} verdict memo hits")
+        if self.combos_pruned or self.full_evaluations:
+            search = (f"synthsearch {self.combos_pruned} combos pruned / "
+                      f"{self.full_evaluations} evaluated, "
+                      f"{self.delta_reuses} delta reuses, "
+                      f"{self.checkpoint_bytes / 1024:.1f} KiB checkpoints")
+            if self.blocked_hits:
+                search += f", {self.blocked_hits} blocked-mask hits"
+            if self.board_loaded or self.board_published:
+                search += (f", board {self.board_loaded} in / "
+                           f"{self.board_published} out")
+            parts.append(search)
         if (self.artifact_hits or self.artifact_misses
                 or self.artifact_stores or self.artifact_corrupt):
             artifacts = (f"artifacts {self.artifact_hits} attached / "

@@ -1,0 +1,753 @@
+"""Incremental lattice search over candidate t-arc combinations.
+
+The flat synthesis loop (:meth:`repro.core.synthesis.Synthesizer`)
+judges every candidate combination from scratch: rebuild the merged
+transition set, re-check Assumptions 1/2 on a fresh ``Digraph``,
+re-enumerate the pseudo-livelock support closure, and trail-search the
+supports in canonical order.  But the candidate lattice is *monotone* —
+adding a t-arc can only add write-projection cycles, so the support set
+of a combination contains the support set of every sub-combination, and
+a contiguous-trail witness found for a combo is inherited verbatim by
+every superset that does not introduce an earlier-sorting witness.
+
+This module walks the combination list (the deterministic
+``itertools.product`` prefix order) as a lattice: each combination
+extends an already-evaluated parent by exactly one t-arc, and the
+parent's evaluation state is checkpointed in place:
+
+* **support-closure delta** — the parent's support frontier (the
+  union-closure of its elementary pseudo-livelocks) is kept as a shared
+  list with per-node watermarks; a new arc contributes exactly the
+  write-projection cycles *through* that arc, so only unions with those
+  new elements are formed.  The closure cap triggers iff the flat
+  enumeration's cap would (the union count is order-independent), and
+  an exploded node prunes its whole subtree with the identical reason.
+* **canonical witness inheritance** — per node we track the
+  canonically-first witnessing support.  Every support new at a child
+  contains the child's arc, so only new supports sorting *before* the
+  inherited witness are trail-searched; the first hit (or the inherited
+  one) is exactly the flat scan's first witness, making rejection
+  strings byte-identical to the flat path.
+* **delta-rooted trail search** — a new support's masked-Tarjan pass is
+  rooted at the new arc's (source, T-phase) product nodes only
+  (:meth:`repro.engine.localkernel.LocalKernel.find_trail` with
+  ``root_states``): every matching SCC must use the arc, so restricted
+  roots still reach every candidate component.
+* **monotone up-set pruning** — witnessing supports are indexed in a
+  subset-closed :class:`BlockedMaskIndex` (popcount-bucketed t-arc
+  bitmasks); any node whose transition mask covers an indexed mask
+  seeds its witness scan with that entry, bounding the scan without a
+  single trail query.  Combinations rejected without any leaf-level
+  trail query count as ``synthsearch.combos_pruned``; the witness is
+  the recorded prune justification.
+
+Parallel runs partition the pending combinations into contiguous
+subtree work units dispatched through
+:func:`repro.engine.supervisor.supervise_work_items` (task, batch and
+serial schedules alike); each unit is evaluated self-contained, so
+verdicts are byte-identical for every ``--jobs``/``--schedule``
+setting.  Under a :class:`repro.engine.journal.RunJournal` the units
+additionally exchange exact trail results through a :class:`PruneBoard`
+(an append-only ``prunes.jsonl`` next to the journal): workers publish
+newly searched support heads after each unit and absorb the board's
+delta before the next one, so prune knowledge crosses process
+boundaries between batches.  The board only ever short-circuits
+searches whose outcome is already known — correctness never depends on
+it — and resumed runs replay it alongside the journaled unit verdicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from repro.core.pseudolivelock import elementary_pseudo_livelocks
+from repro.core.selfdisabling import local_transition_graph
+from repro.engine.fingerprint import analysis_key
+from repro.engine.supervisor import supervise_work_items
+from repro.graphs import has_cycle
+from repro.obs import runtime as obs
+from repro.protocol.actions import LocalTransition
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.synthesis import Synthesizer
+
+#: Support-closure cap — must match the default ``max_supports`` of
+#: :func:`repro.core.pseudolivelock.pseudo_livelock_supports`, which the
+#: flat path calls without an override.
+MAX_SUPPORTS = 4096
+
+#: The flat path surfaces :class:`SupportExplosion` via ``str()``; the
+#: union count is order-independent, so whenever the incremental closure
+#: trips the cap the flat enumeration trips it too, with this message.
+EXPLOSION_REASON = (f"more than {MAX_SUPPORTS} pseudo-livelock supports; "
+                    f"raise max_supports or reduce the candidate set")
+
+_BIDIRECTIONAL_REASON = (
+    "bidirectional ring: Theorem 5.14 only excludes contiguous "
+    "livelocks; pass accept_contiguous_only=True to accept such "
+    "certificates anyway")
+
+#: Sentinel: the combination batch violates the candidate-pool
+#: invariants the lattice relies on — fall back to flat evaluation.
+_INVALID_POOL = object()
+
+#: Counter names accumulated per work unit (keys of the delta dicts the
+#: unit workers return; also flat :class:`repro.engine.EngineStats`
+#: attribute names).
+COUNTER_NAMES = ("combos_pruned", "full_evaluations", "delta_reuses",
+                 "checkpoint_bytes", "blocked_hits", "board_loaded",
+                 "board_published")
+
+#: Deterministic per-support checkpoint cost estimate: list slot +
+#: frozenset header plus one word per member.
+_SUPPORT_BYTES_BASE = 56
+_SUPPORT_BYTES_PER_ARC = 8
+
+
+def _lattice_unit_worker(synthesizer: "Synthesizer",
+                         unit: Sequence[tuple]) -> tuple:
+    """Module-level worker for :func:`supervise_work_items`."""
+    return synthesizer._lattice.evaluate_unit(list(unit))
+
+
+class BlockedMaskIndex:
+    """Subset-closed index of witnessing-support t-arc bitmasks.
+
+    Entries are stride-bucketed by popcount so a cover query only scans
+    buckets that can fit under the queried mask.  ``covers_min`` returns
+    the canonically-first indexed support contained in the query — an
+    upper bound on the node's first witness that is sound because a
+    support is witnessing intrinsically (the trail search depends only
+    on the support itself, never on the surrounding combination).
+    """
+
+    __slots__ = ("_buckets", "_masks")
+
+    def __init__(self) -> None:
+        self._buckets: dict[int, list[tuple]] = {}
+        self._masks: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._masks)
+
+    def add(self, mask: int, key: tuple,
+            support: frozenset[LocalTransition], head: tuple) -> None:
+        if mask in self._masks:
+            return
+        self._masks.add(mask)
+        self._buckets.setdefault(mask.bit_count(), []).append(
+            (mask, key, support, head))
+
+    def covers_min(self, mask: int) -> tuple | None:
+        """The minimal-key ``(key, support, head)`` whose mask is a
+        subset of *mask*, or ``None``."""
+        best: tuple | None = None
+        popcount = mask.bit_count()
+        for count, bucket in self._buckets.items():
+            if count > popcount:
+                continue
+            for entry_mask, key, support, head in bucket:
+                if entry_mask & mask == entry_mask \
+                        and (best is None or key < best[0]):
+                    best = (key, support, head)
+        return best
+
+
+class PruneBoard:
+    """Append-only cross-process exchange of trail-search results.
+
+    One JSONL file next to the run journal; each line records a support
+    (as sorted ``[source_index, target_index]`` pairs — stable across
+    processes, unlike in-process bit assignments), the ring-size bound
+    scanned, and the witness head ``[K, |E|]`` (``null`` when the scan
+    was empty).  Readers consume incrementally from their last offset
+    and tolerate torn tails and damaged lines; writers append whole
+    lines with ``O_APPEND``.  Everything on the board is an exact
+    result, so absorbing it can only skip searches, never change them.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._published: set[frozenset[tuple[int, int]]] = set()
+
+    def load_new(self) -> list[tuple]:
+        """New complete entries since the last load, as
+        ``(pair_key, bound, head | None)`` tuples."""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(self._offset)
+                data = handle.read()
+        except OSError:
+            return []
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []
+        chunk = data[:end + 1]
+        self._offset += len(chunk)
+        entries: list[tuple] = []
+        for line in chunk.splitlines():
+            try:
+                record = json.loads(line)
+                key = frozenset((int(s), int(t)) for s, t in record["a"])
+                bound = int(record["b"])
+                head = record["h"]
+                if head is not None:
+                    head = (int(head[0]), int(head[1]))
+            except (KeyError, TypeError, ValueError, IndexError):
+                continue  # damaged line: costs the entry, never the run
+            entries.append((key, bound, head))
+            self._published.add(key)
+        return entries
+
+    def publish(self, entries: Iterable[tuple]) -> int:
+        """Append *entries* not already on the board; returns the count."""
+        lines = []
+        for key, bound, head in entries:
+            if key in self._published:
+                continue
+            self._published.add(key)
+            lines.append(json.dumps({
+                "a": sorted([source, target] for source, target in key),
+                "b": bound,
+                "h": list(head) if head is not None else None,
+            }, sort_keys=True))
+        if not lines:
+            return 0
+        blob = "".join(line + "\n" for line in lines).encode()
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, blob)
+        finally:
+            os.close(fd)
+        return len(lines)
+
+
+class _Node:
+    """One checkpointed lattice position (the path's last t-arc)."""
+
+    __slots__ = ("arc", "mask", "frontier_mark", "seen_added",
+                 "graph_added", "exploded", "witness", "queried")
+
+    def __init__(self, arc: LocalTransition | None) -> None:
+        self.arc = arc
+        self.mask = 0
+        self.frontier_mark = 0
+        self.seen_added: list[frozenset] = []
+        self.graph_added = False
+        self.exploded = False
+        #: ``(canonical key, support, (K, |E|))`` of the canonically
+        #: first witnessing support, or ``None``.  Invariant: every
+        #: support of this node sorting before the witness has been
+        #: verified trail-free, so the witness is exactly what the flat
+        #: scan reports.
+        self.witness: tuple | None = None
+        self.queried = False
+
+
+class LatticeWalker:
+    """Prefix-stack evaluator over the candidate lattice.
+
+    Maintains the shared mutable evaluation state — write-projection
+    multigraph, support frontier with watermarks, global ``seen`` set,
+    trail-head memo — with strict push/pop undo discipline, so walking
+    the combination list in product order re-evaluates only the suffix
+    that changed.  All node values (explosion flag, witness, leaf
+    queried flag) are intrinsic to the node's transition set, which is
+    what keeps verdicts independent of how the walk is partitioned
+    into work units.
+    """
+
+    def __init__(self, kernel, base_transitions, max_ring_size: int,
+                 counts: dict[str, int | float],
+                 publishing: bool = False) -> None:
+        self.kernel = kernel
+        self.base = tuple(base_transitions)
+        self.max_ring_size = max_ring_size
+        self.counts = counts
+        self.publishing = publishing
+        self.blocked = BlockedMaskIndex()
+        self._graph: dict[Any, dict[Any, list[LocalTransition]]] = {}
+        self._frontier: list[frozenset] = []
+        self._seen: set[frozenset] = set()
+        self._canon: dict[frozenset, tuple] = {}
+        self._reprs: dict[LocalTransition, str] = {}
+        self._pairs: dict[LocalTransition, tuple[int, int]] = {}
+        self._by_pair: dict[tuple[int, int], LocalTransition] = {}
+        self._bits: dict[LocalTransition, int] = {}
+        #: pair-key -> (ring-size bound scanned, (K, |E|) head | None).
+        self._heads: dict[frozenset[tuple[int, int]], tuple] = {}
+        self._unpublished: list[tuple] = []
+        self._stack: list[_Node] = []
+        self._path: list[LocalTransition] = []
+
+    # -- shared encodings ----------------------------------------------
+    def _pair(self, transition: LocalTransition) -> tuple[int, int]:
+        pair = self._pairs.get(transition)
+        if pair is None:
+            index = self.kernel.index
+            pair = (index[transition.source], index[transition.target])
+            self._pairs[transition] = pair
+            self._by_pair[pair] = transition
+        return pair
+
+    def _bit(self, transition: LocalTransition) -> int:
+        bit = self._bits.get(transition)
+        if bit is None:
+            bit = 1 << len(self._bits)
+            self._bits[transition] = bit
+        return bit
+
+    def _mask(self, transitions: Iterable[LocalTransition]) -> int:
+        mask = 0
+        for transition in transitions:
+            mask |= self._bit(transition)
+        return mask
+
+    def _canon_key(self, support: frozenset) -> tuple:
+        key = self._canon.get(support)
+        if key is None:
+            reprs = self._reprs
+            parts = []
+            for transition in support:
+                text = reprs.get(transition)
+                if text is None:
+                    text = reprs[transition] = repr(transition)
+                parts.append(text)
+            parts.sort()
+            key = (len(support), parts)
+            self._canon[support] = key
+        return key
+
+    # -- cross-unit knowledge ------------------------------------------
+    def absorb(self, entries: Iterable[tuple]) -> None:
+        """Fold :class:`PruneBoard` entries into the head memo (and,
+        when the support's arcs are known locally, the blocked index)."""
+        for key, bound, head in entries:
+            known = self._heads.get(key)
+            if known is None or (known[1] is None and head is not None) \
+                    or (known[1] is None and head is None
+                        and bound > known[0]):
+                self._heads[key] = (bound, head)
+            if head is None:
+                continue
+            try:
+                support = frozenset(self._by_pair[pair] for pair in key)
+            except KeyError:
+                continue  # arcs from a part of the lattice not seen here
+            self.blocked.add(self._mask(support), self._canon_key(support),
+                             support, head)
+
+    def take_unpublished(self) -> list[tuple]:
+        taken, self._unpublished = self._unpublished, []
+        return taken
+
+    # -- trail queries -------------------------------------------------
+    def _trail_head(self, support: frozenset,
+                    arc: LocalTransition | None) -> tuple | None:
+        key = frozenset(self._pair(t) for t in support)
+        memo = self._heads.get(key)
+        if memo is not None:
+            bound, head = memo
+            if head is not None:
+                return head if head[0] <= self.max_ring_size else None
+            if self.max_ring_size <= bound:
+                return None
+        roots = (arc.source,) if arc is not None else None
+        witness = self.kernel.find_trail(support, self.max_ring_size,
+                                         root_states=roots)
+        head = (witness.ring_size, witness.enablements) \
+            if witness is not None else None
+        self._heads[key] = (self.max_ring_size, head)
+        if self.publishing:
+            self._unpublished.append((key, self.max_ring_size, head))
+        return head
+
+    # -- new-element enumeration ---------------------------------------
+    def _cycles_through(self, arc: LocalTransition) -> list[frozenset]:
+        """The elementary pseudo-livelocks through *arc*: node-simple
+        write-projection cycles using the arc, expanded over parallel
+        edge choices — exactly the elements new to the merged set."""
+        start = arc.target.own
+        goal = arc.source.own
+        if start == goal:
+            return [frozenset((arc,))]
+        graph = self._graph
+        results: list[frozenset] = []
+        path_keys: list[LocalTransition] = []
+        visited = {start}
+
+        def walk(node: Any) -> None:
+            for succ, keys in graph.get(node, {}).items():
+                if succ == goal:
+                    for key in keys:
+                        results.append(frozenset((arc, *path_keys, key)))
+                    continue
+                if succ == start or succ in visited:
+                    continue
+                visited.add(succ)
+                for key in keys:
+                    path_keys.append(key)
+                    walk(succ)
+                    path_keys.pop()
+                visited.discard(succ)
+
+        walk(start)
+        return results
+
+    # -- push / pop ----------------------------------------------------
+    def ensure_root(self) -> None:
+        """Evaluate the base transition set once; reused by every
+        combination, every resolve set and every work unit."""
+        if self._stack:
+            return
+        self._graph = {}
+        self._frontier = [frozenset()]
+        self._seen = {frozenset()}
+        for transition in self.base:
+            self._graph.setdefault(transition.source.own, {}) \
+                .setdefault(transition.target.own, []).append(transition)
+        self._apply(None, elementary_pseudo_livelocks(self.base))
+
+    def _apply(self, arc: LocalTransition | None,
+               elements: list[frozenset]) -> _Node:
+        node = _Node(arc)
+        parent = self._stack[-1] if self._stack else None
+        node.mask = (parent.mask if parent is not None else 0)
+        if arc is not None:
+            node.mask |= self._bit(arc)
+        node.frontier_mark = len(self._frontier)
+        if parent is not None and parent.exploded:
+            node.exploded = True
+            self._stack.append(node)
+            return node
+
+        counts = self.counts
+        added_bytes = 0
+        frontier, seen = self._frontier, self._seen
+        for element in elements:
+            limit = len(frontier)  # unions only with the pre-element set
+            for i in range(limit):
+                union = frontier[i] | element
+                if union in seen:
+                    continue
+                seen.add(union)
+                node.seen_added.append(union)
+                frontier.append(union)
+                added_bytes += (_SUPPORT_BYTES_BASE
+                                + _SUPPORT_BYTES_PER_ARC * len(union))
+                if len(seen) > MAX_SUPPORTS:
+                    node.exploded = True
+                    break
+            if node.exploded:
+                break
+        counts["checkpoint_bytes"] += added_bytes
+        if node.exploded:
+            self._stack.append(node)
+            return node
+
+        inherited = parent.witness if parent is not None else None
+        best = inherited
+        news = frontier[node.frontier_mark:]
+        if news:
+            shortest = min(len(support) for support in news)
+            # The shortcut and the ``queried`` flag are judged against
+            # the *inherited* witness only: whether a node needed new
+            # support examination is intrinsic to its transition set,
+            # so the pruned/evaluated split is identical for every
+            # jobs/schedule partitioning.  The blocked-index seed only
+            # decides how far the examination actually searches.
+            if inherited is None or shortest <= inherited[0][0]:
+                # A blocked-index hit below the inherited key can only
+                # exist when new supports do (every covered entry is a
+                # support of this node, and supports at or above the
+                # inherited key never matter), so the index is consulted
+                # exactly when the scan runs.
+                hit = self.blocked.covers_min(node.mask)
+                if hit is not None and (best is None or hit[0] < best[0]):
+                    best = hit
+                    counts["blocked_hits"] += 1
+                for support in sorted(news, key=self._canon_key):
+                    key = self._canon_key(support)
+                    if inherited is not None and key >= inherited[0]:
+                        break
+                    node.queried = True
+                    if best is not inherited and key >= best[0]:
+                        break  # the blocked seed is the first witness
+                    head = self._trail_head(support, arc)
+                    if head is not None:
+                        best = (key, support, head)
+                        self.blocked.add(self._mask(support), key,
+                                         support, head)
+                        break
+        node.witness = best
+        self._stack.append(node)
+        return node
+
+    def _push(self, arc: LocalTransition) -> None:
+        self.counts["delta_reuses"] += 1
+        parent = self._stack[-1]
+        if parent.exploded:
+            self._apply(arc, [])
+        else:
+            source, target = arc.source.own, arc.target.own
+            self._graph.setdefault(source, {}) \
+                .setdefault(target, []).append(arc)
+            elements = self._cycles_through(arc)
+            node = self._apply(arc, elements)
+            node.graph_added = True
+        self._path.append(arc)
+
+    def _rewind(self, depth: int) -> None:
+        """Pop nodes until only *depth* arcs remain above the root."""
+        while len(self._stack) > depth + 1:
+            node = self._stack.pop()
+            self._path.pop()
+            del self._frontier[node.frontier_mark:]
+            for support in node.seen_added:
+                self._seen.discard(support)
+            if node.graph_added:
+                arc = node.arc
+                bucket = self._graph[arc.source.own][arc.target.own]
+                bucket.pop()  # strict LIFO: this node appended last
+                if not bucket:
+                    del self._graph[arc.source.own][arc.target.own]
+                    if not self._graph[arc.source.own]:
+                        del self._graph[arc.source.own]
+
+    # -- verdicts ------------------------------------------------------
+    def verdicts(self, combos: Sequence[tuple]) -> list[str | None]:
+        """Reasons for *combos* in order (``None`` = accepted), sharing
+        checkpoints along common prefixes — state persists across calls,
+        so consecutive batches keep extending the same trail."""
+        self.ensure_root()
+        out: list[str | None] = []
+        for combo in combos:
+            shared = 0
+            for shared, (have, want) in enumerate(zip(self._path, combo)):
+                if have != want:
+                    break
+            else:
+                shared = min(len(self._path), len(combo))
+            self._rewind(shared)
+            for arc in combo[shared:]:
+                self._push(arc)
+            out.append(self._leaf_reason())
+        return out
+
+    def _leaf_reason(self) -> str | None:
+        node = self._stack[-1]
+        counts = self.counts
+        if node.exploded:
+            counts["combos_pruned" if not node.queried
+                   else "full_evaluations"] += 1
+            return EXPLOSION_REASON
+        if node.witness is None:
+            counts["full_evaluations"] += 1
+            return None
+        if node.queried:
+            counts["full_evaluations"] += 1
+        else:
+            counts["combos_pruned"] += 1
+        _key, support, head = node.witness
+        return ("pseudo-livelock {"
+                + ", ".join(sorted(t.label or str(t) for t in support))
+                + f"}} forms a contiguous trail (K={head[0]}, "
+                  f"|E|={head[1]})")
+
+
+class LatticeSearch:
+    """Facade tying one :class:`Synthesizer` to the lattice engine.
+
+    Owns the walker, the uniform assumption short-circuits, the work
+    unit partitioning and the supervised dispatch; verdict strings are
+    byte-identical to :meth:`Synthesizer._kernel_verdict` by
+    construction (the differential suite pins this).
+    """
+
+    def __init__(self, synthesizer: "Synthesizer") -> None:
+        self.synthesizer = synthesizer
+        self.protocol = synthesizer.protocol
+        self.kernel = synthesizer._kernel
+        self.base_transitions = synthesizer._base_transitions
+        self.base_deadlocks = synthesizer._base_deadlocks
+        self.max_ring_size = synthesizer.max_ring_size
+        self.stats = synthesizer.stats
+        self.jobs = synthesizer.jobs
+        self.policy = synthesizer.policy
+        self.journal = synthesizer.journal
+        self.schedule = synthesizer.schedule
+        self.batch_size = synthesizer.batch_size
+        self.fault_plan = getattr(synthesizer, "fault_plan", None)
+        self._name = f"{self.protocol.name}_ss"
+        self._base_cyclic = has_cycle(
+            local_transition_graph(self.base_transitions))
+        self._base_self_enabling = any(
+            t.target not in self.base_deadlocks
+            for t in self.base_transitions)
+        self._uniform_memo: dict[frozenset, Any] = {}
+        self._counts: dict[str, int | float] = \
+            {name: 0 for name in COUNTER_NAMES}
+        self._board = None
+        if self.journal is not None:
+            self._board = PruneBoard(
+                Path(self.journal.directory) / "prunes.jsonl")
+        self._walker = LatticeWalker(
+            self.kernel, self.base_transitions, self.max_ring_size,
+            self._counts, publishing=self._board is not None)
+
+    # -- uniform short-circuits ----------------------------------------
+    def _uniform_reason(self, combos: Sequence[tuple]) -> Any:
+        """A reason shared by the whole batch, ``None`` when the lattice
+        must walk, or :data:`_INVALID_POOL` when the candidate-pool
+        invariants do not hold and flat evaluation must take over.
+
+        Candidate targets are merged-LTG sinks (base local deadlocks
+        outside the source set), so for full combinations Assumption 1
+        reduces to the base graph's cyclicity and Assumption 2 to a
+        base-only scan — both independent of which candidates were
+        picked, with the exact flat reason strings.
+        """
+        if not self.protocol.unidirectional \
+                and not self.synthesizer.accept_contiguous_only:
+            return _BIDIRECTIONAL_REASON
+        sources = frozenset(t.source for t in combos[0])
+        cached = self._uniform_memo.get(sources)
+        arcs = {t for combo in combos for t in combo}
+        for combo in combos:
+            if len(combo) != len(sources) \
+                    or {t.source for t in combo} != sources:
+                return _INVALID_POOL
+        for arc in arcs:
+            if arc.target not in self.base_deadlocks \
+                    or arc.target in sources or arc.source not in sources:
+                return _INVALID_POOL
+        if cached is not None:
+            return cached[0]
+        if self._base_cyclic:
+            reason = (f"protocol {self._name!r} is not self-terminating "
+                      f"(Assumption 1)")
+        elif self._base_self_enabling or any(
+                t.target in sources for t in self.base_transitions):
+            reason = (f"protocol {self._name!r} has self-enabling local "
+                      f"transitions (Assumption 2); apply "
+                      f"make_self_disabling() first")
+        else:
+            reason = None
+        self._uniform_memo[sources] = (reason,)
+        return reason
+
+    # -- work units ----------------------------------------------------
+    def _plan_units(self, combos: Sequence[tuple]) -> list[tuple[int, int]]:
+        """Contiguous subtree ranges: group by deepening arc prefixes
+        until there are enough units to keep every worker fed."""
+        if len(combos) <= 1:
+            return [(0, len(combos))]
+        target = min(len(combos), max(4 * max(self.jobs, 1), 4))
+        width = len(combos[0])
+        ranges = [(0, len(combos))]
+        for depth in range(1, width + 1):
+            cuts = [0]
+            for i in range(1, len(combos)):
+                if combos[i][:depth] != combos[i - 1][:depth]:
+                    cuts.append(i)
+            cuts.append(len(combos))
+            ranges = list(zip(cuts, cuts[1:]))
+            if len(ranges) >= target:
+                break
+        return ranges
+
+    def _unit_key(self, unit: Sequence[tuple]) -> str:
+        walker = self._walker
+        payload = [[list(walker._pair(t)) for t in combo] for combo in unit]
+        digest = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()).hexdigest()
+        return analysis_key(
+            "synthsearch-unit", self.protocol,
+            max_ring_size=self.max_ring_size,
+            accept_contiguous_only=self.synthesizer.accept_contiguous_only,
+            unit=digest)
+
+    def _prewarm(self) -> None:
+        """Build the root checkpoint in-parent so forked workers
+        inherit it hot instead of re-deriving it per unit."""
+        self._walker.ensure_root()
+
+    def _fold(self, delta: dict[str, Any] | None) -> None:
+        if not delta:
+            return
+        stats = self.stats
+        for name, value in delta.items():
+            if name not in COUNTER_NAMES or not value:
+                continue
+            setattr(stats, name, getattr(stats, name) + value)
+            obs.metric(f"synthsearch.{name}", value)
+
+    # -- entry points --------------------------------------------------
+    def evaluate_unit(self, combos: Sequence[tuple]) -> tuple:
+        """One work unit: absorb the prune board, walk the unit's
+        combinations, publish new trail results.  Returns
+        ``(reasons, counter_delta)`` — both JSON/pickle-safe, so the
+        journal can replay the unit (verdicts *and* counters) on
+        resume."""
+        counts = self._counts
+        before = dict(counts)
+        if self._board is not None:
+            entries = self._board.load_new()
+            if entries:
+                self._walker.absorb(entries)
+                counts["board_loaded"] += len(entries)
+                obs.event("prune-broadcast", entries=len(entries),
+                          source="load")
+        reasons = self._walker.verdicts([tuple(c) for c in combos])
+        if self._board is not None:
+            published = self._board.publish(self._walker.take_unpublished())
+            if published:
+                counts["board_published"] += published
+                obs.event("prune-broadcast", entries=published,
+                          source="publish")
+        delta = {name: counts[name] - before.get(name, 0)
+                 for name in COUNTER_NAMES if counts[name] != before.get(name, 0)}
+        return reasons, delta
+
+    def verdicts(self, combos: Sequence[tuple]) -> list[str | None]:
+        """Lattice verdicts for *combos* (the pending subset of one
+        deterministic enumeration), dispatching subtree work units
+        through the supervisor when parallel or supervised."""
+        synthesizer = self.synthesizer
+        uniform = self._uniform_reason(combos)
+        if uniform is _INVALID_POOL:
+            return [synthesizer._evaluate_verdict(combo)
+                    for combo in combos]
+        if uniform is not None:
+            self._fold({"combos_pruned": len(combos)})
+            return [uniform] * len(combos)
+        units = self._plan_units(combos)
+        supervised = (self.policy is not None or self.journal is not None
+                      or self.fault_plan is not None
+                      or self.schedule == "batch")
+        if supervised or (self.jobs > 1 and len(units) > 1):
+            items = [combos[start:end] for start, end in units]
+            keys = ([self._unit_key(item) for item in items]
+                    if self.journal is not None else None)
+            results = supervise_work_items(
+                _lattice_unit_worker, items, jobs=self.jobs,
+                context=synthesizer, stats=self.stats,
+                policy=self.policy, journal=self.journal, keys=keys,
+                fallback_worker=_lattice_unit_worker,
+                plan=self.fault_plan,
+                schedule=self.schedule, batch_size=self.batch_size,
+                prewarm=self._prewarm)
+            reasons: list[str | None] = []
+            for unit_reasons, delta in results:
+                self._fold(delta)
+                reasons.extend(unit_reasons)
+            return reasons
+        unit_reasons, delta = self.evaluate_unit(combos)
+        self._fold(delta)
+        return unit_reasons

@@ -62,6 +62,11 @@ HEALTH_COUNTERS = (
 #: example, varies with the adaptive batch sizing and must not).
 WORK_COUNTERS = (
     "work_items", "states_explored",
+    # Lattice-search split: both are intrinsic to the candidate set
+    # (judged against the inherited witness chain, never against the
+    # scheduling-dependent blocked-mask index), so any drift on a
+    # matched identity is a pruning regression, not partition noise.
+    "combos_pruned", "full_evaluations",
 )
 
 #: (hits, misses) counter pairs folded into hit rates.

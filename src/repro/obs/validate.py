@@ -89,6 +89,7 @@ _EVENT_REQUIRED_FIELDS = {
     "checkpoint": ("run_id", "key", "seq"),
     "batch-requeued": ("worker", "items"),
     "artifact-corrupt": ("artifact", "path", "reason"),
+    "prune-broadcast": ("entries", "source"),
 }
 
 _EVENT_LEVELS = ("info", "warning", "error")
@@ -133,8 +134,15 @@ def validate_run_log_records(records: list[dict[str, Any]]) -> dict[str, int]:
                      f"(previous depth {previous_depth})")
             previous_depth = depth
         elif kind == "metrics":
-            _require(isinstance(record.get("values"), dict),
+            values = record.get("values")
+            _require(isinstance(values, dict),
                      f"metrics record {i} lacks a 'values' object")
+            for key, value in values.items():
+                if isinstance(key, str) and key.startswith("synthsearch."):
+                    _require(isinstance(value, (int, float))
+                             and not isinstance(value, bool),
+                             f"metrics record {i} key {key!r} must be "
+                             f"numeric")
         elif kind == "event":
             _validate_event(record, f"event record {i}")
     _require(counts.get("run", 0) == 1, "expected exactly one 'run' record")

@@ -31,6 +31,7 @@ from __future__ import annotations
 import pytest
 
 from repro.checker.sweep import sweep_verify
+from repro.core.synthesis import Synthesizer
 from repro.engine.journal import RunJournal
 from repro.engine.pool import parallelism_available
 from repro.engine.supervisor import FaultPlan, SupervisorPolicy
@@ -192,6 +193,141 @@ class TestFaultsNeverChangeVerdicts:
         _assert_no_divergence(_sample("kill-resume", seed),
                               "kill-resume", tmp_path,
                               _schedule_for(seed))
+
+
+# ----------------------------------------------------------------------
+# the same faults against the lattice synthesis search
+# ----------------------------------------------------------------------
+#: Seeds per failure mode for the synthesis-side property; the lattice
+#: engine partitions the combination list into subtree work units, so
+#: the same crash/hang/kill-resume ladder must leave synthesis verdicts
+#: AND the intrinsic pruned/evaluated counter split untouched.
+SYNTH_SEEDS = 6
+SYNTH_MAX_RING = 4
+
+
+def _synth_sample(mode: str, seed: int):
+    block = FAILURE_MODES.index(mode)
+    sampler = ProtocolSampler(max_domain=3, max_transitions=6,
+                              seed=5000 + 1000 * block + seed)
+    return sampler.sample()
+
+
+def _synth_comparable(result):
+    return (
+        result.outcome,
+        result.resolve,
+        result.chosen,
+        tuple((r.transitions, r.reason) for r in result.rejected),
+        result.resolve_sets_tried,
+        None if result.protocol is None else result.protocol.name,
+    )
+
+
+def _synth_flat_reference(protocol):
+    """The trusted result: serial flat search, no supervision."""
+    return _synth_comparable(
+        Synthesizer(protocol, max_ring_size=SYNTH_MAX_RING,
+                    search="flat").synthesize())
+
+
+def _synth_unfaulted(protocol, schedule: str):
+    """Unfaulted lattice run at the faulted runs' parallelism: the
+    counter-split oracle.  The pruned/evaluated split is intrinsic per
+    judged combination, and ``jobs`` fixes which combinations the
+    speculative batches judge, so every faulted ``jobs=2`` run below
+    must reproduce this run's split exactly."""
+    synthesizer = Synthesizer(protocol, max_ring_size=SYNTH_MAX_RING,
+                              search="lattice", jobs=2,
+                              schedule=schedule)
+    comparable = _synth_comparable(synthesizer.synthesize())
+    stats = synthesizer.stats
+    return comparable, (stats.combos_pruned, stats.full_evaluations)
+
+
+def _synth_supervised(protocol, mode: str, tmp_path, schedule: str):
+    policy = SupervisorPolicy(retries=2, backoff=0.01)
+    if mode == "crash":
+        synthesizer = Synthesizer(
+            protocol, max_ring_size=SYNTH_MAX_RING, search="lattice",
+            jobs=2, policy=policy, schedule=schedule,
+            fault_plan=FaultPlan(crash_items=frozenset({0, 2})))
+    elif mode == "timeout":
+        synthesizer = Synthesizer(
+            protocol, max_ring_size=SYNTH_MAX_RING, search="lattice",
+            jobs=2, schedule=schedule,
+            policy=SupervisorPolicy(timeout=0.5, retries=2,
+                                    backoff=0.01),
+            fault_plan=FaultPlan(hang_items=frozenset({1}),
+                                 hang_seconds=30.0))
+    elif mode == "kill-resume":
+        journal = RunJournal.create(tmp_path, run_id="synthprop")
+        dying = Synthesizer(
+            protocol, max_ring_size=SYNTH_MAX_RING,
+            search="lattice", jobs=1, policy=policy,
+            journal=journal, schedule=schedule,
+            fault_plan=FaultPlan(
+                die_after_checkpoints=1,
+                die=lambda status: (_ for _ in ()).throw(
+                    ParentDown(status))))
+        try:
+            result = dying.synthesize()
+        except ParentDown:
+            pass
+        else:
+            # Nothing ever reached the supervised unit loop (e.g. a
+            # combination-free methodology outcome): there is no resume
+            # cycle to exercise, just a verdict to check.
+            assert len(RunJournal.resume(tmp_path, "synthprop")) == 0
+            return (_synth_comparable(result),
+                    (dying.stats.combos_pruned,
+                     dying.stats.full_evaluations))
+        rerun = RunJournal.resume(tmp_path, "synthprop")
+        assert len(rerun) >= 1, "died before the first unit checkpoint"
+        synthesizer = Synthesizer(
+            protocol, max_ring_size=SYNTH_MAX_RING, search="lattice",
+            jobs=2, policy=policy, journal=rerun, schedule=schedule)
+        result = synthesizer.synthesize()
+        # Journaled units are answered from the journal — their
+        # verdicts AND counter deltas replay instead of re-running, so
+        # the resumed totals must still match the unfaulted split.
+        assert synthesizer.stats.supervisor_resumed >= 1
+        return (_synth_comparable(result),
+                (synthesizer.stats.combos_pruned,
+                 synthesizer.stats.full_evaluations))
+    else:  # pragma: no cover - harness guard
+        raise AssertionError(f"unknown mode {mode!r}")
+    result = synthesizer.synthesize()
+    return (_synth_comparable(result),
+            (synthesizer.stats.combos_pruned,
+             synthesizer.stats.full_evaluations))
+
+
+def _assert_lattice_fault_free(seed: int, mode: str, tmp_path) -> None:
+    protocol = _synth_sample(mode, seed)
+    schedule = _schedule_for(seed)
+    reference = _synth_flat_reference(protocol)
+    unfaulted, counters = _synth_unfaulted(protocol, schedule)
+    assert unfaulted == reference, \
+        "unfaulted lattice diverged from the flat reference"
+    faulted, faulted_counters = _synth_supervised(
+        protocol, mode, tmp_path, schedule)
+    assert faulted == reference, \
+        f"lattice search diverged under injected {mode}"
+    assert faulted_counters == counters, \
+        f"pruned/evaluated split drifted under injected {mode}"
+
+
+@pytest.mark.parametrize("seed", range(SYNTH_SEEDS))
+class TestLatticeSearchUnderFaults:
+    def test_worker_crashes(self, seed, tmp_path):
+        _assert_lattice_fault_free(seed, "crash", tmp_path)
+
+    def test_hangs_under_timeout(self, seed, tmp_path):
+        _assert_lattice_fault_free(seed, "timeout", tmp_path)
+
+    def test_kill_resume_replays_prune_state(self, seed, tmp_path):
+        _assert_lattice_fault_free(seed, "kill-resume", tmp_path)
 
 
 # ----------------------------------------------------------------------

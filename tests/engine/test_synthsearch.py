@@ -1,0 +1,375 @@
+"""Differential suite for the incremental lattice synthesis search.
+
+The flat per-combination loop is the reference; the lattice walk
+(:mod:`repro.engine.synthsearch`) must reproduce it exactly:
+
+* byte-identical :class:`SynthesisResult` surfaces (outcome, Resolve,
+  chosen combination, rejected list with reasons) on every bundled
+  protocol and on >= 40 seeded random protocols;
+* prune soundness — every combination the lattice answered without a
+  leaf-level trail query must get the identical verdict from an
+  un-memoized flat evaluation;
+* determinism — verdicts *and* the pruned/evaluated counter split are
+  identical across ``--jobs 1/2/4`` x ``--schedule task/batch``.
+
+Plus unit coverage for the engine's parts: the subset-closed
+:class:`BlockedMaskIndex`, the append-only :class:`PruneBoard` (torn
+tails, damaged lines, incremental offsets), the support-closure
+explosion cap, and the ``_verdict_key`` bitmask regression (labels
+truncate string cell values, so distinct combos used to collide).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.core.synthesis import Synthesizer
+from repro.engine.pool import parallelism_available
+from repro.engine.synthsearch import (
+    EXPLOSION_REASON,
+    MAX_SUPPORTS,
+    BlockedMaskIndex,
+    LatticeSearch,
+    PruneBoard,
+)
+from repro.protocol.actions import LocalTransition
+from repro.protocol.localstate import LocalState
+from repro.protocol.process import ProcessTemplate
+from repro.protocol.ring import RingProtocol
+from repro.protocol.variables import Variable
+from repro.protocols import (
+    agreement,
+    generalizable_matching,
+    gouda_acharya_matching,
+    livelock_agreement,
+    matching_base,
+    nongeneralizable_matching,
+    stabilizing_agreement,
+    stabilizing_sum_not_two,
+    sum_not_two,
+    three_coloring,
+    two_coloring,
+)
+from repro.randomgen import ProtocolSampler
+
+BUNDLED = (
+    matching_base,
+    generalizable_matching,
+    nongeneralizable_matching,
+    gouda_acharya_matching,
+    agreement,
+    livelock_agreement,
+    stabilizing_agreement,
+    two_coloring,
+    three_coloring,
+    sum_not_two,
+    stabilizing_sum_not_two,
+)
+
+RANDOM_SEEDS = tuple(range(8))
+SAMPLES_PER_SEED = 5  # 8 x 5 = 40 random protocols, the suite's floor
+RANDOM_MAX_RING = 5
+
+
+def _comparable(result):
+    """The search-independent surface of a SynthesisResult."""
+    return (
+        result.outcome,
+        result.resolve,
+        result.chosen,
+        tuple((r.transitions, r.reason) for r in result.rejected),
+        result.resolve_sets_tried,
+        None if result.protocol is None else result.protocol.name,
+    )
+
+
+def _sampled(seed: int, count: int):
+    sampler = ProtocolSampler(seed=seed)
+    return [sampler.sample() for _ in range(count)]
+
+
+# ----------------------------------------------------------------------
+# Verdict equality: lattice vs flat
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("factory", BUNDLED, ids=lambda f: f.__name__)
+def test_lattice_matches_flat_on_bundled(factory):
+    lattice = Synthesizer(factory(), search="lattice").synthesize()
+    flat = Synthesizer(factory(), search="flat").synthesize()
+    assert _comparable(lattice) == _comparable(flat)
+
+
+@pytest.mark.parametrize("factory", (three_coloring, sum_not_two),
+                         ids=lambda f: f.__name__)
+def test_lattice_matches_flat_full_sweep(factory):
+    # evaluate_all_combinations exercises the non-stop-at-first path:
+    # every combination's reason string must match, not just the
+    # winning prefix.
+    lattice = Synthesizer(factory(), search="lattice")
+    flat = Synthesizer(factory(), search="flat")
+    assert lattice.evaluate_all_combinations() \
+        == flat.evaluate_all_combinations()
+
+
+@pytest.mark.parametrize("seed", RANDOM_SEEDS)
+def test_lattice_matches_flat_on_random_protocols(seed):
+    # Fresh protocol objects per mode: the kernel trail memo hangs off
+    # the protocol's kernel, and a shared one would mask divergence.
+    for lattice_p, flat_p in zip(_sampled(seed, SAMPLES_PER_SEED),
+                                 _sampled(seed, SAMPLES_PER_SEED)):
+        lattice = Synthesizer(lattice_p, max_ring_size=RANDOM_MAX_RING,
+                              search="lattice").synthesize()
+        flat = Synthesizer(flat_p, max_ring_size=RANDOM_MAX_RING,
+                           search="flat").synthesize()
+        assert _comparable(lattice) == _comparable(flat), \
+            f"seed {seed} diverged on {lattice_p.pretty()}"
+
+
+def test_naive_backend_silently_searches_flat():
+    synthesizer = Synthesizer(three_coloring(), backend="naive",
+                              search="lattice")
+    assert synthesizer.search == "flat"
+
+
+def test_unknown_search_mode_is_rejected():
+    with pytest.raises(ValueError, match="unknown synthesis search"):
+        Synthesizer(three_coloring(), search="bogus")
+
+
+# ----------------------------------------------------------------------
+# Prune soundness
+# ----------------------------------------------------------------------
+def test_pruned_combos_recheck_identically_flat():
+    """Feed the walker one combination at a time, classify each leaf
+    from the counter delta, and re-judge every pruned combination with
+    an un-memoized flat evaluation: identical verdict required."""
+    from repro.core.deadlock import DeadlockAnalyzer
+
+    synthesizer = Synthesizer(three_coloring(), search="lattice")
+    resolve = DeadlockAnalyzer(synthesizer.protocol).resolve_candidates()[0]
+    candidates = synthesizer.candidate_transitions(resolve)
+    combos, _ = synthesizer._enumerate_combinations(candidates)
+    search = LatticeSearch(synthesizer)
+    pruned = []
+    for combo in combos:
+        before = search._counts["combos_pruned"]
+        reasons, _delta = search.evaluate_unit([combo])
+        if search._counts["combos_pruned"] > before:
+            pruned.append((combo, reasons[0]))
+    assert pruned, "three-coloring must exercise the pruning path"
+    oracle = Synthesizer(three_coloring(), search="flat")
+    for combo, reason in pruned:
+        assert oracle._evaluate_verdict(combo) == reason
+
+
+def test_counter_split_covers_every_combination():
+    synthesizer = Synthesizer(three_coloring(), search="lattice")
+    rows = synthesizer.evaluate_all_combinations()
+    stats = synthesizer.stats
+    assert stats.combos_pruned + stats.full_evaluations == len(rows)
+    assert stats.combos_pruned > 0
+    assert stats.delta_reuses > 0
+    assert stats.checkpoint_bytes > 0
+
+
+# ----------------------------------------------------------------------
+# Determinism across jobs and schedules
+# ----------------------------------------------------------------------
+@pytest.mark.skipif(not parallelism_available(),
+                    reason="needs the fork start method")
+def test_verdicts_and_counters_invariant_across_jobs_and_schedules():
+    def run(jobs, schedule):
+        synthesizer = Synthesizer(three_coloring(), jobs=jobs,
+                                  schedule=schedule, search="lattice")
+        result = synthesizer.synthesize()
+        stats = synthesizer.stats
+        return (_comparable(result),
+                stats.combos_pruned, stats.full_evaluations)
+
+    reference = run(1, "task")
+    for jobs, schedule in itertools.product((1, 2, 4),
+                                            ("task", "batch")):
+        assert run(jobs, schedule) == reference, (jobs, schedule)
+
+
+# ----------------------------------------------------------------------
+# _verdict_key regression: canonical bitmask, not label strings
+# ----------------------------------------------------------------------
+def _label_colliding_protocol():
+    """States over domain ("aa", "ab"): labels keep only the first
+    character of string cell values, so the two opposite transitions
+    both render as ``taa``."""
+    m = Variable("m", ("aa", "ab"))
+    process = ProcessTemplate(variables=(m,), actions=(),
+                              reads_left=1, reads_right=0)
+    return RingProtocol("label_collider", process, "True")
+
+
+def test_verdict_key_distinguishes_label_colliding_combos():
+    from repro.core.synthesis import _transition_label
+
+    protocol = _label_colliding_protocol()
+    space = protocol.space
+    states = {state.cells: state for state in space.states}
+    forward = LocalTransition(states[(("aa",), ("aa",))],
+                              states[(("aa",), ("ab",))])
+    backward = LocalTransition(states[(("aa",), ("ab",))],
+                               states[(("aa",), ("aa",))])
+    # The historical failure mode: distinct transitions, same label.
+    assert _transition_label(forward.source, forward.target) \
+        == _transition_label(backward.source, backward.target) == "taa"
+    synthesizer = Synthesizer(protocol)
+    assert synthesizer._verdict_key((forward,)) \
+        != synthesizer._verdict_key((backward,))
+    # Permutations of one set still share a key (the memo contract).
+    assert synthesizer._verdict_key((forward, backward)) \
+        == synthesizer._verdict_key((backward, forward))
+
+
+# ----------------------------------------------------------------------
+# BlockedMaskIndex
+# ----------------------------------------------------------------------
+def test_blocked_mask_index_covers_supersets_only():
+    index = BlockedMaskIndex()
+    index.add(0b0011, (2, ["a", "b"]), frozenset({"a", "b"}), (3, 4))
+    assert index.covers_min(0b0011) is not None
+    assert index.covers_min(0b0111) is not None  # strict superset
+    assert index.covers_min(0b0001) is None      # subset: not covered
+    assert index.covers_min(0b1100) is None      # disjoint
+
+
+def test_blocked_mask_index_returns_minimal_key():
+    index = BlockedMaskIndex()
+    index.add(0b0001, (1, ["z"]), frozenset({"z"}), (5, 5))
+    index.add(0b0110, (2, ["a", "b"]), frozenset({"a", "b"}), (3, 4))
+    key, support, head = index.covers_min(0b0111)
+    assert key == (1, ["z"])
+    assert head == (5, 5)
+
+
+def test_blocked_mask_index_deduplicates_masks():
+    index = BlockedMaskIndex()
+    index.add(0b1, (1, ["a"]), frozenset({"a"}), (2, 2))
+    index.add(0b1, (1, ["a"]), frozenset({"a"}), (9, 9))
+    assert len(index) == 1
+    assert index.covers_min(0b1)[2] == (2, 2)
+
+
+# ----------------------------------------------------------------------
+# PruneBoard
+# ----------------------------------------------------------------------
+def test_prune_board_round_trip_and_incremental_offsets(tmp_path):
+    path = tmp_path / "prunes.jsonl"
+    writer, reader = PruneBoard(path), PruneBoard(path)
+    first = (frozenset({(0, 1), (1, 0)}), 9, (3, 4))
+    second = (frozenset({(2, 3)}), 9, None)
+    assert writer.publish([first]) == 1
+    assert reader.load_new() == [first]
+    assert reader.load_new() == []  # nothing new since last load
+    assert writer.publish([first, second]) == 1  # first deduplicated
+    assert reader.load_new() == [second]
+
+
+def test_prune_board_tolerates_torn_tail_and_damage(tmp_path):
+    path = tmp_path / "prunes.jsonl"
+    writer = PruneBoard(path)
+    entry = (frozenset({(4, 5)}), 7, (2, 3))
+    writer.publish([entry])
+    with open(path, "a") as handle:
+        handle.write("{not json}\n")
+        handle.write('{"a": [[6, 7]], "b": 7, "h": null')  # torn tail
+    reader = PruneBoard(path)
+    assert reader.load_new() == [entry]  # damage skipped, tail deferred
+    with open(path, "a") as handle:
+        handle.write(", "
+                     ""
+                     "\n")  # complete the torn line (still damaged)
+    assert reader.load_new() == []
+    tail = (frozenset({(8, 9)}), 7, None)
+    writer.publish([tail])
+    assert reader.load_new() == [tail]
+
+
+def test_prune_board_missing_file_is_empty(tmp_path):
+    assert PruneBoard(tmp_path / "absent.jsonl").load_new() == []
+
+
+# ----------------------------------------------------------------------
+# Support-closure explosion
+# ----------------------------------------------------------------------
+def test_explosion_reason_matches_flat_string():
+    """13 disjoint write-projection 2-cycles have 2^13 - 1 > 4096
+    non-empty cycle unions: both paths must trip the identical cap with
+    the identical message."""
+    from repro.core.pseudolivelock import (
+        SupportExplosion,
+        pseudo_livelock_supports,
+    )
+
+    m = Variable("m", tuple(range(26)))
+    process = ProcessTemplate(variables=(m,), actions=(),
+                              reads_left=1, reads_right=0)
+    protocol = RingProtocol("explosive", process, "True")
+    by_own = {}
+    for state in protocol.space.states:
+        by_own.setdefault(state.own, state)
+    arcs = []
+    for low in range(0, 26, 2):
+        a, b = by_own[(low,)], by_own[(low + 1,)]
+        arcs.append(LocalTransition(a, a.replace_own(b.own)))
+        arcs.append(LocalTransition(b, b.replace_own(a.own)))
+    with pytest.raises(SupportExplosion) as info:
+        pseudo_livelock_supports(arcs)
+    assert str(info.value) == EXPLOSION_REASON
+    assert MAX_SUPPORTS == 4096
+
+
+# ----------------------------------------------------------------------
+# Ledger / obs wiring
+# ----------------------------------------------------------------------
+def test_search_counters_reach_the_work_counter_schema():
+    from repro.obs.ledger import WORK_COUNTERS
+
+    assert "combos_pruned" in WORK_COUNTERS
+    assert "full_evaluations" in WORK_COUNTERS
+    # delta_reuses varies with unit partitioning (re-pushed prefixes)
+    # and must never be treated as drift-on-identity.
+    assert "delta_reuses" not in WORK_COUNTERS
+
+
+def test_prune_broadcast_event_schema_is_validated():
+    from repro.obs.validate import ValidationError, _validate_event
+
+    _validate_event({"kind": "prune-broadcast", "level": "info",
+                     "ts": 1.0, "entries": 3, "source": "load"}, "ok")
+    with pytest.raises(ValidationError):
+        _validate_event({"kind": "prune-broadcast", "level": "info",
+                         "ts": 1.0}, "missing payload")
+
+
+def test_synthsearch_metrics_must_be_numeric():
+    from repro.obs.validate import ValidationError, validate_run_log_records
+    from repro.obs.validate import RUN_LOG_VERSION
+
+    def log(values):
+        return [
+            {"type": "run", "version": RUN_LOG_VERSION, "name": "x"},
+            {"type": "span", "name": "s", "depth": 0, "start": 0.0,
+             "pid": 1, "attrs": {}},
+            {"type": "metrics", "values": values},
+            {"type": "end"},
+        ]
+
+    validate_run_log_records(log({"synthsearch.combos_pruned": 4}))
+    with pytest.raises(ValidationError, match="must be numeric"):
+        validate_run_log_records(log({"synthsearch.combos_pruned": "4"}))
+
+
+def test_stats_summary_mentions_the_search_counters():
+    synthesizer = Synthesizer(three_coloring(), search="lattice")
+    synthesizer.evaluate_all_combinations()
+    summary = synthesizer.stats.summary()
+    assert "synthsearch" in summary
+    assert "combos pruned" in summary
